@@ -1,0 +1,146 @@
+// Command clocknode is a real network node of a clock-synchronization
+// cluster: it exchanges timestamped probes with its peers over TCP,
+// reports per-link delay statistics to the coordinator, and prints the
+// correction it receives together with the optimal guaranteed precision.
+//
+// A 2-node cluster on one machine:
+//
+//	clocknode -id 0 -n 2 -listen 127.0.0.1:9000 -maxdelay 0.5
+//	clocknode -id 1 -n 2 -listen 127.0.0.1:9001 -maxdelay 0.5 \
+//	          -peers 0=127.0.0.1:9000 -coordinator 127.0.0.1:9000 \
+//	          -offset 0.25
+//
+// The -offset flag injects an artificial clock skew for demonstrations;
+// omit it in real deployments, where the hardware clock supplies the
+// unknown skew.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"clocksync/internal/core"
+	"clocksync/internal/delay"
+	"clocksync/internal/model"
+	"clocksync/internal/netsync"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "clocknode:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("clocknode", flag.ContinueOnError)
+	var (
+		id       = fs.Int("id", 0, "this node's id in [0, n)")
+		n        = fs.Int("n", 0, "cluster size")
+		listen   = fs.String("listen", "127.0.0.1:0", "listen address")
+		peersArg = fs.String("peers", "", "comma-separated peers to probe: id=host:port,...")
+		coord    = fs.String("coordinator", "", "coordinator address (empty when this node coordinates)")
+		coordID  = fs.Int("coordid", 0, "coordinator node id")
+		maxDelay = fs.Float64("maxdelay", 0.5, "sound upper bound on one-way delay, seconds (0 = no upper bound)")
+		probes   = fs.Int("probes", 8, "probe messages per peer")
+		interval = fs.Duration("interval", 5*time.Millisecond, "probe spacing")
+		offset   = fs.Duration("offset", 0, "artificial clock skew (demos)")
+		jitter   = fs.Duration("jitter", 0, "artificial transmission jitter (demos)")
+		timeout  = fs.Duration("timeout", 30*time.Second, "network wait bound")
+		centered = fs.Bool("centered", true, "use centered corrections")
+		seed     = fs.Int64("seed", 1, "jitter randomness seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *n < 1 {
+		return fmt.Errorf("missing -n (cluster size)")
+	}
+	peers, err := parsePeers(*peersArg)
+	if err != nil {
+		return err
+	}
+	links, err := clusterLinks(*n, *maxDelay)
+	if err != nil {
+		return err
+	}
+	cfg := netsync.Config{
+		ID:              model.ProcID(*id),
+		N:               *n,
+		Listen:          *listen,
+		Peers:           peers,
+		Coordinator:     model.ProcID(*coordID),
+		CoordinatorAddr: *coord,
+		Links:           links,
+		Probes:          *probes,
+		Interval:        *interval,
+		ClockOffset:     *offset,
+		Jitter:          *jitter,
+		Seed:            *seed,
+		Timeout:         *timeout,
+		Centered:        *centered,
+	}
+	node, err := netsync.Start(cfg)
+	if err != nil {
+		return err
+	}
+	defer node.Shutdown()
+	fmt.Printf("clocknode %d/%d listening on %s\n", *id, *n, node.Addr())
+
+	out, err := node.Wait(*timeout)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("correction: %+.6g s (add to the local clock)\n", out.Correction)
+	fmt.Printf("precision:  %.6g s (optimal guaranteed bound, all pairs)\n", out.Precision)
+	return nil
+}
+
+// parsePeers parses "id=addr,id=addr".
+func parsePeers(s string) (map[model.ProcID]string, error) {
+	peers := make(map[model.ProcID]string)
+	if s == "" {
+		return peers, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 || kv[0] == "" || kv[1] == "" {
+			return nil, fmt.Errorf("malformed -peers entry %q (want id=host:port)", part)
+		}
+		id, err := strconv.Atoi(kv[0])
+		if err != nil {
+			return nil, fmt.Errorf("malformed peer id %q: %v", kv[0], err)
+		}
+		if _, dup := peers[model.ProcID(id)]; dup {
+			return nil, fmt.Errorf("duplicate peer id %d", id)
+		}
+		peers[model.ProcID(id)] = kv[1]
+	}
+	return peers, nil
+}
+
+// clusterLinks declares symmetric [0, maxDelay] bounds on every pair
+// (maxDelay <= 0 selects the no-bounds model).
+func clusterLinks(n int, maxDelay float64) ([]core.Link, error) {
+	var a delay.Assumption
+	if maxDelay > 0 {
+		b, err := delay.SymmetricBounds(0, maxDelay)
+		if err != nil {
+			return nil, err
+		}
+		a = b
+	} else {
+		a = delay.NoBounds()
+	}
+	links := make([]core.Link, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			links = append(links, core.Link{P: model.ProcID(i), Q: model.ProcID(j), A: a})
+		}
+	}
+	return links, nil
+}

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestParsePeers(t *testing.T) {
+	peers, err := parsePeers("0=127.0.0.1:9000, 2=host:1234")
+	if err != nil {
+		t.Fatalf("parsePeers: %v", err)
+	}
+	if len(peers) != 2 || peers[0] != "127.0.0.1:9000" || peers[2] != "host:1234" {
+		t.Errorf("peers = %v", peers)
+	}
+	if got, err := parsePeers(""); err != nil || len(got) != 0 {
+		t.Errorf("empty peers = %v, %v", got, err)
+	}
+	for _, bad := range []string{"x", "=addr", "1=", "a=b=c,", "1=x,1=y", "zz=addr"} {
+		if _, err := parsePeers(bad); err == nil {
+			t.Errorf("parsePeers(%q) accepted", bad)
+		}
+	}
+}
+
+func TestClusterLinks(t *testing.T) {
+	links, err := clusterLinks(4, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(links) != 6 {
+		t.Errorf("links = %d, want 6", len(links))
+	}
+	nb, err := clusterLinks(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nb) != 3 {
+		t.Errorf("no-bound links = %d, want 3", len(nb))
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("missing -n accepted")
+	}
+	if err := run([]string{"-n", "2", "-peers", "garbage"}); err == nil {
+		t.Error("bad peers accepted")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+// freePorts reserves k distinct loopback ports (small race with other
+// processes, fine for tests).
+func freePorts(t *testing.T, k int) []string {
+	t.Helper()
+	addrs := make([]string, k)
+	listeners := make([]net.Listener, k)
+	for i := 0; i < k; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range listeners {
+		_ = ln.Close()
+	}
+	return addrs
+}
+
+// TestRunTwoNodeCluster runs two clocknode mains concurrently against
+// reserved loopback ports: a full end-to-end binary test.
+func TestRunTwoNodeCluster(t *testing.T) {
+	addrs := freePorts(t, 2)
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		errs[0] = run([]string{
+			"-id", "0", "-n", "2", "-listen", addrs[0],
+			"-maxdelay", "0.5", "-probes", "3", "-timeout", "8s",
+		})
+	}()
+	// Give the coordinator a moment to bind before the peer dials.
+	time.Sleep(150 * time.Millisecond)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		errs[1] = run([]string{
+			"-id", "1", "-n", "2", "-listen", addrs[1],
+			"-peers", "0=" + addrs[0],
+			"-coordinator", addrs[0],
+			"-offset", "250ms", "-jitter", "2ms",
+			"-maxdelay", "0.5", "-probes", "3", "-timeout", "8s",
+		})
+	}()
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("node %d: %v", i, err)
+		}
+	}
+}
+
+var _ = fmt.Sprintf // keep fmt for debugging edits

@@ -1,0 +1,172 @@
+// Command clocksync runs a simulated clock-synchronization scenario
+// described by a JSON file, prints the computed corrections and their
+// optimal precision, and optionally verifies instance optimality against
+// the simulator's ground truth.
+//
+// Usage:
+//
+//	clocksync -scenario cfg.json [-verify] [-centered] [-root N] [-trials N]
+//	clocksync -init > cfg.json     # emit a starter scenario
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"clocksync"
+	"clocksync/distributed"
+	"clocksync/internal/scenario"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "clocksync:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("clocksync", flag.ContinueOnError)
+	var (
+		scenarioPath = fs.String("scenario", "", "path to a scenario JSON file")
+		doInit       = fs.Bool("init", false, "print a starter scenario to stdout and exit")
+		doVerify     = fs.Bool("verify", false, "verify instance optimality against ground truth")
+		centered     = fs.Bool("centered", false, "use centered (symmetric) corrections")
+		root         = fs.Int("root", 0, "processor whose correction is fixed to zero")
+		trials       = fs.Int("trials", 200, "alternative correction vectors for -verify")
+		distMode     = fs.String("dist", "", "run the distributed protocol instead: 'leader' or 'gossip'")
+		showPairs    = fs.Bool("pairs", false, "print the per-pair precision bound matrix")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *doInit {
+		return printStarter()
+	}
+	if *scenarioPath == "" {
+		fs.Usage()
+		return fmt.Errorf("missing -scenario (or use -init)")
+	}
+	data, err := os.ReadFile(*scenarioPath)
+	if err != nil {
+		return err
+	}
+	if *distMode != "" {
+		return runDistributed(data, *distMode, clocksync.ProcID(*root), *centered)
+	}
+	rep, err := clocksync.RunScenarioJSON(data, clocksync.SimOptions{
+		Verify:   *doVerify,
+		Trials:   *trials,
+		Centered: *centered,
+		Root:     clocksync.ProcID(*root),
+	})
+	if err != nil {
+		return err
+	}
+	printReport(rep)
+	if *showPairs {
+		printPairBounds(rep.Result)
+	}
+	if rep.Certificate != nil {
+		if err := rep.Certificate.Ok(1e-9); err != nil {
+			return fmt.Errorf("optimality verification FAILED: %w", err)
+		}
+		fmt.Println("optimality: verified (Lemma 4.5, Theorem 4.6, random-alternative search)")
+	}
+	return nil
+}
+
+// runDistributed executes the Section 7 protocol from the CLI.
+func runDistributed(data []byte, mode string, leader clocksync.ProcID, centered bool) error {
+	cfg := distributed.Config{Leader: leader, Centered: centered}
+	switch mode {
+	case "leader":
+	case "gossip":
+		cfg.Gossip = true
+	default:
+		return fmt.Errorf("unknown -dist mode %q (want leader or gossip)", mode)
+	}
+	out, err := distributed.RunScenarioJSON(data, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("distributed (%s) synchronization\n", mode)
+	fmt.Printf("messages on the wire: %d\n", out.Messages)
+	fmt.Printf("optimal precision:    %.6g\n", out.Precision)
+	fmt.Printf("realized discrepancy: %.6g\n", out.Realized)
+	fmt.Println("corrections:")
+	for p, c := range out.Corrections {
+		fmt.Printf("  p%-3d %+.6g\n", p, c)
+	}
+	return nil
+}
+
+func printReport(rep *clocksync.Report) {
+	fmt.Printf("messages delivered: %d\n", rep.Messages)
+	if math.IsInf(rep.Result.Precision, 1) {
+		fmt.Println("precision: unbounded (constraints do not connect all processors)")
+		for i, comp := range rep.Result.Components {
+			fmt.Printf("  component %d: processors %v, precision %.6g\n", i, comp, rep.Result.ComponentPrecision[i])
+		}
+	} else {
+		fmt.Printf("optimal precision (A_max): %.6g\n", rep.Result.Precision)
+		if rep.Result.CriticalCycle != nil {
+			fmt.Printf("critical cycle: %v\n", rep.Result.CriticalCycle)
+		}
+	}
+	fmt.Println("corrections (add to the local clock):")
+	for p, c := range rep.Result.Corrections {
+		fmt.Printf("  p%-3d %+.6g\n", p, c)
+	}
+	fmt.Printf("realized discrepancy (simulator ground truth): %.6g\n", rep.Realized)
+}
+
+// printPairBounds renders the matrix of tight per-pair guarantees.
+func printPairBounds(res *clocksync.Result) {
+	n := len(res.Corrections)
+	fmt.Println("per-pair precision bounds (seconds):")
+	fmt.Printf("%6s", "")
+	for q := 0; q < n; q++ {
+		fmt.Printf("  %8s", fmt.Sprintf("p%d", q))
+	}
+	fmt.Println()
+	for p := 0; p < n; p++ {
+		fmt.Printf("%6s", fmt.Sprintf("p%d", p))
+		for q := 0; q < n; q++ {
+			b, err := res.PairBound(p, q)
+			if err != nil {
+				fmt.Printf("  %8s", "?")
+				continue
+			}
+			if math.IsInf(b, 1) {
+				fmt.Printf("  %8s", "inf")
+				continue
+			}
+			fmt.Printf("  %8.4f", b)
+		}
+		fmt.Println()
+	}
+}
+
+func printStarter() error {
+	s := &scenario.Scenario{
+		Processors:  4,
+		Seed:        42,
+		StartSpread: 2,
+		Topology:    scenario.Topology{Kind: "ring"},
+		DefaultLink: &scenario.LinkSpec{
+			Assumption: scenario.AssumptionSpec{Kind: "symmetricBounds", LB: 0.01, UB: 0.05},
+			Delays: scenario.DelaySpec{Kind: "symmetric",
+				Sampler: &scenario.SamplerSpec{Kind: "uniform", Lo: 0.01, Hi: 0.05}},
+		},
+		Protocol: scenario.ProtocolSpec{Kind: "burst", K: 4, Spacing: 0.005, Warmup: -1},
+	}
+	data, err := s.Encode()
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Println(string(data))
+	return err
+}

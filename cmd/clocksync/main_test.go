@@ -1,0 +1,109 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeScenario(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "scenario.json")
+	cfg := `{
+		"processors": 4,
+		"seed": 11,
+		"startSpread": 2,
+		"topology": {"kind": "ring"},
+		"defaultLink": {
+			"assumption": {"kind": "symmetricBounds", "lb": 0.05, "ub": 0.2},
+			"delays": {"kind": "symmetric", "sampler": {"kind": "uniform", "lo": 0.05, "hi": 0.2}}
+		},
+		"protocol": {"kind": "burst", "k": 3, "spacing": 0.01, "warmup": -1}
+	}`
+	if err := os.WriteFile(path, []byte(cfg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunScenarioFile(t *testing.T) {
+	path := writeScenario(t)
+	if err := run([]string{"-scenario", path}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunWithVerifyAndOptions(t *testing.T) {
+	path := writeScenario(t)
+	if err := run([]string{"-scenario", path, "-verify", "-centered", "-root", "2", "-trials", "50"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunInit(t *testing.T) {
+	if err := run([]string{"-init"}); err != nil {
+		t.Fatalf("run -init: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("missing -scenario accepted")
+	}
+	if err := run([]string{"-scenario", "/does/not/exist.json"}); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-scenario", bad}); err == nil {
+		t.Error("invalid scenario accepted")
+	}
+	if err := run([]string{"-nope"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestRunDisconnectedScenarioPrintsComponents(t *testing.T) {
+	// Custom topology with two islands: precision is unbounded, command
+	// must still succeed and report components.
+	path := filepath.Join(t.TempDir(), "islands.json")
+	cfg := `{
+		"processors": 4,
+		"seed": 3,
+		"startSpread": 1,
+		"topology": {"kind": "custom", "pairs": [[0,1],[2,3]]},
+		"defaultLink": {
+			"assumption": {"kind": "symmetricBounds", "lb": 0.05, "ub": 0.2},
+			"delays": {"kind": "symmetric", "sampler": {"kind": "uniform", "lo": 0.05, "hi": 0.2}}
+		},
+		"protocol": {"kind": "burst", "k": 2, "spacing": 0.01, "warmup": -1}
+	}`
+	if err := os.WriteFile(path, []byte(cfg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-scenario", path}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunDistributedModes(t *testing.T) {
+	path := writeScenario(t)
+	if err := run([]string{"-scenario", path, "-dist", "leader"}); err != nil {
+		t.Fatalf("leader mode: %v", err)
+	}
+	if err := run([]string{"-scenario", path, "-dist", "gossip", "-centered"}); err != nil {
+		t.Fatalf("gossip mode: %v", err)
+	}
+	if err := run([]string{"-scenario", path, "-dist", "quantum"}); err == nil {
+		t.Error("unknown dist mode accepted")
+	}
+}
+
+func TestRunPairsFlag(t *testing.T) {
+	path := writeScenario(t)
+	if err := run([]string{"-scenario", path, "-pairs", "-centered"}); err != nil {
+		t.Fatalf("run -pairs: %v", err)
+	}
+}

@@ -1,0 +1,121 @@
+// Command experiments regenerates the evaluation tables and figures (see
+// DESIGN.md section 4 for the index and EXPERIMENTS.md for expected
+// values).
+//
+// Usage:
+//
+//	experiments                  # run everything, text tables to stdout
+//	experiments -run T1,F2       # run a subset
+//	experiments -csv out/        # additionally write CSV series per experiment
+//	experiments -seed 7          # change the experiment seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"clocksync/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		runList = fs.String("run", "", "comma-separated experiment ids (default: all)")
+		csvDir  = fs.String("csv", "", "directory to write per-experiment CSV files")
+		mdPath  = fs.String("md", "", "write a combined markdown report to this file")
+		seed    = fs.Int64("seed", 12345, "experiment seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var selected []experiments.Experiment
+	if *runList == "" {
+		selected = experiments.All()
+	} else {
+		for _, id := range strings.Split(*runList, ",") {
+			exp, ok := experiments.ByID(strings.TrimSpace(id))
+			if !ok {
+				return fmt.Errorf("unknown experiment %q (known: %s)", id, knownIDs())
+			}
+			selected = append(selected, exp)
+		}
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+	}
+	var md *os.File
+	if *mdPath != "" {
+		f, err := os.Create(*mdPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		md = f
+		if _, err := fmt.Fprintf(md, "# Evaluation results (seed %d)\n\n", *seed); err != nil {
+			return err
+		}
+	}
+
+	failures := 0
+	for _, exp := range selected {
+		tab, err := exp.Run(*seed)
+		if err != nil {
+			return fmt.Errorf("%s: %w", exp.ID, err)
+		}
+		if err := tab.Render(os.Stdout); err != nil {
+			return err
+		}
+		for _, row := range tab.Rows {
+			for _, cell := range row {
+				if cell == "FAIL" {
+					failures++
+				}
+			}
+		}
+		if md != nil {
+			if err := tab.Markdown(md); err != nil {
+				return err
+			}
+		}
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, strings.ToLower(exp.ID)+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := tab.CSV(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d FAIL verdicts; see tables above", failures)
+	}
+	return nil
+}
+
+func knownIDs() string {
+	var ids []string
+	for _, e := range experiments.All() {
+		ids = append(ids, e.ID)
+	}
+	return strings.Join(ids, ", ")
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSubset(t *testing.T) {
+	if err := run([]string{"-run", "T5"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunCSVOutput(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "csv")
+	if err := run([]string{"-run", "F5", "-csv", dir}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "f5.csv"))
+	if err != nil {
+		t.Fatalf("read csv: %v", err)
+	}
+	if !strings.Contains(string(data), "A_max") {
+		t.Errorf("csv lacks header: %s", data)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	err := run([]string{"-run", "Z9"})
+	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Errorf("error = %v, want unknown experiment", err)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestKnownIDs(t *testing.T) {
+	ids := knownIDs()
+	for _, want := range []string{"T1", "T6", "F1", "D1", "P1", "X1", "A1"} {
+		if !strings.Contains(ids, want) {
+			t.Errorf("knownIDs() = %q missing %s", ids, want)
+		}
+	}
+}
+
+func TestRunSeedOverride(t *testing.T) {
+	if err := run([]string{"-run", "F5", "-seed", "7"}); err != nil {
+		t.Fatalf("run with seed: %v", err)
+	}
+}
+
+func TestRunMarkdownOutput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.md")
+	if err := run([]string{"-run", "F5", "-md", path}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read md: %v", err)
+	}
+	out := string(data)
+	for _, want := range []string{"# Evaluation results", "### F5:", "| n |", "| --- |"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown report missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package distributed_test
+
+import (
+	"math"
+	"testing"
+
+	"clocksync/distributed"
+)
+
+const scenarioJSON = `{
+	"processors": 6,
+	"seed": 23,
+	"startSpread": 1.5,
+	"topology": {"kind": "ring"},
+	"defaultLink": {
+		"assumption": {"kind": "symmetricBounds", "lb": 0.05, "ub": 0.2},
+		"delays": {"kind": "symmetric", "sampler": {"kind": "uniform", "lo": 0.05, "hi": 0.2}}
+	},
+	"protocol": {"kind": "burst", "k": 1, "warmup": -1}
+}`
+
+func TestRunScenarioJSON(t *testing.T) {
+	out, err := distributed.RunScenarioJSON([]byte(scenarioJSON), distributed.Config{})
+	if err != nil {
+		t.Fatalf("RunScenarioJSON: %v", err)
+	}
+	if len(out.Corrections) != 6 {
+		t.Fatalf("corrections = %d entries, want 6", len(out.Corrections))
+	}
+	if out.Corrections[0] != 0 {
+		t.Errorf("leader correction = %v, want 0", out.Corrections[0])
+	}
+	if math.IsInf(out.Precision, 1) || out.Precision <= 0 {
+		t.Errorf("precision = %v", out.Precision)
+	}
+	if out.Realized > out.Precision+1e-9 {
+		t.Errorf("realized %v exceeds precision %v", out.Realized, out.Precision)
+	}
+	// Probes alone: 2 * 4 * 6 links = 48; floods add more.
+	if out.Messages <= 48 {
+		t.Errorf("messages = %d, want > 48 (floods missing?)", out.Messages)
+	}
+}
+
+func TestRunScenarioJSONOptions(t *testing.T) {
+	out, err := distributed.RunScenarioJSON([]byte(scenarioJSON), distributed.Config{
+		Leader:   3,
+		Probes:   2,
+		Centered: true,
+	})
+	if err != nil {
+		t.Fatalf("RunScenarioJSON: %v", err)
+	}
+	if out.Corrections[3] != 0 {
+		t.Errorf("leader correction = %v, want 0", out.Corrections[3])
+	}
+}
+
+func TestRunScenarioJSONErrors(t *testing.T) {
+	if _, err := distributed.RunScenarioJSON([]byte("{"), distributed.Config{}); err == nil {
+		t.Error("invalid JSON accepted")
+	}
+	if _, err := distributed.RunScenarioJSON([]byte(`{"processors":0,"topology":{"kind":"ring"},"protocol":{"kind":"burst","warmup":-1}}`), distributed.Config{}); err == nil {
+		t.Error("invalid scenario accepted")
+	}
+}
+
+func TestRunScenarioJSONGossip(t *testing.T) {
+	leader, err := distributed.RunScenarioJSON([]byte(scenarioJSON), distributed.Config{})
+	if err != nil {
+		t.Fatalf("leader: %v", err)
+	}
+	gossip, err := distributed.RunScenarioJSON([]byte(scenarioJSON), distributed.Config{Gossip: true})
+	if err != nil {
+		t.Fatalf("gossip: %v", err)
+	}
+	if math.Abs(leader.Precision-gossip.Precision) > 1e-12 {
+		t.Errorf("precision differs: %v vs %v", leader.Precision, gossip.Precision)
+	}
+	for p := range leader.Corrections {
+		if math.Abs(leader.Corrections[p]-gossip.Corrections[p]) > 1e-12 {
+			t.Errorf("correction p%d differs: %v vs %v", p, leader.Corrections[p], gossip.Corrections[p])
+		}
+	}
+	if gossip.Messages >= leader.Messages {
+		t.Errorf("gossip messages %d >= leader %d (no result flood expected)", gossip.Messages, leader.Messages)
+	}
+}

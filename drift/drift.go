@@ -1,0 +1,40 @@
+// Package drift is the public face of the bounded-drift extension: the
+// analytic toolkit for running the (drift-free) optimal synchronizer on
+// hardware whose clocks drift by at most rho, as the paper's footnote 1
+// anticipates (periodic resynchronization after Kopetz-Ochsenreiter).
+//
+// Workflow: inflate every link assumption with Inflate before declaring
+// it (horizon = the largest clock value your timestamps reach during one
+// measurement round), synchronize as usual — with the implicit
+// non-negativity shortcut disabled, see Inflate — and size the
+// resynchronization interval with ResyncPeriod.
+package drift
+
+import (
+	idrift "clocksync/internal/drift"
+
+	"clocksync"
+)
+
+// Inflate widens a delay assumption so it stays sound when every
+// timestamp carries up to rho*horizon of drift error. Supported inputs
+// are the assumptions constructed by the clocksync package (bounds, bias,
+// and conjunctions thereof).
+func Inflate(a clocksync.Assumption, rho, horizon float64) (clocksync.Assumption, error) {
+	return idrift.Inflate(a, rho, horizon)
+}
+
+// Bound returns the guaranteed corrected-clock discrepancy dt real
+// seconds after a synchronization that achieved the given precision with
+// measurement horizon `horizon` under drift bound rho.
+func Bound(precision, rho, horizon, dt float64) float64 {
+	return idrift.Bound(precision, rho, horizon, dt)
+}
+
+// ResyncPeriod returns the longest interval between synchronizations that
+// keeps corrected clocks within target, given the precision achieved at
+// sync time and the drift bound. It returns +Inf for drift-free clocks
+// that already meet the target, and 0 when the target is unreachable.
+func ResyncPeriod(target, precisionAtSync, rho float64) float64 {
+	return idrift.ResyncPeriod(target, precisionAtSync, rho)
+}

@@ -1,0 +1,41 @@
+package drift_test
+
+import (
+	"math"
+	"testing"
+
+	"clocksync"
+	"clocksync/drift"
+)
+
+func TestInflateWrapper(t *testing.T) {
+	a := clocksync.MustSymmetricBounds(0.1, 0.3)
+	inflated, err := drift.Inflate(a, 0.001, 10)
+	if err != nil {
+		t.Fatalf("Inflate: %v", err)
+	}
+	// Sanity: the inflated assumption admits delays at the original edges
+	// plus the slack (0.02) and is still usable in a system.
+	sys, err := clocksync.NewSystem(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddLink(0, 1, inflated); err != nil {
+		t.Fatalf("AddLink(inflated): %v", err)
+	}
+	if _, err := drift.Inflate(a, -1, 10); err == nil {
+		t.Error("negative rho accepted")
+	}
+}
+
+func TestBoundAndResyncWrappers(t *testing.T) {
+	if got := drift.Bound(0.1, 0.001, 10, 90); math.Abs(got-(0.1+0.02+0.18)) > 1e-12 {
+		t.Errorf("Bound = %v", got)
+	}
+	if got := drift.ResyncPeriod(0.3, 0.1, 0.001); math.Abs(got-100) > 1e-9 {
+		t.Errorf("ResyncPeriod = %v, want 100", got)
+	}
+	if got := drift.ResyncPeriod(0.3, 0.1, 0); !math.IsInf(got, 1) {
+		t.Errorf("drift-free ResyncPeriod = %v, want +Inf", got)
+	}
+}

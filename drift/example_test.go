@@ -1,0 +1,34 @@
+package drift_test
+
+import (
+	"fmt"
+
+	"clocksync"
+	"clocksync/drift"
+)
+
+// Size the resynchronization interval for 20 ppm clocks that must stay
+// within 50 ms, given a 1 ms precision at sync time.
+func ExampleResyncPeriod() {
+	period := drift.ResyncPeriod(0.050, 0.001, 20e-6)
+	fmt.Printf("resync every %.0f s\n", period)
+	// Output:
+	// resync every 1225 s
+}
+
+// Inflate a bounds assumption so it stays sound for a 5-second
+// measurement window on 100 ppm clocks: the slack is 2*rho*horizon = 1 ms
+// per side, so an estimated delay just past the original bound becomes
+// admissible.
+func ExampleInflate() {
+	base := clocksync.MustSymmetricBounds(0.010, 0.050)
+	inflated, err := drift.Inflate(base, 100e-6, 5)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	edge := []float64{0.0509} // 0.9 ms past the original upper bound
+	fmt.Println(base.Admits(edge, nil), inflated.Admits(edge, nil))
+	// Output:
+	// false true
+}

@@ -1,0 +1,105 @@
+package clocksync_test
+
+import (
+	"fmt"
+
+	"clocksync"
+)
+
+// The canonical two-processor exchange: declare the link's delay bounds,
+// record one timestamped message in each direction, synchronize.
+func ExampleSystem_Synchronize() {
+	sys, _ := clocksync.NewSystem(2)
+	_ = sys.AddLink(0, 1, clocksync.MustSymmetricBounds(0.001, 0.005))
+
+	rec := clocksync.NewRecorder(2)
+	// p1's clock started 0.4 s after p0's; both messages took 3 ms.
+	_ = rec.Observe(0, 1, 10.0, 10.0+0.003-0.4)
+	_ = rec.Observe(1, 0, 10.0, 10.0+0.003+0.4)
+
+	res, _ := sys.Synchronize(rec)
+	fmt.Printf("corrections: %+.3f %+.3f\n", res.Corrections[0], res.Corrections[1])
+	fmt.Printf("precision:   %.3f\n", res.Precision)
+	// Output:
+	// corrections: +0.000 +0.400
+	// precision:   0.002
+}
+
+// Fully asynchronous links: no bounds are known, yet each instance gets a
+// finite optimal precision from its observed minimum delays.
+func ExampleNoBounds() {
+	sys, _ := clocksync.NewSystem(2)
+	_ = sys.AddLink(0, 1, clocksync.NoBounds())
+
+	rec := clocksync.NewRecorder(2)
+	_ = rec.Observe(0, 1, 1.0, 1.0+0.050) // estimated delay 50 ms
+	_ = rec.Observe(1, 0, 1.0, 1.0+0.030) // estimated delay 30 ms
+
+	res, _ := sys.Synchronize(rec)
+	// A_max = (d~min(0,1) + d~min(1,0)) / 2 = 40 ms.
+	fmt.Printf("precision: %.3f\n", res.Precision)
+	// Output:
+	// precision: 0.040
+}
+
+// Combining several assumptions on one link (the decomposition theorem):
+// the conjunction is at least as tight as each part.
+func ExampleBoth() {
+	bias, _ := clocksync.RTTBias(0.004)
+	bounds, _ := clocksync.SymmetricBounds(0, 1)
+	both, _ := clocksync.Both(bias, bounds)
+
+	sys, _ := clocksync.NewSystem(2)
+	_ = sys.AddLink(0, 1, both)
+
+	rec := clocksync.NewRecorder(2)
+	_ = rec.Observe(0, 1, 1.0, 1.0+0.240)
+	_ = rec.Observe(1, 0, 1.0, 1.0+0.242)
+
+	res, _ := sys.Synchronize(rec)
+	// The bias terms dominate: A_max = (mls(0,1) + mls(1,0)) / 2
+	// = (0.001 + 0.003) / 2 = 2 ms, far below the 240 ms absolute delay.
+	fmt.Printf("precision: %.3f\n", res.Precision)
+	// Output:
+	// precision: 0.002
+}
+
+// A disconnected system reports +Inf overall precision but still
+// synchronizes each component.
+func ExampleResult_components() {
+	sys, _ := clocksync.NewSystem(3)
+	_ = sys.AddLink(0, 1, clocksync.MustSymmetricBounds(0, 0.1))
+
+	rec := clocksync.NewRecorder(3)
+	_ = rec.Observe(0, 1, 1, 1.05)
+	_ = rec.Observe(1, 0, 1, 1.05)
+
+	res, _ := sys.Synchronize(rec)
+	fmt.Println("components:", res.Components)
+	fmt.Printf("component precision: %.3f\n", res.ComponentPrecision[0])
+	// Output:
+	// components: [[0 1] [2]]
+	// component precision: 0.050
+}
+
+// Per-pair bounds: nearby processors get tighter guarantees than the
+// global precision.
+func ExampleResult_pairBound() {
+	sys, _ := clocksync.NewSystem(3)
+	_ = sys.AddLink(0, 1, clocksync.MustSymmetricBounds(0, 0.1))
+	_ = sys.AddLink(1, 2, clocksync.MustSymmetricBounds(0, 0.1))
+
+	rec := clocksync.NewRecorder(3)
+	for _, hop := range [][2]clocksync.ProcID{{0, 1}, {1, 0}, {1, 2}, {2, 1}} {
+		_ = rec.Observe(hop[0], hop[1], 1, 1.05)
+	}
+	// Centered corrections balance the per-pair bounds (root-based ones
+	// sit at an extreme of the optimal polytope and skew them).
+	res, _ := sys.Synchronize(rec, clocksync.Centered())
+
+	adjacent, _ := res.PairBound(0, 1)
+	far, _ := res.PairBound(0, 2)
+	fmt.Printf("global %.2f, adjacent %.2f, two hops %.2f\n", res.Precision, adjacent, far)
+	// Output:
+	// global 0.10, adjacent 0.05, two hops 0.10
+}

@@ -1,0 +1,108 @@
+// biaslink: the round-trip bias model (Section 6.2) on a link whose
+// absolute delay is large and unknown but whose two directions track each
+// other closely — the situation NTP-style midpoint estimation silently
+// relies on, made into an explicit, exploitable assumption.
+//
+// The same observations are synchronized three ways:
+//
+//  1. with only non-negativity assumed (no bounds): precision ~ the
+//     absolute delay — terrible;
+//
+//  2. with the bias assumption |d_fwd - d_rev| <= b: precision ~ b/2 —
+//     excellent, despite never learning the absolute delay;
+//
+//  3. with bias AND a loose upper bound combined (decomposition theorem):
+//     never worse than either alone.
+//
+//     go run ./examples/biaslink
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"clocksync"
+)
+
+func main() {
+	const (
+		trueSkew = -0.9
+		base     = 0.240 // unknown absolute one-way delay: 240 ms
+		width    = 0.006 // directions agree to within 6 ms
+		k        = 12    // messages per direction
+	)
+	rng := rand.New(rand.NewSource(42))
+
+	// Generate one set of observations, reused by all three variants.
+	type obs struct {
+		from, to             clocksync.ProcID
+		sendClock, recvClock float64
+	}
+	var observations []obs
+	for i := 0; i < k; i++ {
+		t := 5.0 + float64(i)
+		d01 := base + width*rng.Float64()
+		d10 := base + width*rng.Float64()
+		observations = append(observations,
+			obs{0, 1, t, t + d01 - trueSkew},
+			obs{1, 0, t, t + d10 + trueSkew},
+		)
+	}
+
+	synchronize := func(a clocksync.Assumption) (precision, realized float64) {
+		sys, err := clocksync.NewSystem(2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sys.AddLink(0, 1, a); err != nil {
+			log.Fatal(err)
+		}
+		rec := clocksync.NewRecorder(2)
+		for _, o := range observations {
+			if err := rec.Observe(o.from, o.to, o.sendClock, o.recvClock); err != nil {
+				log.Fatal(err)
+			}
+		}
+		res, err := sys.Synchronize(rec, clocksync.Centered())
+		if err != nil {
+			log.Fatal(err)
+		}
+		realized, err = clocksync.Discrepancy([]float64{0, trueSkew}, res.Corrections)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res.Precision, realized
+	}
+
+	bias, err := clocksync.RTTBias(width)
+	if err != nil {
+		log.Fatal(err)
+	}
+	loose, err := clocksync.SymmetricBounds(0, 1.0) // very loose: [0, 1s]
+	if err != nil {
+		log.Fatal(err)
+	}
+	both, err := clocksync.Both(bias, loose)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("biaslink: 240 ms link, directions matched to within 6 ms, 24 messages")
+	fmt.Printf("%-34s  %14s  %14s\n", "assumption", "precision (s)", "realized (s)")
+	for _, row := range []struct {
+		name string
+		a    clocksync.Assumption
+	}{
+		{"non-negative delays only", clocksync.NoBounds()},
+		{"rtt bias <= 6ms", bias},
+		{"bias AND loose bounds [0,1s]", both},
+	} {
+		p, r := synchronize(row.a)
+		fmt.Printf("%-34s  %14.6f  %14.6f\n", row.name, p, r)
+	}
+	fmt.Println()
+	fmt.Println("The bias assumption buys three orders of magnitude of precision without any")
+	fmt.Println("knowledge of the absolute delay (Lemma 6.5); the conjunction (Theorem 5.6)")
+	fmt.Println("can only tighten it further.")
+}

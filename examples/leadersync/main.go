@@ -1,0 +1,58 @@
+// leadersync: the Section 7 distributed protocol, end to end — no central
+// observer ever sees the raw views.
+//
+// A 9-node grid measures its links with timestamped probes; every node
+// floods a summary of its incoming delays to the leader; the leader runs
+// GLOBAL ESTIMATES + SHIFTS and floods the corrections back. The result
+// is exactly the centralized optimum on the probe traffic, at the cost of
+// the flood messages.
+//
+//	go run ./examples/leadersync
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"clocksync/distributed"
+)
+
+const scenarioJSON = `{
+  "processors": 9,
+  "seed": 7,
+  "startSpread": 2,
+  "topology": {"kind": "grid", "w": 3, "h": 3},
+  "defaultLink": {
+    "assumption": {"kind": "symmetricBounds", "lb": 0.03, "ub": 0.09},
+    "delays": {"kind": "symmetric", "sampler": {"kind": "uniform", "lo": 0.03, "hi": 0.09}}
+  },
+  "protocol": {"kind": "burst", "k": 1, "warmup": -1}
+}`
+
+func main() {
+	out, err := distributed.RunScenarioJSON([]byte(scenarioJSON), distributed.Config{
+		Leader:   4, // the grid center
+		Probes:   5,
+		Centered: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("leadersync: 3x3 grid, leader at the center (p4)")
+	fmt.Printf("  messages on the wire:  %d (probes + report flood + result flood)\n", out.Messages)
+	fmt.Printf("  optimal precision:     %.4f s\n", out.Precision)
+	fmt.Printf("  realized error:        %.4f s\n", out.Realized)
+	fmt.Println("  corrections as received by each node:")
+	for p, c := range out.Corrections {
+		marker := ""
+		if p == 4 {
+			marker = "  <- leader"
+		}
+		fmt.Printf("    p%d %+.4f s%s\n", p, c, marker)
+	}
+	fmt.Println()
+	fmt.Println("The leader's computation is identical to the centralized pipeline run on the")
+	fmt.Println("flooded statistics, so the paper's optimality guarantee carries over — relative")
+	fmt.Println("to the probe traffic, as Section 7 itself notes.")
+}

@@ -1,0 +1,91 @@
+// wanmix: a heterogeneous wide-area network where different links satisfy
+// different delay assumptions — the paper's headline flexibility claim
+// (Sections 1 and 5.4).
+//
+// An 8-node ring where, by link:
+//   - some links have honest [lb,ub] bounds (a well-provisioned LAN);
+//   - some links only guarantee a round-trip bias (symmetrically loaded
+//     WAN paths with unknown absolute latency);
+//   - some links only have a lower bound (heavy-tailed internet paths);
+//   - one link enjoys BOTH a bound and a bias, combined with Both(...).
+//
+// The run is simulated end to end, then verified: the achieved precision
+// is provably the best any algorithm could have guaranteed from the same
+// observations.
+//
+//	go run ./examples/wanmix
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"clocksync"
+)
+
+const scenarioJSON = `{
+  "processors": 8,
+  "seed": 1993,
+  "startSpread": 3,
+  "topology": {"kind": "ring"},
+  "defaultLink": {
+    "assumption": {"kind": "symmetricBounds", "lb": 0.02, "ub": 0.06},
+    "delays": {"kind": "symmetric", "sampler": {"kind": "uniform", "lo": 0.02, "hi": 0.06}}
+  },
+  "links": [
+    {
+      "p": 1, "q": 2,
+      "assumption": {"kind": "bias", "b": 0.01},
+      "delays": {"kind": "biasWindow", "base": 0.08, "width": 0.01}
+    },
+    {
+      "p": 3, "q": 4,
+      "assumption": {"kind": "lowerOnly", "lbPQ": 0.03, "lbQP": 0.03},
+      "delays": {"kind": "symmetric", "sampler": {"kind": "shiftedExp", "min": 0.03, "mean": 0.05}}
+    },
+    {
+      "p": 5, "q": 6,
+      "assumption": {"kind": "and", "parts": [
+        {"kind": "symmetricBounds", "lb": 0.0, "ub": 0.2},
+        {"kind": "bias", "b": 0.015}
+      ]},
+      "delays": {"kind": "biasWindow", "base": 0.05, "width": 0.015}
+    }
+  ],
+  "protocol": {"kind": "burst", "k": 6, "spacing": 0.004, "warmup": -1}
+}`
+
+func main() {
+	rep, err := clocksync.RunScenarioJSON([]byte(scenarioJSON), clocksync.SimOptions{
+		Verify:   true,
+		Trials:   300,
+		Centered: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("wanmix: 8-node ring, mixed delay assumptions")
+	fmt.Println("  links 0-1, 2-3, 4-5, 6-7, 7-0 : bounds [20ms, 60ms]")
+	fmt.Println("  link  1-2                     : round-trip bias <= 10ms (absolute delay unknown!)")
+	fmt.Println("  link  3-4                     : lower bound 30ms only (heavy-tailed)")
+	fmt.Println("  link  5-6                     : bounds [0, 200ms] AND bias <= 15ms (decomposition)")
+	fmt.Println()
+	fmt.Printf("  messages delivered:  %d\n", rep.Messages)
+	fmt.Printf("  optimal precision:   %.4f s\n", rep.Result.Precision)
+	fmt.Printf("  realized error:      %.4f s\n", rep.Realized)
+	fmt.Println("  corrections:")
+	for p, c := range rep.Result.Corrections {
+		fmt.Printf("    p%d %+.4f s (true start %.4f s)\n", p, c, rep.Starts[p])
+	}
+	if err := rep.Certificate.Ok(1e-9); err != nil {
+		log.Fatalf("optimality verification failed: %v", err)
+	}
+	fmt.Println()
+	fmt.Printf("  verified optimal: true A_max %.4f s; best of %d random alternatives %.4f s (>= A_max)\n",
+		rep.Certificate.AMaxTrue, rep.Certificate.Alternatives, rep.Certificate.BestAlternative)
+	fmt.Println()
+	fmt.Println("No single-model algorithm covers this system: NTP-style midpoints ignore the")
+	fmt.Println("declared bounds, and bounds-only algorithms cannot use the bias constraints.")
+	fmt.Println("The per-link mls formulas + the SHIFTS pipeline exploit every declared fact.")
+}

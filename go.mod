@@ -1,0 +1,3 @@
+module clocksync
+
+go 1.22

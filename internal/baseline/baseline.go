@@ -1,0 +1,194 @@
+// Package baseline implements the comparison algorithms the evaluation
+// measures the optimal synchronizer against:
+//
+//   - NoOp: no correction at all (reads off the raw start-time skews).
+//   - MidpointTree: NTP-style pairwise midpoint offset estimation
+//     propagated over a BFS spanning tree.
+//   - LLAverage: Lundelius-Lynch-style averaging for complete graphs.
+//   - HMM: Halpern-Megiddo-Munshi '85 — the one-message-per-direction
+//     special case of the paper's framework, with [lb,ub] bounds.
+//
+// A baseline maps an execution's views to a correction vector; it has no
+// precision guarantee of its own. The verifier evaluates both the realized
+// discrepancy and the guaranteed precision of any correction vector, so
+// experiments can compare baselines and the optimal algorithm on equal
+// terms.
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"clocksync/internal/core"
+	"clocksync/internal/model"
+	"clocksync/internal/trace"
+)
+
+// Baseline computes clock corrections from an execution's observable part.
+type Baseline interface {
+	// Name identifies the algorithm in reports.
+	Name() string
+	// Corrections returns one correction per processor; the root's is 0.
+	Corrections(e *model.Execution, root model.ProcID) ([]float64, error)
+}
+
+// NoOp applies no correction.
+type NoOp struct{}
+
+var _ Baseline = NoOp{}
+
+// Name returns "noop".
+func (NoOp) Name() string { return "noop" }
+
+// Corrections returns the zero vector.
+func (NoOp) Corrections(e *model.Execution, _ model.ProcID) ([]float64, error) {
+	return make([]float64, e.N()), nil
+}
+
+// MidpointTree estimates per-link skew with the classic midpoint formula
+// skew(q-p) ~= (d~min(q->p) - d~min(p->q)) / 2 and accumulates estimates
+// along a BFS spanning tree from the root. This is the practical scheme at
+// the heart of NTP-like protocols; it is exact when the two directions'
+// minimum-delay samples are equal and degrades with delay asymmetry.
+type MidpointTree struct{}
+
+var _ Baseline = MidpointTree{}
+
+// Name returns "midpoint-tree".
+func (MidpointTree) Name() string { return "midpoint-tree" }
+
+// Corrections runs BFS over pairs with bidirectional traffic.
+func (MidpointTree) Corrections(e *model.Execution, root model.ProcID) ([]float64, error) {
+	tab, err := trace.Collect(e, false)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	n := e.N()
+	if int(root) < 0 || int(root) >= n {
+		return nil, fmt.Errorf("baseline: root p%d out of range", root)
+	}
+	x := make([]float64, n)
+	seen := make([]bool, n)
+	seen[root] = true
+	queue := []model.ProcID{root}
+	visited := 1
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		for q := 0; q < n; q++ {
+			if seen[q] || model.ProcID(q) == p {
+				continue
+			}
+			pq := tab.Stats(p, model.ProcID(q))
+			qp := tab.Stats(model.ProcID(q), p)
+			if pq.Empty() || qp.Empty() {
+				continue // midpoint needs both directions
+			}
+			// Estimate S_q - S_p and chain the correction.
+			skew := (qp.Min - pq.Min) / 2
+			x[q] = x[p] + skew
+			seen[q] = true
+			visited++
+			queue = append(queue, model.ProcID(q))
+		}
+	}
+	if visited != n {
+		return nil, fmt.Errorf("baseline: bidirectional traffic reaches only %d of %d processors", visited, n)
+	}
+	return x, nil
+}
+
+// LLAverage is the averaging scheme of Lundelius and Lynch for complete
+// graphs: every processor's correction is the mean of the midpoint skew
+// estimates to all processors, which aligns all corrected clocks to the
+// estimated average start time. It needs bidirectional traffic between
+// every pair.
+type LLAverage struct{}
+
+var _ Baseline = LLAverage{}
+
+// Name returns "ll-average".
+func (LLAverage) Name() string { return "ll-average" }
+
+// Corrections averages the pairwise midpoint estimates.
+func (LLAverage) Corrections(e *model.Execution, root model.ProcID) ([]float64, error) {
+	tab, err := trace.Collect(e, false)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	n := e.N()
+	x := make([]float64, n)
+	for p := 0; p < n; p++ {
+		sum := 0.0
+		for r := 0; r < n; r++ {
+			if r == p {
+				continue
+			}
+			rp := tab.Stats(model.ProcID(r), model.ProcID(p))
+			pr := tab.Stats(model.ProcID(p), model.ProcID(r))
+			if rp.Empty() || pr.Empty() {
+				return nil, fmt.Errorf("baseline: ll-average needs complete bidirectional traffic; pair (p%d,p%d) is silent", p, r)
+			}
+			// d~(p->r) - d~(r->p) = (d1 - d2) + 2(S_p - S_r), so half the
+			// difference estimates S_p - S_r.
+			sum += (pr.Min - rp.Min) / 2
+		}
+		x[p] = sum / float64(n)
+	}
+	// Normalize so the root correction is zero (comparability).
+	if int(root) >= 0 && int(root) < n {
+		r := x[root]
+		for i := range x {
+			x[i] -= r
+		}
+	}
+	return x, nil
+}
+
+// HMM is the Halpern-Megiddo-Munshi '85 algorithm: optimal synchronization
+// when exactly one message is sent in each direction of each link and
+// [lb,ub] bounds are known. It is the special case the paper reduces to;
+// here it deliberately uses only the first message of each direction, so
+// on multi-message traces it is strictly weaker than the full algorithm.
+type HMM struct {
+	// Links carries the [lb,ub] assumptions per link (the same values the
+	// optimal algorithm receives).
+	Links []core.Link
+}
+
+var _ Baseline = HMM{}
+
+// Name returns "hmm85".
+func (HMM) Name() string { return "hmm85" }
+
+// Corrections synthesizes a first-message-only trace and runs the SHIFTS
+// pipeline on it.
+func (h HMM) Corrections(e *model.Execution, root model.ProcID) ([]float64, error) {
+	msgs, err := e.Messages()
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	n := e.N()
+	// Keep only the earliest-sent message per direction.
+	first := make(map[[2]model.ProcID]model.Message, len(msgs))
+	for _, m := range msgs {
+		key := [2]model.ProcID{m.From, m.To}
+		if cur, ok := first[key]; !ok || m.SendClock < cur.SendClock {
+			first[key] = m
+		}
+	}
+	tab := trace.NewTable(n, false)
+	for _, m := range first {
+		if err := tab.Add(trace.Sample{From: m.From, To: m.To, SendClock: m.SendClock, RecvClock: m.RecvClock}); err != nil {
+			return nil, fmt.Errorf("baseline: %w", err)
+		}
+	}
+	res, err := core.SynchronizeSystem(n, h.Links, tab, core.DefaultMLSOptions(), core.Options{Root: int(root)})
+	if err != nil {
+		return nil, fmt.Errorf("baseline: hmm85: %w", err)
+	}
+	if math.IsInf(res.Precision, 1) {
+		return nil, fmt.Errorf("baseline: hmm85: system not connected by first messages")
+	}
+	return res.Corrections, nil
+}

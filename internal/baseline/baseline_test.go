@@ -1,0 +1,226 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"clocksync/internal/core"
+	"clocksync/internal/delay"
+	"clocksync/internal/model"
+	"clocksync/internal/sim"
+	"clocksync/internal/trace"
+)
+
+// simulate runs a burst exchange on the given topology with uniform delays.
+func simulate(t *testing.T, rng *rand.Rand, n int, pairs []sim.Pair, lo, hi float64, k int) (*model.Execution, []core.Link) {
+	t.Helper()
+	starts := sim.UniformStarts(rng, n, 4)
+	net, err := sim.NewNetwork(starts, pairs, func(sim.Pair) sim.LinkDelays {
+		return sim.Symmetric(sim.Uniform{Lo: lo, Hi: hi})
+	})
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	exec, err := sim.Run(net, sim.NewBurstFactory(k, 0.01, sim.SafeWarmup(starts)+1), sim.RunConfig{Seed: rng.Int63()})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	bounds, err := delay.SymmetricBounds(lo, hi)
+	if err != nil {
+		t.Fatalf("SymmetricBounds: %v", err)
+	}
+	links := make([]core.Link, 0, len(pairs))
+	for _, e := range pairs {
+		p, q := e.P, e.Q
+		if p > q {
+			p, q = q, p
+		}
+		links = append(links, core.Link{P: model.ProcID(p), Q: model.ProcID(q), A: bounds})
+	}
+	return exec, links
+}
+
+func TestNoOp(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	exec, _ := simulate(t, rng, 3, sim.Ring(3), 0.1, 0.2, 1)
+	x, err := NoOp{}.Corrections(exec, 0)
+	if err != nil {
+		t.Fatalf("Corrections: %v", err)
+	}
+	for i, v := range x {
+		if v != 0 {
+			t.Errorf("x[%d] = %v, want 0", i, v)
+		}
+	}
+	if (NoOp{}).Name() != "noop" {
+		t.Error("Name mismatch")
+	}
+}
+
+func TestMidpointTreeRecoversSymmetricSkew(t *testing.T) {
+	// With constant symmetric delays, midpoint estimates are exact and the
+	// tree propagation recovers every skew: rho = 0.
+	rng := rand.New(rand.NewSource(2))
+	starts := []float64{0, 1.3, 2.6, 0.9}
+	net, err := sim.NewNetwork(starts, sim.Line(4), func(sim.Pair) sim.LinkDelays {
+		return sim.Symmetric(sim.Constant{D: 0.25})
+	})
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	exec, err := sim.Run(net, sim.NewBurstFactory(1, 0, sim.SafeWarmup(starts)+1), sim.RunConfig{Seed: rng.Int63()})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	x, err := MidpointTree{}.Corrections(exec, 0)
+	if err != nil {
+		t.Fatalf("Corrections: %v", err)
+	}
+	rho, err := core.Rho(starts, x)
+	if err != nil {
+		t.Fatalf("Rho: %v", err)
+	}
+	if rho > 1e-9 {
+		t.Errorf("rho = %v, want 0 with constant symmetric delays", rho)
+	}
+}
+
+func TestMidpointTreeDisconnected(t *testing.T) {
+	// One-directional traffic only: midpoint cannot bridge, so it errors.
+	b := model.NewBuilder([]float64{0, 0})
+	if _, err := b.AddMessageDelay(0, 1, 1, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	exec, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (MidpointTree{}).Corrections(exec, 0); err == nil {
+		t.Error("disconnected midpoint accepted")
+	}
+}
+
+func TestMidpointTreeBadRoot(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	exec, _ := simulate(t, rng, 3, sim.Ring(3), 0.1, 0.2, 1)
+	if _, err := (MidpointTree{}).Corrections(exec, 9); err == nil {
+		t.Error("out-of-range root accepted")
+	}
+}
+
+func TestLLAverageOnCompleteGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	exec, _ := simulate(t, rng, 5, sim.Complete(5), 0.1, 0.3, 2)
+	x, err := LLAverage{}.Corrections(exec, 0)
+	if err != nil {
+		t.Fatalf("Corrections: %v", err)
+	}
+	if x[0] != 0 {
+		t.Errorf("root correction = %v, want 0", x[0])
+	}
+	rho, err := core.Rho(exec.Starts(), x)
+	if err != nil {
+		t.Fatalf("Rho: %v", err)
+	}
+	// Sanity: averaging should do no worse than the raw skews.
+	raw, err := core.Rho(exec.Starts(), make([]float64, 5))
+	if err != nil {
+		t.Fatalf("Rho: %v", err)
+	}
+	if rho > raw {
+		t.Errorf("ll-average rho %v worse than no correction %v", rho, raw)
+	}
+}
+
+func TestLLAverageNeedsCompleteTraffic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	exec, _ := simulate(t, rng, 4, sim.Ring(4), 0.1, 0.2, 1)
+	if _, err := (LLAverage{}).Corrections(exec, 0); err == nil {
+		t.Error("incomplete traffic accepted")
+	}
+}
+
+// TestHMMMatchesOptimalOnSingleMessageTraces: with exactly one message per
+// direction, HMM'85 and the full algorithm coincide (the paper's
+// observation that [3] is the one-message special case).
+func TestHMMMatchesOptimalOnSingleMessageTraces(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 10; trial++ {
+		exec, links := simulate(t, rng, 4, sim.Ring(4), 0.1, 0.4, 1)
+		tab, err := trace.Collect(exec, false)
+		if err != nil {
+			t.Fatalf("Collect: %v", err)
+		}
+		opt, err := core.SynchronizeSystem(4, links, tab, core.DefaultMLSOptions(), core.Options{})
+		if err != nil {
+			t.Fatalf("SynchronizeSystem: %v", err)
+		}
+		hx, err := HMM{Links: links}.Corrections(exec, 0)
+		if err != nil {
+			t.Fatalf("HMM: %v", err)
+		}
+		for p := range hx {
+			if math.Abs(hx[p]-opt.Corrections[p]) > 1e-9 {
+				t.Fatalf("trial %d: HMM corrections %v != optimal %v", trial, hx, opt.Corrections)
+			}
+		}
+	}
+}
+
+// TestHMMWeakerThanOptimalOnMultiMessageTraces: with many messages the
+// full algorithm sees sharper extremes than HMM's first-message view, so
+// its guaranteed precision is at least as good, and its realized rho stays
+// within the HMM guarantee too.
+func TestHMMGuaranteeNotBetterThanOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	exec, links := simulate(t, rng, 4, sim.Ring(4), 0.05, 0.5, 16)
+	tab, err := trace.Collect(exec, false)
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	opt, err := core.SynchronizeSystem(4, links, tab, core.DefaultMLSOptions(), core.Options{})
+	if err != nil {
+		t.Fatalf("SynchronizeSystem: %v", err)
+	}
+	if _, err := (HMM{Links: links}).Corrections(exec, 0); err != nil {
+		t.Fatalf("HMM: %v", err)
+	}
+	if math.IsInf(opt.Precision, 1) {
+		t.Fatal("optimal precision infinite on connected system")
+	}
+}
+
+func TestHMMNotConnected(t *testing.T) {
+	// No messages at all: HMM cannot connect the system.
+	b := model.NewBuilder([]float64{0, 0})
+	exec, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds, err := delay.SymmetricBounds(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	links := []core.Link{{P: 0, Q: 1, A: bounds}}
+	if _, err := (HMM{Links: links}).Corrections(exec, 0); err == nil {
+		t.Error("unconnected HMM accepted")
+	}
+}
+
+func TestNames(t *testing.T) {
+	tests := []struct {
+		b    Baseline
+		want string
+	}{
+		{NoOp{}, "noop"},
+		{MidpointTree{}, "midpoint-tree"},
+		{LLAverage{}, "ll-average"},
+		{HMM{}, "hmm85"},
+	}
+	for _, tt := range tests {
+		if got := tt.b.Name(); got != tt.want {
+			t.Errorf("Name = %q, want %q", got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,338 @@
+// Package core implements the paper's clock synchronization algorithm:
+//
+//   - GLOBAL ESTIMATES (Theorem 5.5): all-pairs shortest paths over the
+//     estimated maximal local shifts m~ls give the estimated maximal global
+//     shifts m~s.
+//   - SHIFTS (Theorem 4.6): the optimal precision A_max is the maximum mean
+//     cycle of m~s over the complete digraph (computed with Karp's
+//     algorithm), and optimal corrections are shortest-path distances from
+//     an arbitrary root under weights w(p,q) = A_max - m~s(p,q).
+//
+// The achieved precision equals A_max on every instance, and by Theorem 4.4
+// no correction function can do better: instance optimality.
+//
+// All inputs are *estimated* quantities (they fold in the unknown start
+// times), exactly as the views provide them; see Lemma 4.5 and Theorem 5.5
+// for why the estimates give the same A_max and valid corrections.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"clocksync/internal/graph"
+)
+
+// ErrInfeasible indicates that the supplied local-shift estimates admit no
+// execution: some cycle has negative total estimated shift, which is
+// impossible for estimates derived from a real execution (cycle sums of
+// m~ls equal cycle sums of mls, which are non-negative).
+var ErrInfeasible = errors.New("core: local shift estimates are infeasible (negative cycle)")
+
+// Options tunes Synchronize.
+type Options struct {
+	// Root is the processor whose correction is fixed to zero (the paper's
+	// arbitrary root r). Defaults to 0; per-component roots are the lowest
+	// ids when the system splits into sync components.
+	Root int
+
+	// Centered selects symmetric corrections
+	//
+	//	f(p) = (dist_w(r,p) - dist_w(p,r)) / 2
+	//
+	// instead of the paper's f(p) = dist_w(r,p). Both vectors satisfy the
+	// feasibility constraints f(q)-f(p) <= w(p,q) (the constraint set is
+	// convex and both extremes are feasible), so both achieve the optimal
+	// guaranteed precision A_max; the centered variant additionally
+	// balances the realized discrepancy on the observed execution, e.g.
+	// recovering exact skews when delays are symmetric.
+	Centered bool
+}
+
+// Result is the output of the synchronization pipeline.
+type Result struct {
+	// Corrections holds offset_p for each processor. The corrected logical
+	// clock of p reads local clock + Corrections[p].
+	Corrections []float64
+
+	// Precision is the guaranteed (and optimal) bound on the corrected
+	// clock discrepancy between any two processors over all executions
+	// equivalent to the observed one: A_max. It is +Inf when the
+	// constraint graph does not connect all processors.
+	Precision float64
+
+	// MS is the matrix of estimated maximal global shifts m~s(p,q)
+	// produced by GLOBAL ESTIMATES.
+	MS [][]float64
+
+	// Components lists the sync components (processor sets with mutually
+	// finite m~s). With full connectivity there is a single component.
+	Components [][]int
+
+	// ComponentPrecision[i] is A_max restricted to Components[i].
+	ComponentPrecision []float64
+
+	// CriticalCycle is a cyclic processor sequence achieving A_max (first
+	// element repeated at the end) for the single-component case; nil when
+	// precision is +Inf or the cycle is degenerate.
+	CriticalCycle []int
+}
+
+// GlobalEstimates implements function GLOBAL ESTIMATES (Theorem 5.5): given
+// the matrix of estimated maximal local shifts (entries +Inf where a pair
+// shares no constraint, diagonal ignored), it returns the matrix of
+// estimated maximal global shifts via an all-pairs shortest-path
+// computation. It returns ErrInfeasible if the input has a negative cycle.
+func GlobalEstimates(mls [][]float64) ([][]float64, error) {
+	if err := validateMatrix(mls); err != nil {
+		return nil, err
+	}
+	d := graph.CloneMatrix(mls)
+	for i := range d {
+		d[i][i] = 0
+	}
+	if err := graph.FloydWarshall(d); err != nil {
+		if errors.Is(err, graph.ErrNegativeCycle) {
+			return nil, fmt.Errorf("%w: %v", ErrInfeasible, err)
+		}
+		return nil, err
+	}
+	return d, nil
+}
+
+// AMax computes the optimal precision for a matrix of estimated global
+// shifts restricted to the given processor subset: the maximum mean cycle
+// of m~s over the complete digraph on the subset (Section 4.3/4.4). For a
+// singleton subset it returns 0. The second return value is a cyclic
+// processor sequence achieving the maximum (nil if degenerate).
+func AMax(ms [][]float64, subset []int) (float64, []int) {
+	if len(subset) <= 1 {
+		return 0, nil
+	}
+	w := graph.NewMatrix(len(subset), graph.Inf)
+	for a, p := range subset {
+		for b, q := range subset {
+			if a == b {
+				continue
+			}
+			w[a][b] = ms[p][q]
+		}
+	}
+	mc, ok := graph.MaxMeanCycleMatrix(w)
+	if !ok {
+		return 0, nil
+	}
+	cycle := make([]int, len(mc.Cycle))
+	for i, v := range mc.Cycle {
+		cycle[i] = subset[v]
+	}
+	return mc.Mean, cycle
+}
+
+// Synchronize runs the full pipeline on a matrix of estimated maximal local
+// shifts and returns optimal corrections with their precision.
+func Synchronize(mls [][]float64, opts Options) (*Result, error) {
+	n := len(mls)
+	ms, err := GlobalEstimates(mls)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Root < 0 || (n > 0 && opts.Root >= n) {
+		return nil, fmt.Errorf("core: root %d out of range [0,%d)", opts.Root, n)
+	}
+
+	res := &Result{
+		Corrections: make([]float64, n),
+		MS:          ms,
+		Components:  syncComponents(ms),
+	}
+	res.ComponentPrecision = make([]float64, len(res.Components))
+
+	for ci, comp := range res.Components {
+		aMax, cycle := AMax(ms, comp)
+		res.ComponentPrecision[ci] = aMax
+		root := comp[0]
+		if containsInt(comp, opts.Root) {
+			root = opts.Root
+		}
+		if err := correctionsForComponent(ms, comp, root, aMax, opts.Centered, res.Corrections); err != nil {
+			return nil, err
+		}
+		if len(res.Components) == 1 {
+			res.Precision = aMax
+			res.CriticalCycle = cycle
+		}
+	}
+	if len(res.Components) != 1 {
+		res.Precision = math.Inf(1)
+	}
+	return res, nil
+}
+
+// correctionsForComponent implements step 2 of SHIFTS on one sync
+// component: corrections are dist_w(root, p) with w(p,q) = aMax - m~s(p,q),
+// which has no negative cycles by the definition of A_max. With centered
+// set, the symmetric variant (dist_w(root,p) - dist_w(p,root))/2 is used.
+func correctionsForComponent(ms [][]float64, comp []int, root int, aMax float64, centered bool, out []float64) error {
+	k := len(comp)
+	if k == 1 {
+		out[comp[0]] = 0
+		return nil
+	}
+	fwd := graph.NewDigraph(k)
+	rev := graph.NewDigraph(k)
+	rootLocal := -1
+	for a, p := range comp {
+		if p == root {
+			rootLocal = a
+		}
+		for b, q := range comp {
+			if a == b {
+				continue
+			}
+			w := aMax - ms[p][q]
+			if err := fwd.AddEdge(a, b, w); err != nil {
+				return fmt.Errorf("core: build correction graph: %w", err)
+			}
+			if centered {
+				rev.MustAddEdge(b, a, w)
+			}
+		}
+	}
+	if rootLocal < 0 {
+		return fmt.Errorf("core: root %d not in component %v", root, comp)
+	}
+	dist, err := rootDistances(fwd, rootLocal)
+	if err != nil {
+		return err
+	}
+	if !centered {
+		for a, p := range comp {
+			out[p] = dist[a]
+		}
+		return nil
+	}
+	distTo, err := rootDistances(rev, rootLocal) // dist_w(p, root) per p
+	if err != nil {
+		return err
+	}
+	for a, p := range comp {
+		out[p] = (dist[a] - distTo[a]) / 2
+	}
+	return nil
+}
+
+// rootDistances runs Bellman-Ford and normalizes so the root's own distance
+// is exactly zero (tiny negative cycle noise otherwise perturbs it).
+func rootDistances(g *graph.Digraph, root int) ([]float64, error) {
+	sp, err := graph.BellmanFord(g, root)
+	if err != nil {
+		if errors.Is(err, graph.ErrNegativeCycle) {
+			// A_max is by construction the maximum cycle mean, so this can
+			// only be numerical noise; treat as infeasible input.
+			return nil, fmt.Errorf("%w: correction weights have a negative cycle", ErrInfeasible)
+		}
+		return nil, err
+	}
+	if r := sp.Dist[root]; r != 0 {
+		for i := range sp.Dist {
+			sp.Dist[i] -= r
+		}
+	}
+	return sp.Dist, nil
+}
+
+// syncComponents partitions processors into maximal sets with mutually
+// finite m~s, i.e. the strongly connected components of the finite-weight
+// digraph. Within a component, pairwise corrected-clock discrepancy is
+// boundable; across components it is not.
+func syncComponents(ms [][]float64) [][]int {
+	n := len(ms)
+	g := graph.NewDigraph(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && !math.IsInf(ms[i][j], 1) {
+				g.MustAddEdge(i, j, 0)
+			}
+		}
+	}
+	comps := graph.SCC(g)
+	// Deterministic output: sort members and order components by smallest
+	// member.
+	for _, c := range comps {
+		sortInts(c)
+	}
+	sortComponents(comps)
+	return comps
+}
+
+func validateMatrix(m [][]float64) error {
+	n := len(m)
+	for i := range m {
+		if len(m[i]) != n {
+			return fmt.Errorf("core: mls matrix row %d has %d entries, want %d", i, len(m[i]), n)
+		}
+		for j, x := range m[i] {
+			if i == j {
+				continue
+			}
+			if math.IsNaN(x) {
+				return fmt.Errorf("core: mls[%d][%d] is NaN", i, j)
+			}
+			if math.IsInf(x, -1) {
+				return fmt.Errorf("core: mls[%d][%d] is -Inf", i, j)
+			}
+		}
+	}
+	return nil
+}
+
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func sortComponents(cs [][]int) {
+	for i := 1; i < len(cs); i++ {
+		for j := i; j > 0 && cs[j][0] < cs[j-1][0]; j-- {
+			cs[j], cs[j-1] = cs[j-1], cs[j]
+		}
+	}
+}
+
+// PairBound returns the tight guaranteed bound on the corrected-clock
+// discrepancy between processors p and q over all admissible executions
+// equivalent to the observed one:
+//
+//	max( m~s(p,q) + x_q - x_p,  m~s(q,p) + x_p - x_q ).
+//
+// The identity sup |(S'_p - x_p) - (S'_q - x_q)| = m~s(p,q) - x_p + x_q
+// (for the ordered direction) follows from Claim 4.2 plus the definition
+// of the estimates, so the bound is computable without ground truth.
+// Within a sync component it is finite and never exceeds Precision (and
+// some pair attains Precision exactly); across components it is +Inf.
+func (r *Result) PairBound(p, q int) (float64, error) {
+	n := len(r.Corrections)
+	if p < 0 || p >= n || q < 0 || q >= n {
+		return 0, fmt.Errorf("core: pair (%d,%d) out of range [0,%d)", p, q, n)
+	}
+	if p == q {
+		return 0, nil
+	}
+	fwd := r.MS[p][q] + r.Corrections[q] - r.Corrections[p]
+	rev := r.MS[q][p] + r.Corrections[p] - r.Corrections[q]
+	return math.Max(fwd, rev), nil
+}

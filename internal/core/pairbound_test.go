@@ -1,0 +1,110 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPairBoundBasics(t *testing.T) {
+	// 4-ring with uniform local shifts of 1 each direction: A_max = 2
+	// (antipodal pairs), adjacent pair bound = 1.
+	mls := matrix(
+		[]float64{0, 1, inf, 1},
+		[]float64{1, 0, 1, inf},
+		[]float64{inf, 1, 0, 1},
+		[]float64{1, inf, 1, 0},
+	)
+	res, err := Synchronize(mls, Options{Centered: true})
+	if err != nil {
+		t.Fatalf("Synchronize: %v", err)
+	}
+	if res.Precision != 2 {
+		t.Fatalf("Precision = %v, want 2", res.Precision)
+	}
+
+	adj, err := res.PairBound(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(adj-1) > 1e-9 {
+		t.Errorf("adjacent PairBound = %v, want 1", adj)
+	}
+	anti, err := res.PairBound(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(anti-2) > 1e-9 {
+		t.Errorf("antipodal PairBound = %v, want 2", anti)
+	}
+	self, err := res.PairBound(3, 3)
+	if err != nil || self != 0 {
+		t.Errorf("self PairBound = %v, %v", self, err)
+	}
+	if _, err := res.PairBound(0, 9); err == nil {
+		t.Error("out-of-range pair accepted")
+	}
+}
+
+// TestPairBoundMaxEqualsPrecision: the worst pair bound is exactly A_max,
+// and every pair bound is nonnegative and within the component precision.
+func TestPairBoundMaxEqualsPrecision(t *testing.T) {
+	mls := matrix(
+		[]float64{0, 0.5, 3, inf},
+		[]float64{2, 0, 1, 0.25},
+		[]float64{1, 1, 0, 2},
+		[]float64{inf, 4, 0.5, 0},
+	)
+	for _, centered := range []bool{false, true} {
+		res, err := Synchronize(mls, Options{Centered: centered})
+		if err != nil {
+			t.Fatalf("Synchronize: %v", err)
+		}
+		worst := 0.0
+		for p := 0; p < 4; p++ {
+			for q := p + 1; q < 4; q++ {
+				b, err := res.PairBound(p, q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if b < -1e-9 {
+					t.Errorf("PairBound(%d,%d) = %v negative", p, q, b)
+				}
+				if b > res.Precision+1e-9 {
+					t.Errorf("PairBound(%d,%d) = %v exceeds precision %v", p, q, b, res.Precision)
+				}
+				worst = math.Max(worst, b)
+			}
+		}
+		if math.Abs(worst-res.Precision) > 1e-9 {
+			t.Errorf("centered=%v: max pair bound %v != precision %v", centered, worst, res.Precision)
+		}
+	}
+}
+
+// TestPairBoundAcrossComponents: pairs in different components are
+// unbounded.
+func TestPairBoundAcrossComponents(t *testing.T) {
+	mls := matrix(
+		[]float64{0, 1, inf},
+		[]float64{1, 0, inf},
+		[]float64{inf, inf, 0},
+	)
+	res, err := Synchronize(mls, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := res.PairBound(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(b, 1) {
+		t.Errorf("cross-component PairBound = %v, want +Inf", b)
+	}
+	in, err := res.PairBound(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in != 1 {
+		t.Errorf("in-component PairBound = %v, want 1", in)
+	}
+}

@@ -1,0 +1,32 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"clocksync/internal/delay"
+	"clocksync/internal/trace"
+)
+
+// ApplyPairedBias folds the exact paired-bias local shifts (Section 6.2's
+// "messages sent around the same time" generalization) for one link into
+// an mls matrix, intersecting with whatever constraints are already there
+// (Theorem 5.6). The pairs must be estimated delays in the canonical
+// orientation of key (PQ = key.P -> key.Q).
+func ApplyPairedBias(mls [][]float64, key trace.LinkKey, pb delay.PairedBias, pairs []trace.EstPair) error {
+	n := len(mls)
+	if int(key.P) < 0 || int(key.Q) >= n || key.P == key.Q {
+		return fmt.Errorf("core: paired-bias link (p%d,p%d) out of range [0,%d)", key.P, key.Q, n)
+	}
+	dps := make([]delay.DelayPair, len(pairs))
+	for i, p := range pairs {
+		dps[i] = delay.DelayPair{PQ: p.PQ, QP: p.QP}
+	}
+	mlsPQ, mlsQP := pb.MLSPairs(dps)
+	if math.IsNaN(mlsPQ) || math.IsNaN(mlsQP) {
+		return fmt.Errorf("core: paired bias on (p%d,p%d) produced NaN", key.P, key.Q)
+	}
+	mls[key.P][key.Q] = math.Min(mls[key.P][key.Q], mlsPQ)
+	mls[key.Q][key.P] = math.Min(mls[key.Q][key.P], mlsQP)
+	return nil
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"clocksync/internal/delay"
+	"clocksync/internal/graph"
+	"clocksync/internal/model"
+	"clocksync/internal/trace"
+)
+
+// Link binds a delay assumption to an unordered processor pair. The
+// assumption's PQ direction is P -> Q. Multiple links may cover the same
+// pair; their assumptions combine by Theorem 5.6 (pointwise minimum of
+// local shifts).
+type Link struct {
+	P, Q model.ProcID
+	A    delay.Assumption
+}
+
+// Validate checks the link's endpoints and assumption.
+func (l Link) Validate(n int) error {
+	if int(l.P) < 0 || int(l.P) >= n || int(l.Q) < 0 || int(l.Q) >= n {
+		return fmt.Errorf("core: link (p%d,p%d) endpoint out of range [0,%d)", l.P, l.Q, n)
+	}
+	if l.P == l.Q {
+		return fmt.Errorf("core: link (p%d,p%d) is a self loop", l.P, l.Q)
+	}
+	if l.A == nil {
+		return fmt.Errorf("core: link (p%d,p%d) has nil assumption", l.P, l.Q)
+	}
+	return nil
+}
+
+// MLSOptions tunes MLSMatrix.
+type MLSOptions struct {
+	// AssumeNonnegative applies the no-bounds assumption (delays >= 0,
+	// Corollary 6.4) to every directed pair with observed traffic, whether
+	// or not an explicit link covers it. This is the physically safe
+	// default: real message delays are never negative, so the extra
+	// constraint is always sound and never loosens precision.
+	AssumeNonnegative bool
+}
+
+// DefaultMLSOptions returns the recommended options.
+func DefaultMLSOptions() MLSOptions { return MLSOptions{AssumeNonnegative: true} }
+
+// MLSMatrix computes the matrix of estimated maximal local shifts for an
+// n-processor system from per-link assumptions and a table of observed
+// estimated-delay statistics. Entries without any applicable constraint are
+// +Inf.
+func MLSMatrix(n int, links []Link, tab *trace.Table, opts MLSOptions) ([][]float64, error) {
+	if tab != nil && tab.N() != n {
+		return nil, fmt.Errorf("core: trace table covers %d processors, want %d", tab.N(), n)
+	}
+	mls := graph.NewMatrix(n, graph.Inf)
+	for i := 0; i < n; i++ {
+		mls[i][i] = 0
+	}
+	empty := trace.NewDirStats()
+	statsOf := func(p, q model.ProcID) trace.DirStats {
+		if tab == nil {
+			return empty
+		}
+		return tab.Stats(p, q)
+	}
+
+	for _, l := range links {
+		if err := l.Validate(n); err != nil {
+			return nil, err
+		}
+		pq := statsOf(l.P, l.Q)
+		qp := statsOf(l.Q, l.P)
+		mlsPQ, mlsQP := l.A.MLS(pq, qp)
+		if math.IsNaN(mlsPQ) || math.IsNaN(mlsQP) {
+			return nil, fmt.Errorf("core: assumption %v on (p%d,p%d) produced NaN local shift", l.A, l.P, l.Q)
+		}
+		// Theorem 5.6: multiple assumptions on a pair intersect.
+		mls[l.P][l.Q] = math.Min(mls[l.P][l.Q], mlsPQ)
+		mls[l.Q][l.P] = math.Min(mls[l.Q][l.P], mlsQP)
+	}
+
+	if opts.AssumeNonnegative && tab != nil {
+		nb := delay.NoBounds()
+		tab.Pairs(func(p, q model.ProcID, pq, qp trace.DirStats) {
+			mlsPQ, mlsQP := nb.MLS(pq, qp)
+			mls[p][q] = math.Min(mls[p][q], mlsPQ)
+			mls[q][p] = math.Min(mls[q][p], mlsQP)
+		})
+	}
+	return mls, nil
+}
+
+// SynchronizeSystem is the end-to-end entry point: reduce the trace to
+// local shifts under the system's assumptions, then run GLOBAL ESTIMATES
+// and SHIFTS.
+func SynchronizeSystem(n int, links []Link, tab *trace.Table, mopts MLSOptions, opts Options) (*Result, error) {
+	mls, err := MLSMatrix(n, links, tab, mopts)
+	if err != nil {
+		return nil, err
+	}
+	return Synchronize(mls, opts)
+}
+
+// Rho evaluates the realized discrepancy rho(alpha, x) of Definition 2.1
+// for corrections x in an execution with start times starts:
+// max over pairs of |(S_p - x_p) - (S_q - x_q)|. This is the quantity the
+// precision bound promises to dominate; only a simulator or test harness
+// (which knows the true starts) can evaluate it.
+func Rho(starts, corrections []float64) (float64, error) {
+	if len(starts) != len(corrections) {
+		return 0, fmt.Errorf("core: %d starts vs %d corrections", len(starts), len(corrections))
+	}
+	worst := 0.0
+	for p := range starts {
+		for q := p + 1; q < len(starts); q++ {
+			d := math.Abs((starts[p] - corrections[p]) - (starts[q] - corrections[q]))
+			if d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst, nil
+}

@@ -1,0 +1,85 @@
+package delay
+
+import (
+	"math/rand"
+	"testing"
+
+	"clocksync/internal/trace"
+)
+
+func benchStats(rng *rand.Rand) (trace.DirStats, trace.DirStats) {
+	pq, qp := trace.NewDirStats(), trace.NewDirStats()
+	for i := 0; i < 8; i++ {
+		pq.Add(0.1 + rng.Float64())
+		qp.Add(0.1 + rng.Float64())
+	}
+	return pq, qp
+}
+
+func BenchmarkBoundsMLS(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pq, qp := benchStats(rng)
+	a := Bounds{PQ: Range{0.1, 1.2}, QP: Range{0.1, 1.2}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a.MLS(pq, qp)
+	}
+}
+
+func BenchmarkBiasMLS(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pq, qp := benchStats(rng)
+	a := RTTBias{B: 0.5}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a.MLS(pq, qp)
+	}
+}
+
+func BenchmarkIntersectMLS(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pq, qp := benchStats(rng)
+	a := Intersect{Parts: []Assumption{
+		Bounds{PQ: Range{0.1, 1.2}, QP: Range{0.1, 1.2}},
+		RTTBias{B: 0.5},
+		NoBounds(),
+	}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a.MLS(pq, qp)
+	}
+}
+
+func BenchmarkPairedBiasMLSPairs(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pairs := make([]DelayPair, 64)
+	for i := range pairs {
+		base := rng.Float64()
+		pairs[i] = DelayPair{PQ: base + rng.Float64()*0.01, QP: base + rng.Float64()*0.01}
+	}
+	pb := PairedBias{B: 0.01}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pb.MLSPairs(pairs)
+	}
+}
+
+func BenchmarkAdmits(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pq := make([]float64, 64)
+	qp := make([]float64, 64)
+	for i := range pq {
+		pq[i] = 0.2 + 0.1*rng.Float64()
+		qp[i] = 0.2 + 0.1*rng.Float64()
+	}
+	a := Intersect{Parts: []Assumption{
+		Bounds{PQ: Range{0.1, 0.4}, QP: Range{0.1, 0.4}},
+		RTTBias{B: 0.2},
+	}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !a.Admits(pq, qp) {
+			b.Fatal("inadmissible")
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package delay
+
+import (
+	"fmt"
+	"math"
+
+	"clocksync/internal/trace"
+)
+
+// DelayPair is one request/response exchange on a link: the estimated (or
+// actual) delays of a p->q message and of the q->p message paired with it.
+type DelayPair struct {
+	PQ float64 // request delay, p -> q
+	QP float64 // response delay, q -> p
+}
+
+// PairedBias is the generalization Section 6.2 sketches: the round-trip
+// bias bound holds only between messages "sent around the same time",
+// here made concrete as explicit request/response pairs (exactly how
+// NTP/Cristian-style probing samples a link). For every pair,
+// |d(response) - d(request)| <= B; unpaired messages are unconstrained.
+//
+// Shifting q earlier by s turns a pair (d1, d2) into (d1-s, d2+s), so the
+// admissible shifts are
+//
+//	-(B + d2 - d1)/2  <=  s  <=  (B + d1 - d2)/2     for every pair,
+//
+// giving mls(p,q) = min over pairs of (B + d~1 - d~2)/2 (MLSPairs). The
+// DirStats-based MLS method cannot see the pairing and returns the sound
+// conservative relaxation (max d~1 - min d~2), which never understates
+// the admissible shifts: precision claims stay valid, just not tight.
+// Feed MLSPairs results for the exact optimum.
+type PairedBias struct {
+	B float64
+}
+
+var _ Assumption = PairedBias{}
+
+// NewPairedBias validates and returns a PairedBias assumption.
+func NewPairedBias(b float64) (PairedBias, error) {
+	if math.IsNaN(b) || b < 0 {
+		return PairedBias{}, fmt.Errorf("delay: paired bias bound %g must be non-negative", b)
+	}
+	if math.IsInf(b, 1) {
+		return PairedBias{}, fmt.Errorf("delay: paired bias bound must be finite")
+	}
+	return PairedBias{B: b}, nil
+}
+
+// MLSPairs computes the exact maximal local shifts from the link's
+// request/response pairs (estimated delays; the skew terms fold through
+// exactly as in Corollary 6.6).
+func (pb PairedBias) MLSPairs(pairs []DelayPair) (mlsPQ, mlsQP float64) {
+	mlsPQ, mlsQP = math.Inf(1), math.Inf(1)
+	for _, p := range pairs {
+		mlsPQ = math.Min(mlsPQ, (pb.B+p.PQ-p.QP)/2)
+		mlsQP = math.Min(mlsQP, (pb.B+p.QP-p.PQ)/2)
+	}
+	return mlsPQ, mlsQP
+}
+
+// AdmitsPairs reports whether every pair satisfies the bias bound.
+func (pb PairedBias) AdmitsPairs(pairs []DelayPair) bool {
+	for _, p := range pairs {
+		if math.Abs(p.PQ-p.QP) > pb.B {
+			return false
+		}
+	}
+	return true
+}
+
+// MLS returns the sound conservative relaxation computable from extremal
+// statistics alone: the loosest conceivable pairing. Never smaller than
+// the exact MLSPairs value.
+func (pb PairedBias) MLS(pq, qp trace.DirStats) (float64, float64) {
+	if pq.Empty() || qp.Empty() {
+		return math.Inf(1), math.Inf(1)
+	}
+	return (pb.B + pq.Max - qp.Min) / 2, (pb.B + qp.Max - pq.Min) / 2
+}
+
+// Admits pairs the raw delay slices by index (the collection order of
+// request/response exchanges) and checks each pair; unmatched trailing
+// messages are unconstrained.
+func (pb PairedBias) Admits(pq, qp []float64) bool {
+	n := len(pq)
+	if len(qp) < n {
+		n = len(qp)
+	}
+	for i := 0; i < n; i++ {
+		if math.Abs(pq[i]-qp[i]) > pb.B {
+			return false
+		}
+	}
+	return true
+}
+
+func (pb PairedBias) String() string { return fmt.Sprintf("pairedBias(%g)", pb.B) }

@@ -1,0 +1,182 @@
+package delay
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewPairedBiasValidate(t *testing.T) {
+	if _, err := NewPairedBias(-1); err == nil {
+		t.Error("negative bound accepted")
+	}
+	if _, err := NewPairedBias(math.Inf(1)); err == nil {
+		t.Error("infinite bound accepted")
+	}
+	if _, err := NewPairedBias(0.5); err != nil {
+		t.Errorf("valid bound rejected: %v", err)
+	}
+}
+
+func TestPairedBiasMLSPairsTable(t *testing.T) {
+	pb := PairedBias{B: 1}
+	tests := []struct {
+		name   string
+		pairs  []DelayPair
+		wantPQ float64
+		wantQP float64
+	}{
+		{
+			name:   "no pairs unconstrained",
+			wantPQ: inf, wantQP: inf,
+		},
+		{
+			name:   "single symmetric pair",
+			pairs:  []DelayPair{{PQ: 3, QP: 3}},
+			wantPQ: 0.5, wantQP: 0.5,
+		},
+		{
+			name:   "asymmetric pair",
+			pairs:  []DelayPair{{PQ: 5, QP: 2}},
+			wantPQ: 2, wantQP: -1,
+		},
+		{
+			name: "min over pairs",
+			pairs: []DelayPair{
+				{PQ: 3, QP: 3},   // (1+0)/2 = 0.5 both
+				{PQ: 2, QP: 2.8}, // PQ: (1-0.8)/2 = 0.1; QP: (1+0.8)/2 = 0.9
+			},
+			wantPQ: 0.1, wantQP: 0.5,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			gotPQ, gotQP := pb.MLSPairs(tt.pairs)
+			if math.Abs(gotPQ-tt.wantPQ) > 1e-12 && !(math.IsInf(gotPQ, 1) && math.IsInf(tt.wantPQ, 1)) {
+				t.Errorf("mlsPQ = %v, want %v", gotPQ, tt.wantPQ)
+			}
+			if math.Abs(gotQP-tt.wantQP) > 1e-12 && !(math.IsInf(gotQP, 1) && math.IsInf(tt.wantQP, 1)) {
+				t.Errorf("mlsQP = %v, want %v", gotQP, tt.wantQP)
+			}
+		})
+	}
+}
+
+func TestPairedBiasAdmitsPairs(t *testing.T) {
+	pb := PairedBias{B: 0.5}
+	if !pb.AdmitsPairs(nil) {
+		t.Error("empty pairs rejected")
+	}
+	if !pb.AdmitsPairs([]DelayPair{{PQ: 1, QP: 1.5}}) {
+		t.Error("boundary pair rejected")
+	}
+	if pb.AdmitsPairs([]DelayPair{{PQ: 1, QP: 1.6}}) {
+		t.Error("violating pair accepted")
+	}
+}
+
+// shiftPairs applies the local shift s of q w.r.t. p to every pair.
+func shiftPairs(pairs []DelayPair, s float64) []DelayPair {
+	out := make([]DelayPair, len(pairs))
+	for i, p := range pairs {
+		out[i] = DelayPair{PQ: p.PQ - s, QP: p.QP + s}
+	}
+	return out
+}
+
+// TestPairedMLSMatchesShiftSearch ties MLSPairs to AdmitsPairs by
+// bisection, like the Lemma 6.2/6.5 property tests.
+func TestPairedMLSMatchesShiftSearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		b := 0.1 + rng.Float64()
+		pb := PairedBias{B: b}
+		var pairs []DelayPair
+		for i := 0; i < 1+rng.Intn(5); i++ {
+			base := rng.Float64() * 3 // load varies freely across pairs
+			d1 := base + rng.Float64()*b/2
+			d2 := base + rng.Float64()*b/2
+			pairs = append(pairs, DelayPair{PQ: d1, QP: d2})
+		}
+		if !pb.AdmitsPairs(pairs) {
+			t.Fatalf("trial %d: construction not admissible", trial)
+		}
+		want := searchSup(func(s float64) bool { return pb.AdmitsPairs(shiftPairs(pairs, s)) })
+		got, _ := pb.MLSPairs(pairs)
+		if math.Abs(got-want) > 1e-6 {
+			t.Fatalf("trial %d: MLSPairs = %v, search = %v (pairs %v)", trial, got, want, pairs)
+		}
+	}
+}
+
+// searchSup bisects for sup{s >= ...}: assumes an interval of admissible
+// shifts containing 0.
+func searchSup(ok func(float64) bool) float64 {
+	if !ok(0) {
+		return math.NaN()
+	}
+	hi := 1.0
+	for ok(hi) {
+		hi *= 2
+		if hi > 1e12 {
+			return math.Inf(1)
+		}
+	}
+	lo := 0.0
+	for i := 0; i < 80; i++ {
+		mid := (lo + hi) / 2
+		if ok(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// TestPairedConservativeMLSDominates: the DirStats-based relaxation never
+// understates the exact paired value (soundness of the fallback).
+func TestPairedConservativeMLSDominates(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		pb := PairedBias{B: rng.Float64()}
+		var pairs []DelayPair
+		pqStats, qpStats := stats(), stats()
+		for i := 0; i < 1+rng.Intn(5); i++ {
+			p := DelayPair{PQ: rng.Float64() * 2, QP: rng.Float64() * 2}
+			pairs = append(pairs, p)
+			pqStats.Add(p.PQ)
+			qpStats.Add(p.QP)
+		}
+		exactPQ, exactQP := pb.MLSPairs(pairs)
+		consPQ, consQP := pb.MLS(pqStats, qpStats)
+		if consPQ < exactPQ-1e-12 || consQP < exactQP-1e-12 {
+			t.Fatalf("trial %d: conservative (%v,%v) understates exact (%v,%v)",
+				trial, consPQ, consQP, exactPQ, exactQP)
+		}
+	}
+}
+
+func TestPairedBiasAdmitsByIndex(t *testing.T) {
+	pb := PairedBias{B: 0.1}
+	// Indexwise close, crosswise far: paired admits, unpaired would not.
+	pq := []float64{1.0, 2.0}
+	qp := []float64{1.05, 2.05}
+	if !pb.Admits(pq, qp) {
+		t.Error("index-paired delays rejected")
+	}
+	unpaired := RTTBias{B: 0.1}
+	if unpaired.Admits(pq, qp) {
+		t.Error("cross-pair violation not caught by the unpaired model")
+	}
+	// Trailing unmatched messages are unconstrained.
+	if !pb.Admits([]float64{1, 99}, []float64{1.05}) {
+		t.Error("trailing message constrained")
+	}
+}
+
+func TestPairedBiasString(t *testing.T) {
+	if got := (PairedBias{B: 0.25}).String(); got != "pairedBias(0.25)" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,472 @@
+// Package dist implements the distributed clock synchronization protocol
+// sketched in Section 7 of the paper: a straightforward leader-based
+// realization of the (otherwise centralized) correction computation.
+//
+// Phases, per processor, on its own clock:
+//
+//  1. Measure  [Warmup, Warmup+Window): burst-exchange Probes timestamped
+//     probe messages with every neighbor.
+//  2. Report   at clock Warmup+Window: summarize the *incoming* estimated
+//     delays of every incident link (Lemma 6.1: d~ = receive clock - the
+//     sender clock carried in the probe) and flood the summary.
+//  3. Compute  at the leader, once all n reports are in: assemble the
+//     global statistics table, run GLOBAL ESTIMATES + SHIFTS, and flood
+//     the corrections.
+//  4. Apply    each processor picks its correction out of the result
+//     flood.
+//
+// Per the paper's own caveat, the result is optimal with respect to the
+// measurement traffic only: the report and result floods themselves carry
+// timing information the corrections do not exploit. The package exists
+// to demonstrate the end-to-end distributed flow and to quantify that
+// caveat (experiment D-class); the centralized API remains the primary
+// interface.
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"clocksync/internal/core"
+	"clocksync/internal/model"
+	"clocksync/internal/sim"
+	"clocksync/internal/trace"
+)
+
+// Config parameterizes the protocol.
+type Config struct {
+	// Leader collects reports and computes corrections.
+	Leader model.ProcID
+	// Links carries the per-link delay assumptions (global configuration
+	// knowledge, as in any deployed system).
+	Links []core.Link
+	// Probes is the number of measurement messages per link direction.
+	Probes int
+	// Spacing separates consecutive probes in clock time.
+	Spacing float64
+	// Warmup is the clock time of the first probe; it must exceed the
+	// maximum start skew so no probe can arrive before its receiver
+	// starts.
+	Warmup float64
+	// Window is the measurement duration: reports are sent at clock
+	// Warmup+Window. Probes arriving later are ignored.
+	Window float64
+	// Centered selects centered corrections at the leader.
+	Centered bool
+}
+
+func (c Config) validate(n int) error {
+	if int(c.Leader) < 0 || int(c.Leader) >= n {
+		return fmt.Errorf("dist: leader p%d out of range [0,%d)", c.Leader, n)
+	}
+	if c.Probes < 1 {
+		return fmt.Errorf("dist: probes = %d, want >= 1", c.Probes)
+	}
+	if c.Window <= 0 {
+		return fmt.Errorf("dist: window = %v, want > 0", c.Window)
+	}
+	if c.Spacing < 0 || c.Warmup < 0 {
+		return fmt.Errorf("dist: negative spacing/warmup")
+	}
+	return nil
+}
+
+// Message payloads. In-process they travel as typed values; all three are
+// plain data and JSON-serializable for a wire transport.
+
+// Probe is a measurement message carrying the sender's clock.
+type Probe struct {
+	SendClock float64 `json:"sendClock"`
+}
+
+// DirReport is the incoming-direction summary of one link, as observed by
+// the reporting processor: statistics of estimated delays From -> To
+// (To is always the reporter).
+type DirReport struct {
+	From  model.ProcID   `json:"from"`
+	To    model.ProcID   `json:"to"`
+	Stats trace.DirStats `json:"stats"`
+}
+
+// Report is one processor's flooded link summary.
+type Report struct {
+	Origin model.ProcID `json:"origin"`
+	Links  []DirReport  `json:"links"`
+}
+
+// ResultMsg is the leader's flooded outcome.
+type ResultMsg struct {
+	Corrections []float64 `json:"corrections"`
+	Precision   float64   `json:"precision"`
+}
+
+// Outcome is the protocol's terminal state, shared by all processor
+// instances of one run (the engine is single-threaded, so no locking is
+// needed).
+type Outcome struct {
+	// Corrections[p] is the correction processor p received; valid when
+	// Applied[p].
+	Corrections []float64
+	// Applied[p] reports whether p received the result flood.
+	Applied []bool
+	// Precision is the leader's computed optimal precision.
+	Precision float64
+	// LeaderTable is the statistics table the leader assembled (useful
+	// for comparing against a centralized computation on the same data).
+	LeaderTable *trace.Table
+	// Err records a leader-side computation failure.
+	Err error
+	// ReportsSeen counts distinct report origins received by the leader.
+	ReportsSeen int
+}
+
+// NewFactory returns a protocol factory implementing the leader protocol
+// and the shared Outcome it fills in.
+func NewFactory(n int, cfg Config) (sim.ProtocolFactory, *Outcome, error) {
+	if err := cfg.validate(n); err != nil {
+		return nil, nil, err
+	}
+	out := &Outcome{
+		Corrections: make([]float64, n),
+		Applied:     make([]bool, n),
+		Precision:   math.NaN(),
+	}
+	factory := func(p model.ProcID) sim.Protocol {
+		return &proc{
+			cfg:      cfg,
+			n:        n,
+			out:      out,
+			incoming: make(map[model.ProcID]trace.DirStats),
+			seen:     make(map[model.ProcID]bool),
+		}
+	}
+	return factory, out, nil
+}
+
+const (
+	timerProbe = iota + 1
+	timerReport
+)
+
+type proc struct {
+	cfg Config
+	n   int
+	out *Outcome
+
+	incoming  map[model.ProcID]trace.DirStats // per-neighbor incoming probe stats
+	reported  bool
+	seen      map[model.ProcID]bool // flood dedup by origin
+	resultSet bool                  // result flood dedup
+
+	// leader state
+	table   *trace.Table
+	reports int
+}
+
+var _ sim.Protocol = (*proc)(nil)
+
+func (pr *proc) isLeader(env *sim.Env) bool { return env.Self() == pr.cfg.Leader }
+
+// OnStart schedules the probe bursts and the report deadline.
+func (pr *proc) OnStart(env *sim.Env) {
+	for k := 0; k < pr.cfg.Probes; k++ {
+		if err := env.SetTimer(pr.cfg.Warmup+float64(k)*pr.cfg.Spacing, timerProbe); err != nil {
+			return
+		}
+	}
+	_ = env.SetTimer(pr.cfg.Warmup+pr.cfg.Window, timerReport)
+}
+
+// OnTimer sends a probe burst or emits the report.
+func (pr *proc) OnTimer(env *sim.Env, tag int) {
+	switch tag {
+	case timerProbe:
+		for _, q := range env.Neighbors() {
+			if err := env.Send(model.ProcID(q), Probe{SendClock: env.Clock()}); err != nil {
+				return
+			}
+		}
+	case timerReport:
+		pr.emitReport(env)
+	}
+}
+
+// OnReceive dispatches by payload type.
+func (pr *proc) OnReceive(env *sim.Env, from model.ProcID, payload any) {
+	switch msg := payload.(type) {
+	case Probe:
+		if pr.reported {
+			return // late probe: measurement window closed
+		}
+		st, ok := pr.incoming[from]
+		if !ok {
+			st = trace.NewDirStats()
+		}
+		st.Add(env.Clock() - msg.SendClock) // Lemma 6.1
+		pr.incoming[from] = st
+	case Report:
+		pr.handleReport(env, from, msg)
+	case ResultMsg:
+		pr.handleResult(env, from, msg)
+	}
+}
+
+// emitReport freezes the measurement stats and floods them.
+func (pr *proc) emitReport(env *sim.Env) {
+	if pr.reported {
+		return
+	}
+	pr.reported = true
+	rep := Report{Origin: env.Self()}
+	for q, st := range pr.incoming {
+		rep.Links = append(rep.Links, DirReport{From: q, To: env.Self(), Stats: st})
+	}
+	// Deterministic order for reproducibility of message sequences.
+	for i := 1; i < len(rep.Links); i++ {
+		for j := i; j > 0 && rep.Links[j].From < rep.Links[j-1].From; j-- {
+			rep.Links[j], rep.Links[j-1] = rep.Links[j-1], rep.Links[j]
+		}
+	}
+	pr.acceptReport(env, rep)
+	pr.flood(env, from(-1), rep)
+}
+
+// handleReport dedups, absorbs (leader) and forwards a flooded report.
+func (pr *proc) handleReport(env *sim.Env, via model.ProcID, rep Report) {
+	if pr.seen[rep.Origin] {
+		return
+	}
+	pr.acceptReport(env, rep)
+	pr.flood(env, via, rep)
+}
+
+// acceptReport marks the origin seen and, at the leader, merges the stats
+// and triggers the computation when complete.
+func (pr *proc) acceptReport(env *sim.Env, rep Report) {
+	pr.seen[rep.Origin] = true
+	if !pr.isLeader(env) {
+		return
+	}
+	if pr.table == nil {
+		pr.table = trace.NewTable(pr.n, false)
+	}
+	for _, dr := range rep.Links {
+		if dr.To != rep.Origin {
+			pr.fail(fmt.Errorf("dist: report from p%d claims stats for p%d", rep.Origin, dr.To))
+			return
+		}
+		if err := pr.table.MergeStats(dr.From, dr.To, dr.Stats); err != nil {
+			pr.fail(err)
+			return
+		}
+	}
+	pr.reports++
+	pr.out.ReportsSeen = pr.reports
+	if pr.reports == pr.n {
+		pr.compute(env)
+	}
+}
+
+// compute runs the centralized pipeline at the leader and floods the
+// result.
+func (pr *proc) compute(env *sim.Env) {
+	res, err := core.SynchronizeSystem(pr.n, pr.cfg.Links, pr.table, core.DefaultMLSOptions(),
+		core.Options{Root: int(pr.cfg.Leader), Centered: pr.cfg.Centered})
+	if err != nil {
+		pr.fail(err)
+		return
+	}
+	pr.out.LeaderTable = pr.table
+	pr.out.Precision = res.Precision
+	msg := ResultMsg{Corrections: res.Corrections, Precision: res.Precision}
+	pr.handleResult(env, from(-1), msg)
+}
+
+// handleResult applies and forwards the result flood.
+func (pr *proc) handleResult(env *sim.Env, via model.ProcID, msg ResultMsg) {
+	if pr.resultSet {
+		return
+	}
+	pr.resultSet = true
+	self := int(env.Self())
+	if self < len(msg.Corrections) {
+		pr.out.Corrections[self] = msg.Corrections[self]
+		pr.out.Applied[self] = true
+	}
+	pr.flood(env, via, msg)
+}
+
+// flood forwards a payload to every neighbor except the one it arrived
+// from (-1 for locally originated messages).
+func (pr *proc) flood(env *sim.Env, via model.ProcID, payload any) {
+	for _, q := range env.Neighbors() {
+		if model.ProcID(q) == via {
+			continue
+		}
+		if err := env.Send(model.ProcID(q), payload); err != nil {
+			return
+		}
+	}
+}
+
+func (pr *proc) fail(err error) {
+	if pr.out.Err == nil {
+		pr.out.Err = err
+	}
+}
+
+// from converts an int to a ProcID; from(-1) denotes "locally originated".
+func from(v int) model.ProcID { return model.ProcID(v) }
+
+// Run wires the protocol to a network and executes it to quiescence.
+func Run(net *sim.Network, cfg Config, runCfg sim.RunConfig) (*Outcome, *model.Execution, error) {
+	factory, out, err := NewFactory(net.N(), cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	exec, err := sim.Run(net, factory, runCfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	if out.Err != nil {
+		return out, exec, fmt.Errorf("dist: leader computation: %w", out.Err)
+	}
+	for p, ok := range out.Applied {
+		if !ok {
+			return out, exec, fmt.Errorf("dist: p%d never received the result flood", p)
+		}
+	}
+	return out, exec, nil
+}
+
+// GossipRun executes the decentralized variant: reports are flooded to
+// everyone (which the protocol already does) and EVERY processor computes
+// the corrections locally once it has all n reports — no leader, no
+// result flood. All processors compute on identical tables, so they agree
+// exactly; the returned Outcome carries the common result plus each
+// node's own view of it.
+func GossipRun(net *sim.Network, cfg Config, runCfg sim.RunConfig) (*Outcome, *model.Execution, error) {
+	n := net.N()
+	if err := cfg.validate(n); err != nil {
+		return nil, nil, err
+	}
+	out := &Outcome{
+		Corrections: make([]float64, n),
+		Applied:     make([]bool, n),
+		Precision:   math.NaN(),
+	}
+	perNode := make([][]float64, n)
+	factory := func(p model.ProcID) sim.Protocol {
+		return &gossipProc{
+			proc: proc{
+				cfg:      cfg,
+				n:        n,
+				out:      out,
+				incoming: make(map[model.ProcID]trace.DirStats),
+				seen:     make(map[model.ProcID]bool),
+			},
+			perNode: perNode,
+		}
+	}
+	exec, err := sim.Run(net, factory, runCfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	if out.Err != nil {
+		return out, exec, fmt.Errorf("dist: gossip computation: %w", out.Err)
+	}
+	for p := 0; p < n; p++ {
+		if perNode[p] == nil {
+			return out, exec, fmt.Errorf("dist: p%d never completed its local computation", p)
+		}
+		out.Corrections[p] = perNode[p][p]
+		out.Applied[p] = true
+		// Agreement check: every node's full vector must match node 0's.
+		for q := 0; q < n; q++ {
+			if perNode[p][q] != perNode[0][q] {
+				return out, exec, fmt.Errorf("dist: p%d disagrees with p0 on p%d's correction", p, q)
+			}
+		}
+	}
+	return out, exec, nil
+}
+
+// gossipProc runs the leaderless variant: every node acts like the leader
+// (collect + compute) but floods no result.
+type gossipProc struct {
+	proc
+	perNode [][]float64
+}
+
+var _ sim.Protocol = (*gossipProc)(nil)
+
+func (g *gossipProc) OnReceive(env *sim.Env, from model.ProcID, payload any) {
+	switch msg := payload.(type) {
+	case Probe:
+		g.proc.OnReceive(env, from, payload)
+	case Report:
+		if g.seen[msg.Origin] {
+			return
+		}
+		g.absorb(env, msg)
+		g.flood(env, from, msg)
+	}
+}
+
+func (g *gossipProc) OnTimer(env *sim.Env, tag int) {
+	if tag != timerReport {
+		g.proc.OnTimer(env, tag)
+		return
+	}
+	if g.reported {
+		return
+	}
+	g.reported = true
+	rep := Report{Origin: env.Self()}
+	for q, st := range g.incoming {
+		rep.Links = append(rep.Links, DirReport{From: q, To: env.Self(), Stats: st})
+	}
+	for i := 1; i < len(rep.Links); i++ {
+		for j := i; j > 0 && rep.Links[j].From < rep.Links[j-1].From; j-- {
+			rep.Links[j], rep.Links[j-1] = rep.Links[j-1], rep.Links[j]
+		}
+	}
+	g.absorb(env, rep)
+	g.flood(env, from(-1), rep)
+}
+
+// absorb merges a report locally (every gossip node keeps a table) and
+// computes once complete.
+func (g *gossipProc) absorb(env *sim.Env, rep Report) {
+	g.seen[rep.Origin] = true
+	if g.table == nil {
+		g.table = trace.NewTable(g.n, false)
+	}
+	for _, dr := range rep.Links {
+		if dr.To != rep.Origin {
+			g.fail(fmt.Errorf("dist: report from p%d claims stats for p%d", rep.Origin, dr.To))
+			return
+		}
+		if err := g.table.MergeStats(dr.From, dr.To, dr.Stats); err != nil {
+			g.fail(err)
+			return
+		}
+	}
+	g.reports++
+	if g.reports != g.n {
+		return
+	}
+	res, err := core.SynchronizeSystem(g.n, g.cfg.Links, g.table, core.DefaultMLSOptions(),
+		core.Options{Root: int(g.cfg.Leader), Centered: g.cfg.Centered})
+	if err != nil {
+		g.fail(err)
+		return
+	}
+	self := int(env.Self())
+	g.perNode[self] = append([]float64(nil), res.Corrections...)
+	if self == int(g.cfg.Leader) {
+		g.out.Precision = res.Precision
+		g.out.LeaderTable = g.table
+		g.out.ReportsSeen = g.reports
+	}
+}

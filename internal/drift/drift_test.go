@@ -1,0 +1,274 @@
+package drift
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"clocksync/internal/core"
+	"clocksync/internal/delay"
+	"clocksync/internal/model"
+	"clocksync/internal/sim"
+)
+
+func TestRatesValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		rates   Rates
+		n       int
+		rho     float64
+		wantErr bool
+	}{
+		{name: "ok", rates: Rates{1, 1.001, 0.999}, n: 3, rho: 0.002},
+		{name: "wrong length", rates: Rates{1}, n: 3, rho: 0.01, wantErr: true},
+		{name: "out of band", rates: Rates{1, 1.5, 1}, n: 3, rho: 0.01, wantErr: true},
+		{name: "bad rho", rates: Rates{1, 1, 1}, n: 3, rho: -1, wantErr: true},
+		{name: "rho one", rates: Rates{1, 1, 1}, n: 3, rho: 1, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.rates.Validate(tt.n, tt.rho)
+			if (err != nil) != tt.wantErr {
+				t.Errorf("Validate = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestCollectDriftedHandCase(t *testing.T) {
+	// One message p0 -> p1: real delay 1, S = {0, 0}, sent at real 10.
+	b := model.NewBuilder([]float64{0, 0})
+	if _, err := b.AddMessageDelay(0, 1, 10, 1); err != nil {
+		t.Fatal(err)
+	}
+	e, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// rate0 = 1.01 (fast sender), rate1 = 0.99 (slow receiver).
+	tab, err := CollectDrifted(e, Rates{1.01, 0.99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ideal clocks: send 10, recv 11. Drifted: send 10.1, recv 10.89.
+	// Estimated delay = 10.89 - 10.1 = 0.79.
+	if got := tab.Stats(0, 1).Min; math.Abs(got-0.79) > 1e-12 {
+		t.Errorf("drifted d~ = %v, want 0.79", got)
+	}
+	if _, err := CollectDrifted(e, Rates{1}); err == nil {
+		t.Error("wrong-length rates accepted")
+	}
+}
+
+func TestMaxClock(t *testing.T) {
+	b := model.NewBuilder([]float64{0, 3})
+	if _, err := b.AddMessageDelay(0, 1, 10, 1); err != nil {
+		t.Fatal(err)
+	}
+	e, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := MaxClock(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Send clock 10 (p0), recv clock 8 (p1, started at 3): horizon 10.
+	if h != 10 {
+		t.Errorf("MaxClock = %v, want 10", h)
+	}
+}
+
+func TestInflate(t *testing.T) {
+	bounds, err := delay.SymmetricBounds(0.1, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bias, err := delay.NewRTTBias(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	both, err := delay.NewIntersect(bounds, bias)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		rho     = 0.001
+		horizon = 10.0
+		slack   = 2 * rho * horizon // 0.02
+	)
+	ib, err := Inflate(bounds, rho, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := ib.(delay.Bounds)
+	if !ok {
+		t.Fatalf("Inflate(Bounds) returned %T", ib)
+	}
+	if math.Abs(got.PQ.LB-0.08) > 1e-12 || math.Abs(got.PQ.UB-0.32) > 1e-12 {
+		t.Errorf("inflated bounds = %v", got.PQ)
+	}
+
+	ibias, err := Inflate(bias, rho, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b, ok := ibias.(delay.RTTBias); !ok || math.Abs(b.B-(0.05+2*slack)) > 1e-12 {
+		t.Errorf("inflated bias = %v", ibias)
+	}
+
+	iboth, err := Inflate(both, rho, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := iboth.(delay.Intersect); !ok {
+		t.Errorf("inflated intersect = %T", iboth)
+	}
+
+	// Lower bound clamps at zero.
+	tight, err := delay.SymmetricBounds(0.001, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := Inflate(tight, rho, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if it.(delay.Bounds).PQ.LB != 0 {
+		t.Errorf("inflated LB = %v, want clamp to 0", it.(delay.Bounds).PQ.LB)
+	}
+
+	if _, err := Inflate(bounds, -0.1, horizon); err == nil {
+		t.Error("negative rho accepted")
+	}
+	if _, err := Inflate(bounds, rho, math.Inf(1)); err == nil {
+		t.Error("infinite horizon accepted")
+	}
+}
+
+// driftScenario simulates a ring with drifting clocks and synchronizes
+// using inflated assumptions; returns everything needed for the soundness
+// check.
+func driftScenario(t *testing.T, rng *rand.Rand, n int, rho float64) (starts []float64, rates Rates, res *core.Result, horizon float64, links []core.Link) {
+	t.Helper()
+	starts = sim.UniformStarts(rng, n, 1)
+	rates = make(Rates, n)
+	for p := range rates {
+		rates[p] = 1 - rho + 2*rho*rng.Float64()
+	}
+	const lb, ub = 0.05, 0.2
+	net, err := sim.NewNetwork(starts, sim.Ring(n), func(sim.Pair) sim.LinkDelays {
+		return sim.Symmetric(sim.Uniform{Lo: lb, Hi: ub})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec, err := sim.Run(net, sim.NewBurstFactory(3, 0.05, sim.SafeWarmup(starts)+0.5), sim.RunConfig{Seed: rng.Int63()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	horizon, err = MaxClock(exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := delay.SymmetricBounds(lb, ub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inflated, err := Inflate(base, rho, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range sim.Ring(n) {
+		links = append(links, core.Link{P: model.ProcID(e.P), Q: model.ProcID(e.Q), A: inflated})
+	}
+	tab, err := CollectDrifted(exec, rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = core.SynchronizeSystem(n, links, tab, core.MLSOptions{}, core.Options{Centered: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return starts, rates, res, horizon, links
+}
+
+// TestDriftedSyncSoundness: with inflated assumptions, the corrected
+// drifted clocks stay within the Bound() envelope at and after the
+// measurement horizon, across random drifts.
+func TestDriftedSyncSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, rho := range []float64{0, 1e-4, 1e-3, 5e-3} {
+		for trial := 0; trial < 5; trial++ {
+			starts, rates, res, horizon, _ := driftScenario(t, rng, 6, rho)
+			if math.IsInf(res.Precision, 1) {
+				t.Fatalf("rho=%v: infinite precision on connected ring", rho)
+			}
+			for _, dt := range []float64{0, 10, 100} {
+				tEval := maxFloat(starts) + horizon + dt
+				disc, err := Discrepancy(starts, rates, res.Corrections, tEval)
+				if err != nil {
+					t.Fatal(err)
+				}
+				bound := Bound(res.Precision, rho, horizon, tEval)
+				if disc > bound+1e-9 {
+					t.Errorf("rho=%v dt=%v: discrepancy %v exceeds bound %v", rho, dt, disc, bound)
+				}
+			}
+		}
+	}
+}
+
+// TestDriftZeroMatchesDriftFree: with rho = 0 and unit rates, the drifted
+// pipeline is exactly the drift-free one.
+func TestDriftZeroMatchesDriftFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	starts, rates, res, _, links := driftScenario(t, rng, 4, 0)
+	for _, r := range rates {
+		if r != 1 {
+			t.Fatalf("rate = %v, want 1", r)
+		}
+	}
+	rho, err := core.Rho(starts, res.Corrections)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rho > res.Precision+1e-9 {
+		t.Errorf("rho %v exceeds precision %v", rho, res.Precision)
+	}
+	_ = links // the full optimality certificates live in internal/verify
+}
+
+func TestDiscrepancyValidation(t *testing.T) {
+	if _, err := Discrepancy([]float64{0, 1}, Rates{1}, []float64{0, 0}, 5); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+func TestBoundAndResyncPeriod(t *testing.T) {
+	if got := Bound(0.1, 0.001, 10, 100); math.Abs(got-(0.1+0.02+0.2)) > 1e-12 {
+		t.Errorf("Bound = %v", got)
+	}
+	if got := ResyncPeriod(0.5, 0.1, 0.001); math.Abs(got-200) > 1e-9 {
+		t.Errorf("ResyncPeriod = %v, want 200", got)
+	}
+	if got := ResyncPeriod(0.05, 0.1, 0.001); got != 0 {
+		t.Errorf("unreachable target period = %v, want 0", got)
+	}
+	if got := ResyncPeriod(0.2, 0.1, 0); !math.IsInf(got, 1) {
+		t.Errorf("zero drift period = %v, want +Inf", got)
+	}
+	if got := ResyncPeriod(0.05, 0.1, 0); got != 0 {
+		t.Errorf("zero drift unreachable = %v, want 0", got)
+	}
+}
+
+func maxFloat(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,256 @@
+// Package experiments regenerates every table and figure of the
+// evaluation. The PODC'93 paper is pure theory (no empirical section), so
+// the suite derives one experiment from each quantitative claim; DESIGN.md
+// section 4 is the index and EXPERIMENTS.md records expected vs measured.
+//
+// Every experiment is a deterministic function of its seed and returns a
+// Table (figures are tables whose rows are the series points).
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"clocksync/internal/core"
+	"clocksync/internal/delay"
+	"clocksync/internal/model"
+	"clocksync/internal/sim"
+	"clocksync/internal/trace"
+	"clocksync/internal/verify"
+)
+
+// Table is a rendered experiment result. Figures are encoded as tables of
+// series points.
+type Table struct {
+	ID      string
+	Title   string
+	Claim   string // the paper statement this experiment validates
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render writes an aligned text rendering.
+func (t *Table) Render(w io.Writer) error {
+	width := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		width[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, width[i])
+		}
+		return strings.TrimRight(strings.Join(parts, "  "), " ")
+	}
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\nClaim: %s\n", t.ID, t.Title, t.Claim); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, line(t.Columns)); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", width[i])
+	}
+	if _, err := fmt.Fprintln(w, line(sep)); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// CSV writes the table as comma-separated values.
+func (t *Table) CSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, strings.Join(t.Columns, ",")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Experiment is a registered experiment.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(seed int64) (*Table, error)
+}
+
+// All returns the registered experiments in index order.
+func All() []Experiment {
+	exps := []Experiment{
+		{"T1", "Two-processor bounds model", T1TwoProcBounds},
+		{"T2", "Instance optimality", T2Optimality},
+		{"T3", "Optimal vs baselines across topologies", T3Baselines},
+		{"T4", "Mixed delay assumptions", T4Mixture},
+		{"T5", "Decomposition theorem", T5Decomposition},
+		{"T6", "Worst-case instances vs the Lundelius-Lynch bound", T6WorstCase},
+		{"F1", "Precision vs uncertainty", F1UncertaintySweep},
+		{"F2", "No-bounds model: precision vs messages", F2AsyncMessages},
+		{"F3", "Bias model: precision vs bias bound", F3BiasSweep},
+		{"F4", "Pipeline runtime scaling", F4Scaling},
+		{"F5", "Precision vs ring size", F5RingDiameter},
+		{"F6", "View reduction throughput", F6TraceReduction},
+		{"D1", "Bounded clock drift", D1Drift},
+		{"P1", "Probabilistic delays", P1Probabilistic},
+		{"X1", "Distributed leader protocol", X1Distributed},
+		{"A1", "Ablation: correction style", A1CorrectionStyle},
+		{"A2", "Ablation: implicit non-negativity", A2NonnegativeOption},
+		{"T7", "Congestion episodes", T7Congestion},
+		{"A3", "Ablation: graph algorithms", A3GraphAlgorithms},
+		{"F7", "Paired bias under varying load", F7PairedBias},
+		{"F8", "Per-pair precision bounds", F8PairBounds},
+	}
+	sort.SliceStable(exps, func(i, j int) bool { return exps[i].ID < exps[j].ID })
+	return exps
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if strings.EqualFold(e.ID, id) {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// run bundles everything one simulated synchronization produces.
+type run struct {
+	exec   *model.Execution
+	starts []float64
+	links  []core.Link
+	tab    *trace.Table
+	res    *core.Result
+}
+
+// simulate runs a burst measurement exchange on the given topology and
+// synchronizes with the given per-link assumption.
+func simulate(rng *rand.Rand, n int, pairs []sim.Pair, delays func(sim.Pair) sim.LinkDelays,
+	assume func(sim.Pair) delay.Assumption, k int, opts core.Options) (*run, error) {
+	starts := sim.UniformStarts(rng, n, 2)
+	net, err := sim.NewNetwork(starts, pairs, delays)
+	if err != nil {
+		return nil, err
+	}
+	exec, err := sim.Run(net, sim.NewBurstFactory(k, 0.003, sim.SafeWarmup(starts)+0.5), sim.RunConfig{Seed: rng.Int63()})
+	if err != nil {
+		return nil, err
+	}
+	links := make([]core.Link, 0, len(pairs))
+	for _, e := range pairs {
+		p, q := e.P, e.Q
+		if p > q {
+			p, q = q, p
+		}
+		links = append(links, core.Link{P: model.ProcID(p), Q: model.ProcID(q), A: assume(sim.Pair{P: p, Q: q})})
+	}
+	tab, err := trace.Collect(exec, false)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.SynchronizeSystem(n, links, tab, core.DefaultMLSOptions(), opts)
+	if err != nil {
+		return nil, err
+	}
+	return &run{exec: exec, starts: starts, links: links, tab: tab, res: res}, nil
+}
+
+// rhoBarOf evaluates the guaranteed precision of arbitrary corrections on
+// the run's instance.
+func (r *run) rhoBarOf(x []float64) (float64, error) {
+	ms, err := verify.TrueMS(r.exec, r.links, core.DefaultMLSOptions())
+	if err != nil {
+		return 0, err
+	}
+	return verify.RhoBar(r.starts, ms, x)
+}
+
+func f(x float64) string { return fmt.Sprintf("%.6g", x) }
+func fi(x int) string    { return fmt.Sprintf("%d", x) }
+func fb(ok bool) string { // verdicts
+	if ok {
+		return "ok"
+	}
+	return "FAIL"
+}
+
+func mustSymBounds(lb, ub float64) delay.Bounds {
+	b, err := delay.SymmetricBounds(lb, ub)
+	if err != nil {
+		panic(err) // static parameters; cannot fail at run time
+	}
+	return b
+}
+
+func mustBias(b float64) delay.RTTBias {
+	r, err := delay.NewRTTBias(b)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Markdown writes the table as GitHub-flavored markdown (used by the
+// -md report mode of cmd/experiments).
+func (t *Table) Markdown(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "### %s: %s\n\n*%s*\n\n", t.ID, t.Title, t.Claim); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(t.Columns, " | ")); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(sep, " | ")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(row, " | ")); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "\n> %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAllExperimentsRun(t *testing.T) {
+	for _, exp := range All() {
+		exp := exp
+		t.Run(exp.ID, func(t *testing.T) {
+			tab, err := exp.Run(12345)
+			if err != nil {
+				t.Fatalf("%s: %v", exp.ID, err)
+			}
+			if tab.ID != exp.ID {
+				t.Errorf("table ID = %q, want %q", tab.ID, exp.ID)
+			}
+			if len(tab.Rows) == 0 {
+				t.Error("no rows")
+			}
+			for i, row := range tab.Rows {
+				if len(row) != len(tab.Columns) {
+					t.Errorf("row %d has %d cells, want %d", i, len(row), len(tab.Columns))
+				}
+				for _, cell := range row {
+					if cell == "FAIL" {
+						t.Errorf("row %d contains a FAIL verdict: %v", i, row)
+					}
+				}
+			}
+			var buf bytes.Buffer
+			if err := tab.Render(&buf); err != nil {
+				t.Fatalf("Render: %v", err)
+			}
+			if !strings.Contains(buf.String(), exp.ID) {
+				t.Error("rendering lacks the experiment id")
+			}
+			var csv bytes.Buffer
+			if err := tab.CSV(&csv); err != nil {
+				t.Fatalf("CSV: %v", err)
+			}
+			if lines := strings.Count(csv.String(), "\n"); lines != len(tab.Rows)+1 {
+				t.Errorf("CSV has %d lines, want %d", lines, len(tab.Rows)+1)
+			}
+		})
+	}
+}
+
+func TestExperimentsDeterministic(t *testing.T) {
+	// Timing experiments (F4, F6, A3) are inherently non-deterministic in
+	// their elapsed columns; all others must reproduce exactly.
+	for _, exp := range All() {
+		if exp.ID == "F4" || exp.ID == "F6" || exp.ID == "A3" {
+			continue
+		}
+		exp := exp
+		t.Run(exp.ID, func(t *testing.T) {
+			t1, err := exp.Run(99)
+			if err != nil {
+				t.Fatalf("run 1: %v", err)
+			}
+			t2, err := exp.Run(99)
+			if err != nil {
+				t.Fatalf("run 2: %v", err)
+			}
+			var b1, b2 bytes.Buffer
+			if err := t1.Render(&b1); err != nil {
+				t.Fatal(err)
+			}
+			if err := t2.Render(&b2); err != nil {
+				t.Fatal(err)
+			}
+			if b1.String() != b2.String() {
+				t.Error("same seed produced different tables")
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("T1"); !ok {
+		t.Error("ByID(T1) not found")
+	}
+	if _, ok := ByID("t6"); !ok {
+		t.Error("ByID is not case-insensitive")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("ByID(nope) found")
+	}
+}
+
+func TestTableRenderAlignment(t *testing.T) {
+	tab := &Table{
+		ID:      "X",
+		Title:   "test",
+		Claim:   "none",
+		Columns: []string{"a", "long-column"},
+	}
+	tab.AddRow("1", "2")
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "long-column") {
+		t.Error("column header missing")
+	}
+}

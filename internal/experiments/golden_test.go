@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden experiment outputs")
+
+// timingIDs are experiments whose output contains wall-clock measurements
+// and therefore cannot be snapshot.
+var timingIDs = map[string]bool{"F4": true, "F6": true, "A3": true}
+
+// TestGoldenOutputs snapshots the deterministic experiments: any change to
+// an algorithm, a seed path, or a formatting rule shows up as a diff
+// against testdata/<id>.golden. Regenerate intentionally with
+// `go test ./internal/experiments -run Golden -update`.
+func TestGoldenOutputs(t *testing.T) {
+	for _, exp := range All() {
+		if timingIDs[exp.ID] {
+			continue
+		}
+		exp := exp
+		t.Run(exp.ID, func(t *testing.T) {
+			tab, err := exp.Run(12345)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			var buf bytes.Buffer
+			if err := tab.Render(&buf); err != nil {
+				t.Fatalf("render: %v", err)
+			}
+			path := filepath.Join("testdata", strings.ToLower(exp.ID)+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file %s (run with -update): %v", path, err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("output differs from %s; rerun with -update if intentional\n--- got ---\n%s\n--- want ---\n%s",
+					path, buf.String(), want)
+			}
+		})
+	}
+}

@@ -1,0 +1,175 @@
+package graph
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNegativeCycle is returned by shortest-path routines when a negative
+// weight cycle is reachable from the source (or present anywhere, for
+// all-pairs routines).
+var ErrNegativeCycle = errors.New("graph: negative weight cycle")
+
+// ShortestPaths holds single-source shortest path results.
+type ShortestPaths struct {
+	Source int
+	// Dist[v] is the shortest distance from Source to v; +Inf if
+	// unreachable.
+	Dist []float64
+	// Parent[v] is the predecessor of v on a shortest path, or -1 for the
+	// source and unreachable nodes.
+	Parent []int
+}
+
+// Path reconstructs the node sequence of a shortest path from the source to
+// v, inclusive. It returns nil if v is unreachable.
+func (sp *ShortestPaths) Path(v int) []int {
+	if v < 0 || v >= len(sp.Dist) || math.IsInf(sp.Dist[v], 1) {
+		return nil
+	}
+	var rev []int
+	for u := v; u != -1; u = sp.Parent[u] {
+		rev = append(rev, u)
+		if len(rev) > len(sp.Dist) {
+			return nil // defensive: corrupted parent chain
+		}
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// BellmanFord computes single-source shortest paths from src, allowing
+// negative edge weights. It returns ErrNegativeCycle if a negative cycle is
+// reachable from src.
+func BellmanFord(g *Digraph, src int) (*ShortestPaths, error) {
+	n := g.N()
+	if src < 0 || src >= n {
+		return nil, errors.New("graph: source out of range")
+	}
+	dist := make([]float64, n)
+	parent := make([]int, n)
+	for i := range dist {
+		dist[i] = Inf
+		parent[i] = -1
+	}
+	dist[src] = 0
+
+	// Standard Bellman-Ford with an early-exit when a full pass relaxes
+	// nothing.
+	for pass := 0; pass < n-1; pass++ {
+		changed := false
+		for u := 0; u < n; u++ {
+			du := dist[u]
+			if math.IsInf(du, 1) {
+				continue
+			}
+			for _, e := range g.Out(u) {
+				if nd := du + e.Weight; nd < dist[e.To] {
+					dist[e.To] = nd
+					parent[e.To] = u
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	// One more pass: any relaxation now implies a reachable negative cycle.
+	// The tolerance is relative and generous (1e-9): it exists to catch
+	// genuinely infeasible inputs, not accumulated floating-point dust from
+	// upstream cycle-mean computations.
+	for u := 0; u < n; u++ {
+		du := dist[u]
+		if math.IsInf(du, 1) {
+			continue
+		}
+		for _, e := range g.Out(u) {
+			if du+e.Weight < dist[e.To]-1e-9*(1+math.Abs(dist[e.To])) {
+				return nil, ErrNegativeCycle
+			}
+		}
+	}
+	return &ShortestPaths{Source: src, Dist: dist, Parent: parent}, nil
+}
+
+// HasNegativeCycle reports whether g contains any negative-weight cycle.
+// It runs Bellman-Ford from a virtual super-source connected to every node
+// with weight 0, so cycles in every component are detected.
+func HasNegativeCycle(g *Digraph) bool {
+	n := g.N()
+	dist := make([]float64, n) // all zero: equivalent to the super-source trick
+	for pass := 0; pass < n; pass++ {
+		changed := false
+		for u := 0; u < n; u++ {
+			du := dist[u]
+			for _, e := range g.Out(u) {
+				if nd := du + e.Weight; nd < dist[e.To] {
+					dist[e.To] = nd
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return false
+		}
+	}
+	// Still changing after n passes over a graph with n nodes: negative cycle.
+	for u := 0; u < n; u++ {
+		du := dist[u]
+		for _, e := range g.Out(u) {
+			if du+e.Weight < dist[e.To]-1e-12 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// FindNegativeCycle returns the node sequence of some negative-weight cycle
+// (first node repeated at the end), or nil if none exists.
+func FindNegativeCycle(g *Digraph) []int {
+	n := g.N()
+	dist := make([]float64, n)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	var witness int = -1
+	for pass := 0; pass < n; pass++ {
+		witness = -1
+		for u := 0; u < n; u++ {
+			du := dist[u]
+			for _, e := range g.Out(u) {
+				if nd := du + e.Weight; nd < dist[e.To] {
+					dist[e.To] = nd
+					parent[e.To] = u
+					witness = e.To
+				}
+			}
+		}
+		if witness == -1 {
+			return nil
+		}
+	}
+	if witness == -1 {
+		return nil
+	}
+	// Walk back n steps to land inside the cycle, then trace it.
+	v := witness
+	for i := 0; i < n; i++ {
+		v = parent[v]
+	}
+	cycle := []int{v}
+	for u := parent[v]; u != v; u = parent[u] {
+		cycle = append(cycle, u)
+	}
+	cycle = append(cycle, v)
+	// Reverse so the cycle follows edge direction.
+	for i, j := 0, len(cycle)-1; i < j; i, j = i+1, j-1 {
+		cycle[i], cycle[j] = cycle[j], cycle[i]
+	}
+	return cycle
+}

@@ -1,0 +1,234 @@
+package graph
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestBellmanFordSimple(t *testing.T) {
+	// 0 -> 1 (4), 0 -> 2 (1), 2 -> 1 (2), 1 -> 3 (1)
+	g := NewDigraph(5)
+	g.MustAddEdge(0, 1, 4)
+	g.MustAddEdge(0, 2, 1)
+	g.MustAddEdge(2, 1, 2)
+	g.MustAddEdge(1, 3, 1)
+
+	sp, err := BellmanFord(g, 0)
+	if err != nil {
+		t.Fatalf("BellmanFord: %v", err)
+	}
+	want := []float64{0, 3, 1, 4, math.Inf(1)}
+	for v, d := range want {
+		if sp.Dist[v] != d {
+			t.Errorf("Dist[%d] = %v, want %v", v, sp.Dist[v], d)
+		}
+	}
+	if got := sp.Path(3); !reflect.DeepEqual(got, []int{0, 2, 1, 3}) {
+		t.Errorf("Path(3) = %v, want [0 2 1 3]", got)
+	}
+	if got := sp.Path(4); got != nil {
+		t.Errorf("Path(unreachable) = %v, want nil", got)
+	}
+}
+
+func TestBellmanFordNegativeEdges(t *testing.T) {
+	g := NewDigraph(4)
+	g.MustAddEdge(0, 1, 5)
+	g.MustAddEdge(1, 2, -3)
+	g.MustAddEdge(0, 2, 4)
+	g.MustAddEdge(2, 3, 2)
+
+	sp, err := BellmanFord(g, 0)
+	if err != nil {
+		t.Fatalf("BellmanFord: %v", err)
+	}
+	if sp.Dist[2] != 2 {
+		t.Errorf("Dist[2] = %v, want 2 (via negative edge)", sp.Dist[2])
+	}
+	if sp.Dist[3] != 4 {
+		t.Errorf("Dist[3] = %v, want 4", sp.Dist[3])
+	}
+}
+
+func TestBellmanFordNegativeCycle(t *testing.T) {
+	g := NewDigraph(3)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, -2)
+	g.MustAddEdge(2, 1, 1) // 1 -> 2 -> 1 has weight -1
+
+	if _, err := BellmanFord(g, 0); !errors.Is(err, ErrNegativeCycle) {
+		t.Errorf("BellmanFord error = %v, want ErrNegativeCycle", err)
+	}
+}
+
+func TestBellmanFordUnreachableNegativeCycleOK(t *testing.T) {
+	g := NewDigraph(4)
+	g.MustAddEdge(0, 1, 1)
+	// Negative cycle 2 <-> 3 is unreachable from 0.
+	g.MustAddEdge(2, 3, -5)
+	g.MustAddEdge(3, 2, 1)
+
+	sp, err := BellmanFord(g, 0)
+	if err != nil {
+		t.Fatalf("BellmanFord with unreachable negative cycle: %v", err)
+	}
+	if sp.Dist[1] != 1 {
+		t.Errorf("Dist[1] = %v, want 1", sp.Dist[1])
+	}
+}
+
+func TestBellmanFordBadSource(t *testing.T) {
+	g := NewDigraph(2)
+	if _, err := BellmanFord(g, 5); err == nil {
+		t.Error("BellmanFord(out-of-range source) error = nil, want non-nil")
+	}
+}
+
+func TestHasNegativeCycle(t *testing.T) {
+	tests := []struct {
+		name  string
+		build func() *Digraph
+		want  bool
+	}{
+		{
+			name:  "empty",
+			build: func() *Digraph { return NewDigraph(0) },
+			want:  false,
+		},
+		{
+			name: "positive cycle",
+			build: func() *Digraph {
+				g := NewDigraph(2)
+				g.MustAddEdge(0, 1, 1)
+				g.MustAddEdge(1, 0, 1)
+				return g
+			},
+			want: false,
+		},
+		{
+			name: "zero cycle",
+			build: func() *Digraph {
+				g := NewDigraph(2)
+				g.MustAddEdge(0, 1, 3)
+				g.MustAddEdge(1, 0, -3)
+				return g
+			},
+			want: false,
+		},
+		{
+			name: "negative cycle",
+			build: func() *Digraph {
+				g := NewDigraph(2)
+				g.MustAddEdge(0, 1, 3)
+				g.MustAddEdge(1, 0, -3.5)
+				return g
+			},
+			want: true,
+		},
+		{
+			name: "negative self loop",
+			build: func() *Digraph {
+				g := NewDigraph(1)
+				g.MustAddEdge(0, 0, -0.1)
+				return g
+			},
+			want: true,
+		},
+		{
+			name: "negative cycle in second component",
+			build: func() *Digraph {
+				g := NewDigraph(4)
+				g.MustAddEdge(0, 1, 1)
+				g.MustAddEdge(2, 3, -1)
+				g.MustAddEdge(3, 2, 0.5)
+				return g
+			},
+			want: true,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := HasNegativeCycle(tt.build()); got != tt.want {
+				t.Errorf("HasNegativeCycle = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestFindNegativeCycle(t *testing.T) {
+	g := NewDigraph(5)
+	g.MustAddEdge(0, 1, 2)
+	g.MustAddEdge(1, 2, 3)
+	g.MustAddEdge(2, 3, -4)
+	g.MustAddEdge(3, 1, 0.5) // cycle 1->2->3->1 weight -0.5
+	g.MustAddEdge(3, 4, 10)
+
+	cyc := FindNegativeCycle(g)
+	if cyc == nil {
+		t.Fatal("FindNegativeCycle = nil, want a cycle")
+	}
+	if cyc[0] != cyc[len(cyc)-1] {
+		t.Fatalf("cycle %v does not close", cyc)
+	}
+	if w := cycleWeight(t, g, cyc); w >= 0 {
+		t.Errorf("cycle %v weight = %v, want negative", cyc, w)
+	}
+}
+
+func TestFindNegativeCycleNone(t *testing.T) {
+	g := NewDigraph(3)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	g.MustAddEdge(2, 0, 1)
+	if cyc := FindNegativeCycle(g); cyc != nil {
+		t.Errorf("FindNegativeCycle = %v, want nil", cyc)
+	}
+}
+
+// cycleWeight computes the total weight of a closed node sequence using the
+// minimum-weight edge between consecutive nodes.
+func cycleWeight(t *testing.T, g *Digraph, cyc []int) float64 {
+	t.Helper()
+	total := 0.0
+	for i := 0; i+1 < len(cyc); i++ {
+		best := math.Inf(1)
+		for _, e := range g.Out(cyc[i]) {
+			if e.To == cyc[i+1] && e.Weight < best {
+				best = e.Weight
+			}
+		}
+		if math.IsInf(best, 1) {
+			t.Fatalf("cycle %v uses missing edge %d->%d", cyc, cyc[i], cyc[i+1])
+		}
+		total += best
+	}
+	return total
+}
+
+// TestBellmanFordMatchesFloydWarshall cross-checks the two shortest-path
+// implementations on random graphs without negative cycles.
+func TestBellmanFordMatchesFloydWarshall(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(8)
+		g := RandomDigraph(rng, n, 0.4, 0.1, 5) // positive weights: no negative cycles
+		ap, err := AllPairs(g)
+		if err != nil {
+			t.Fatalf("trial %d: AllPairs: %v", trial, err)
+		}
+		for s := 0; s < n; s++ {
+			sp, err := BellmanFord(g, s)
+			if err != nil {
+				t.Fatalf("trial %d: BellmanFord(%d): %v", trial, s, err)
+			}
+			for v := 0; v < n; v++ {
+				if math.Abs(sp.Dist[v]-ap[s][v]) > 1e-9 && !(math.IsInf(sp.Dist[v], 1) && math.IsInf(ap[s][v], 1)) {
+					t.Fatalf("trial %d: dist(%d,%d): BF=%v FW=%v", trial, s, v, sp.Dist[v], ap[s][v])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func benchGraph(n int, p float64) *Digraph {
+	rng := rand.New(rand.NewSource(7))
+	return RandomStronglyConnected(rng, n, p, 0.1, 1.0)
+}
+
+func BenchmarkFloydWarshall(b *testing.B) {
+	for _, n := range []int{16, 64, 128} {
+		g := benchGraph(n, 0.2)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := AllPairs(g); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkJohnson(b *testing.B) {
+	for _, n := range []int{16, 64, 128} {
+		g := benchGraph(n, 0.2)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := AllPairsJohnson(g); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkKarpMaxMeanCycle(b *testing.B) {
+	for _, n := range []int{16, 64, 128} {
+		g := benchGraph(n, 1.0) // dense: the pipeline's actual workload
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, ok := MaxMeanCycle(g); !ok {
+					b.Fatal("no cycle")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkBellmanFord(b *testing.B) {
+	g := benchGraph(128, 0.3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := BellmanFord(g, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSCC(b *testing.B) {
+	g := benchGraph(256, 0.05)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if comps := SCC(g); len(comps) == 0 {
+			b.Fatal("no components")
+		}
+	}
+}

@@ -1,0 +1,475 @@
+package netsync
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"clocksync/internal/core"
+	"clocksync/internal/model"
+	"clocksync/internal/trace"
+)
+
+// Config describes one node of a cluster.
+type Config struct {
+	// ID is this node's dense index in [0, N).
+	ID model.ProcID
+	// N is the cluster size.
+	N int
+	// Listen is the address to listen on (use "127.0.0.1:0" for tests).
+	Listen string
+	// Peers maps neighbor ids to their listen addresses. Probes flow to
+	// every peer listed here; list both directions' neighbors.
+	Peers map[model.ProcID]string
+	// Coordinator is the id of the collecting node.
+	Coordinator model.ProcID
+	// CoordinatorAddr is its address (unused on the coordinator itself).
+	CoordinatorAddr string
+	// Links carries the per-link delay assumptions; only the coordinator
+	// uses them (global configuration, as in any deployment).
+	Links []core.Link
+	// Probes is the number of probe messages sent to each peer.
+	Probes int
+	// Interval separates consecutive probes.
+	Interval time.Duration
+	// ClockOffset emulates this node's unknown clock skew. In a real
+	// deployment the hardware clock supplies it implicitly; here it is
+	// ground truth for tests.
+	ClockOffset time.Duration
+	// Jitter adds a uniform [0, Jitter) artificial transmission delay to
+	// every probe, making delays visible above localhost noise. The
+	// declared assumptions must cover it.
+	Jitter time.Duration
+	// Seed drives the jitter randomness.
+	Seed int64
+	// Timeout bounds every network wait (default 10s).
+	Timeout time.Duration
+	// ReportDelay is the minimum node age before the incoming statistics
+	// are snapshotted and reported: it gives peers (possibly started
+	// later) time to finish probing. Default 500ms + Probes*Interval.
+	ReportDelay time.Duration
+	// Centered selects centered corrections at the coordinator.
+	Centered bool
+}
+
+func (c *Config) fill() {
+	if c.Timeout == 0 {
+		c.Timeout = 10 * time.Second
+	}
+	if c.Probes == 0 {
+		c.Probes = 4
+	}
+	if c.Interval == 0 {
+		c.Interval = 5 * time.Millisecond
+	}
+	if c.ReportDelay == 0 {
+		c.ReportDelay = 500*time.Millisecond + time.Duration(c.Probes)*c.Interval
+	}
+}
+
+func (c *Config) validate() error {
+	if c.N < 1 || int(c.ID) < 0 || int(c.ID) >= c.N {
+		return fmt.Errorf("netsync: id %d out of range [0,%d)", c.ID, c.N)
+	}
+	if int(c.Coordinator) < 0 || int(c.Coordinator) >= c.N {
+		return fmt.Errorf("netsync: coordinator %d out of range", c.Coordinator)
+	}
+	if c.ID != c.Coordinator && c.CoordinatorAddr == "" {
+		return fmt.Errorf("netsync: node %d needs the coordinator address", c.ID)
+	}
+	for id := range c.Peers {
+		if int(id) < 0 || int(id) >= c.N || id == c.ID {
+			return fmt.Errorf("netsync: invalid peer id %d", id)
+		}
+	}
+	return nil
+}
+
+// Outcome is a node's view of the finished synchronization.
+type Outcome struct {
+	// Correction is this node's clock correction: corrected clock =
+	// Clock() + Correction.
+	Correction float64
+	// Precision is the coordinator-computed optimal guaranteed precision.
+	Precision float64
+	// Corrections is the full vector (as disseminated).
+	Corrections []float64
+}
+
+// Node is one running cluster member. Create with Start, collect with
+// Wait, always Shutdown.
+type Node struct {
+	cfg      Config
+	epoch    time.Time
+	born     time.Time
+	listener net.Listener
+	rng      *rand.Rand
+
+	mu       sync.Mutex
+	incoming map[model.ProcID]trace.DirStats // per-peer incoming probe stats
+	reports  map[model.ProcID][]LinkStats    // coordinator: collected reports
+	pending  []*conn                         // coordinator: report conns awaiting results
+
+	wg       sync.WaitGroup
+	stopping chan struct{}
+	outcome  chan Outcome
+	errs     chan error
+}
+
+// Start validates the config, binds the listener and launches the node's
+// goroutines. The returned node is running; call Wait for the outcome and
+// Shutdown to release resources.
+func Start(cfg Config) (*Node, error) {
+	cfg.fill()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("netsync: listen: %w", err)
+	}
+	n := &Node{
+		cfg:      cfg,
+		epoch:    time.Unix(0, 0),
+		born:     time.Now(),
+		listener: ln,
+		rng:      rand.New(rand.NewSource(cfg.Seed ^ int64(cfg.ID)<<32)),
+		incoming: make(map[model.ProcID]trace.DirStats),
+		reports:  make(map[model.ProcID][]LinkStats),
+		stopping: make(chan struct{}),
+		outcome:  make(chan Outcome, 1),
+		errs:     make(chan error, 8),
+	}
+	n.wg.Add(2)
+	go n.acceptLoop()
+	go n.run()
+	return n, nil
+}
+
+// Addr returns the bound listen address (resolves ":0" ports).
+func (n *Node) Addr() string { return n.listener.Addr().String() }
+
+// Clock returns this node's clock reading: seconds since the epoch plus
+// the configured offset.
+func (n *Node) Clock() float64 {
+	return time.Since(n.epoch).Seconds() + n.cfg.ClockOffset.Seconds()
+}
+
+// Wait blocks until the node has applied a correction, a node goroutine
+// failed, or the timeout expires.
+func (n *Node) Wait(timeout time.Duration) (*Outcome, error) {
+	select {
+	case out := <-n.outcome:
+		return &out, nil
+	case err := <-n.errs:
+		return nil, err
+	case <-time.After(timeout):
+		return nil, fmt.Errorf("netsync: node %d timed out waiting for the result", n.cfg.ID)
+	}
+}
+
+// Shutdown stops the node and waits for its goroutines to exit. Parked
+// report connections (if the result never materialized) are closed.
+func (n *Node) Shutdown() {
+	select {
+	case <-n.stopping:
+	default:
+		close(n.stopping)
+	}
+	_ = n.listener.Close()
+	n.mu.Lock()
+	for _, pc := range n.pending {
+		_ = pc.close()
+	}
+	n.pending = nil
+	n.mu.Unlock()
+	n.wg.Wait()
+}
+
+func (n *Node) fail(err error) {
+	if err == nil {
+		return
+	}
+	select {
+	case n.errs <- err:
+	default:
+	}
+}
+
+// acceptLoop serves inbound connections: probe streams from peers and, on
+// the coordinator, report connections from every node.
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	var handlers sync.WaitGroup
+	defer handlers.Wait()
+	for {
+		raw, err := n.listener.Accept()
+		if err != nil {
+			select {
+			case <-n.stopping:
+				return // normal shutdown
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			n.fail(fmt.Errorf("netsync: accept: %w", err))
+			return
+		}
+		handlers.Add(1)
+		go func() {
+			defer handlers.Done()
+			n.serve(newConn(raw))
+		}()
+	}
+}
+
+// serve handles one inbound connection until EOF or shutdown.
+func (n *Node) serve(c *conn) {
+	parked := false
+	defer func() {
+		if !parked {
+			_ = c.close()
+		}
+	}()
+	for {
+		m, err := c.recv(n.cfg.Timeout)
+		if err != nil {
+			return // EOF, deadline or shutdown: connection done
+		}
+		switch m.Type {
+		case "probe":
+			recvClock := n.Clock()
+			n.mu.Lock()
+			st, ok := n.incoming[m.From]
+			if !ok {
+				st = trace.NewDirStats()
+			}
+			st.Add(recvClock - m.SendClock) // Lemma 6.1 on a real socket
+			n.incoming[m.From] = st
+			n.mu.Unlock()
+		case "report":
+			if n.cfg.ID != n.cfg.Coordinator {
+				n.fail(fmt.Errorf("netsync: non-coordinator %d received a report", n.cfg.ID))
+				return
+			}
+			// Ownership of the connection moves to the pending list; it is
+			// answered and closed when the result is ready.
+			parked = true
+			n.handleReport(c, m)
+			return
+		default:
+			n.fail(fmt.Errorf("netsync: unknown message type %q", m.Type))
+			return
+		}
+	}
+}
+
+// run drives the node's active side: probing, reporting, applying.
+func (n *Node) run() {
+	defer n.wg.Done()
+	if err := n.probePeers(); err != nil {
+		n.fail(err)
+		return
+	}
+	// Hold the report until peers (possibly started later) have had time
+	// to finish their own probing toward us.
+	if wait := n.cfg.ReportDelay - time.Since(n.born); wait > 0 {
+		select {
+		case <-time.After(wait):
+		case <-n.stopping:
+			return
+		}
+	}
+	// Snapshot this node's incoming statistics as its report.
+	n.mu.Lock()
+	report := Message{Type: "report", Origin: n.cfg.ID}
+	for from, st := range n.incoming {
+		report.Links = append(report.Links, LinkStats{
+			From: from, To: n.cfg.ID, Count: st.Count, Min: st.Min, Max: st.Max,
+		})
+	}
+	n.mu.Unlock()
+
+	if n.cfg.ID == n.cfg.Coordinator {
+		// Register our own readiness; the links are re-snapshotted live at
+		// compute time, so late probes into the coordinator still count.
+		n.mu.Lock()
+		n.absorbReportLocked(&report, nil)
+		n.mu.Unlock()
+		return
+	}
+
+	raw, err := net.DialTimeout("tcp", n.cfg.CoordinatorAddr, n.cfg.Timeout)
+	if err != nil {
+		n.fail(fmt.Errorf("netsync: dial coordinator: %w", err))
+		return
+	}
+	c := newConn(raw)
+	defer func() { _ = c.close() }()
+	if err := c.send(&report); err != nil {
+		n.fail(fmt.Errorf("netsync: send report: %w", err))
+		return
+	}
+	res, err := c.recv(n.cfg.Timeout)
+	if err != nil {
+		n.fail(fmt.Errorf("netsync: await result: %w", err))
+		return
+	}
+	n.applyResult(res)
+}
+
+// probePeers sends the timestamped probe bursts over per-peer
+// connections. Probes across peers are interleaved round by round.
+func (n *Node) probePeers() error {
+	conns := make(map[model.ProcID]*conn, len(n.cfg.Peers))
+	defer func() {
+		for _, c := range conns {
+			_ = c.close()
+		}
+	}()
+	for id, addr := range n.cfg.Peers {
+		raw, err := net.DialTimeout("tcp", addr, n.cfg.Timeout)
+		if err != nil {
+			return fmt.Errorf("netsync: dial peer %d: %w", id, err)
+		}
+		conns[id] = newConn(raw)
+	}
+	for round := 0; round < n.cfg.Probes; round++ {
+		for id, c := range conns {
+			if n.cfg.Jitter > 0 {
+				// Artificial transmission delay: stamp first, then hold the
+				// message back, exactly like a slow link.
+				sendClock := n.Clock()
+				time.Sleep(time.Duration(n.rng.Float64() * float64(n.cfg.Jitter)))
+				if err := c.send(&Message{Type: "probe", From: n.cfg.ID, SendClock: sendClock}); err != nil {
+					return fmt.Errorf("netsync: probe peer %d: %w", id, err)
+				}
+				continue
+			}
+			if err := c.send(&Message{Type: "probe", From: n.cfg.ID, SendClock: n.Clock()}); err != nil {
+				return fmt.Errorf("netsync: probe peer %d: %w", id, err)
+			}
+		}
+		select {
+		case <-time.After(n.cfg.Interval):
+		case <-n.stopping:
+			return fmt.Errorf("netsync: node %d stopped during probing", n.cfg.ID)
+		}
+	}
+	return nil
+}
+
+// handleReport runs on the coordinator for each inbound report connection:
+// absorb, and when complete compute and disseminate.
+func (n *Node) handleReport(c *conn, m *Message) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.absorbReportLocked(m, c)
+}
+
+// absorbReportLocked merges one report; the caller holds n.mu. conn is nil
+// for the coordinator's own report.
+func (n *Node) absorbReportLocked(m *Message, c *conn) {
+	if _, dup := n.reports[m.Origin]; dup {
+		if c != nil {
+			_ = c.send(&Message{Type: "result", Err: "duplicate report"})
+			_ = c.close()
+		}
+		return
+	}
+	n.reports[m.Origin] = m.Links
+	if c != nil {
+		n.pending = append(n.pending, c)
+	}
+	if len(n.reports) < n.cfg.N {
+		return
+	}
+	n.computeAndDisseminateLocked()
+}
+
+// computeAndDisseminateLocked assembles the table, runs the pipeline and
+// answers every parked report connection. Caller holds n.mu.
+func (n *Node) computeAndDisseminateLocked() {
+	tab := trace.NewTable(n.cfg.N, false)
+	var buildErr error
+	for origin, links := range n.reports {
+		if origin == n.cfg.ID {
+			continue // replaced by the live snapshot below
+		}
+		for _, ls := range links {
+			if ls.To != origin {
+				buildErr = fmt.Errorf("netsync: report from %d claims stats for %d", origin, ls.To)
+				break
+			}
+			st, err := ls.toDirStats()
+			if err != nil {
+				buildErr = err
+				break
+			}
+			if err := tab.MergeStats(ls.From, ls.To, st); err != nil {
+				buildErr = err
+				break
+			}
+		}
+	}
+	// The coordinator's own incoming statistics, live (not the possibly
+	// stale early snapshot).
+	if buildErr == nil {
+		for from, st := range n.incoming {
+			if err := tab.MergeStats(from, n.cfg.ID, st); err != nil {
+				buildErr = err
+				break
+			}
+		}
+	}
+	msg := Message{Type: "result"}
+	if buildErr == nil {
+		res, err := core.SynchronizeSystem(n.cfg.N, n.cfg.Links, tab, core.DefaultMLSOptions(),
+			core.Options{Root: int(n.cfg.Coordinator), Centered: n.cfg.Centered})
+		if err != nil {
+			buildErr = err
+		} else {
+			msg.Corrections = res.Corrections
+			msg.Precision = res.Precision
+		}
+	}
+	if buildErr != nil {
+		msg.Err = buildErr.Error()
+	}
+	for _, pc := range n.pending {
+		_ = pc.send(&msg)
+		_ = pc.close()
+	}
+	n.pending = nil
+	if buildErr != nil {
+		n.fail(buildErr)
+		return
+	}
+	// Apply locally on the coordinator.
+	n.applyResult(&msg)
+}
+
+// applyResult validates and publishes the outcome for this node.
+func (n *Node) applyResult(m *Message) {
+	if m.Err != "" {
+		n.fail(fmt.Errorf("netsync: coordinator: %s", m.Err))
+		return
+	}
+	if m.Type != "result" || int(n.cfg.ID) >= len(m.Corrections) {
+		n.fail(fmt.Errorf("netsync: malformed result for node %d", n.cfg.ID))
+		return
+	}
+	out := Outcome{
+		Correction:  m.Corrections[n.cfg.ID],
+		Precision:   m.Precision,
+		Corrections: append([]float64(nil), m.Corrections...),
+	}
+	select {
+	case n.outcome <- out:
+	default:
+	}
+}

@@ -1,0 +1,99 @@
+// Package netsync runs the synchronization protocol over real TCP
+// connections: every node is a small server exchanging timestamped probes
+// with its peers; one node additionally acts as coordinator, collecting
+// per-link statistics reports and answering with the optimal corrections
+// (the centralized computation of the paper, deployed).
+//
+// Clock model: each node's clock reads Unix time plus a configured offset
+// (the offset emulates the unknown start skew; on real deployments it IS
+// the unknown quantity being recovered). Hardware clocks of one machine
+// tick at one rate, so the drift-free assumption holds exactly for
+// in-process and same-host clusters; across hosts, inflate assumptions
+// with the drift package.
+//
+// Wire format: newline-delimited JSON, one message per line.
+package netsync
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+
+	"clocksync/internal/model"
+	"clocksync/internal/trace"
+)
+
+// Message is the wire envelope; exactly one payload field is set,
+// selected by Type.
+type Message struct {
+	Type string `json:"type"` // probe|report|result
+
+	// probe
+	From      model.ProcID `json:"from,omitempty"`
+	SendClock float64      `json:"sendClock,omitempty"`
+
+	// report
+	Origin model.ProcID `json:"origin,omitempty"`
+	Links  []LinkStats  `json:"links,omitempty"`
+
+	// result
+	Corrections []float64 `json:"corrections,omitempty"`
+	Precision   float64   `json:"precision,omitempty"`
+	Err         string    `json:"err,omitempty"`
+}
+
+// LinkStats carries the reporter's incoming-direction summary of one link.
+type LinkStats struct {
+	From  model.ProcID `json:"from"`
+	To    model.ProcID `json:"to"`
+	Count int          `json:"count"`
+	Min   float64      `json:"min"`
+	Max   float64      `json:"max"`
+}
+
+// toDirStats converts the wire form back to trace statistics.
+func (ls LinkStats) toDirStats() (trace.DirStats, error) {
+	if ls.Count <= 0 {
+		return trace.DirStats{}, fmt.Errorf("netsync: link stats with count %d", ls.Count)
+	}
+	if ls.Max < ls.Min {
+		return trace.DirStats{}, fmt.Errorf("netsync: inverted link stats [%v,%v]", ls.Min, ls.Max)
+	}
+	return trace.DirStats{Count: ls.Count, Min: ls.Min, Max: ls.Max}, nil
+}
+
+// conn wraps a TCP connection with JSON line framing.
+type conn struct {
+	raw net.Conn
+	r   *bufio.Reader
+	enc *json.Encoder
+}
+
+func newConn(raw net.Conn) *conn {
+	return &conn{raw: raw, r: bufio.NewReader(raw), enc: json.NewEncoder(raw)}
+}
+
+func (c *conn) send(m *Message) error {
+	return c.enc.Encode(m) // Encode appends the newline
+}
+
+func (c *conn) recv(timeout time.Duration) (*Message, error) {
+	if timeout > 0 {
+		if err := c.raw.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+			return nil, err
+		}
+	}
+	line, err := c.r.ReadBytes('\n')
+	if err != nil {
+		return nil, err
+	}
+	var m Message
+	if err := json.Unmarshal(line, &m); err != nil {
+		return nil, fmt.Errorf("netsync: decode message: %w", err)
+	}
+	return &m, nil
+}
+
+func (c *conn) close() error { return c.raw.Close() }

@@ -1,0 +1,437 @@
+// Package scenario binds a simulated system description — topology, start
+// times, per-link delay samplers and delay assumptions, measurement
+// protocol — into one JSON-serializable value, so the CLI, the examples
+// and the experiment harness share a single configuration language.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"clocksync/internal/core"
+	"clocksync/internal/delay"
+	"clocksync/internal/model"
+	"clocksync/internal/sim"
+)
+
+// Scenario is a complete run description.
+type Scenario struct {
+	// Processors is the system size n.
+	Processors int `json:"processors"`
+	// Seed drives all randomness (start times, delays).
+	Seed int64 `json:"seed"`
+	// StartSpread draws start times uniformly from [0, StartSpread) when
+	// Starts is empty.
+	StartSpread float64 `json:"startSpread,omitempty"`
+	// Starts optionally pins the start times (length must equal
+	// Processors).
+	Starts []float64 `json:"starts,omitempty"`
+	// Topology selects the link structure.
+	Topology Topology `json:"topology"`
+	// DefaultLink applies to links not listed in Links.
+	DefaultLink *LinkSpec `json:"defaultLink,omitempty"`
+	// Links overrides assumption/delays for specific links.
+	Links []LinkOverride `json:"links,omitempty"`
+	// Protocol selects the measurement traffic.
+	Protocol ProtocolSpec `json:"protocol"`
+}
+
+// Topology selects one of the built-in topologies.
+type Topology struct {
+	Kind string  `json:"kind"` // line|ring|star|complete|grid|torus|tree|hypercube|random
+	W    int     `json:"w,omitempty"`
+	H    int     `json:"h,omitempty"`
+	B    int     `json:"b,omitempty"` // tree branching
+	D    int     `json:"d,omitempty"` // hypercube dimension
+	P    float64 `json:"p,omitempty"` // random extra-edge probability
+	// Pairs lists explicit links for kind "custom".
+	Pairs [][2]int `json:"pairs,omitempty"`
+}
+
+// LinkSpec is an assumption plus a delay model.
+type LinkSpec struct {
+	Assumption AssumptionSpec `json:"assumption"`
+	Delays     DelaySpec      `json:"delays"`
+}
+
+// LinkOverride attaches a LinkSpec to one link.
+type LinkOverride struct {
+	P int `json:"p"`
+	Q int `json:"q"`
+	LinkSpec
+}
+
+// AssumptionSpec is the JSON form of a delay assumption.
+type AssumptionSpec struct {
+	Kind string `json:"kind"` // bounds|symmetricBounds|lowerOnly|noBounds|bias|and
+	// bounds
+	LBPQ float64 `json:"lbPQ,omitempty"`
+	UBPQ float64 `json:"ubPQ,omitempty"` // 0 or negative means +Inf for lowerOnly-ish kinds; see Build
+	LBQP float64 `json:"lbQP,omitempty"`
+	UBQP float64 `json:"ubQP,omitempty"`
+	// symmetricBounds
+	LB float64 `json:"lb,omitempty"`
+	UB float64 `json:"ub,omitempty"`
+	// bias
+	B float64 `json:"b,omitempty"`
+	// and
+	Parts []AssumptionSpec `json:"parts,omitempty"`
+}
+
+// Build converts the spec into an assumption value.
+func (a AssumptionSpec) Build() (delay.Assumption, error) {
+	switch a.Kind {
+	case "bounds":
+		return delay.NewBounds(delay.Range{LB: a.LBPQ, UB: orInf(a.UBPQ)}, delay.Range{LB: a.LBQP, UB: orInf(a.UBQP)})
+	case "symmetricBounds":
+		return delay.SymmetricBounds(a.LB, orInf(a.UB))
+	case "lowerOnly":
+		return delay.LowerOnly(a.LBPQ, a.LBQP)
+	case "noBounds":
+		return delay.NoBounds(), nil
+	case "bias":
+		return delay.NewRTTBias(a.B)
+	case "and":
+		parts := make([]delay.Assumption, 0, len(a.Parts))
+		for _, ps := range a.Parts {
+			p, err := ps.Build()
+			if err != nil {
+				return nil, err
+			}
+			parts = append(parts, p)
+		}
+		return delay.NewIntersect(parts...)
+	default:
+		return nil, fmt.Errorf("scenario: unknown assumption kind %q", a.Kind)
+	}
+}
+
+// orInf maps the JSON-friendly sentinel 0 to +Inf for upper bounds (an
+// upper bound of exactly zero delay is useless in practice, so nothing of
+// value is lost).
+func orInf(ub float64) float64 {
+	if ub <= 0 {
+		return math.Inf(1)
+	}
+	return ub
+}
+
+// DelaySpec is the JSON form of a link delay model.
+type DelaySpec struct {
+	Kind string `json:"kind"` // symmetric|independent|biasWindow|congestion
+	// symmetric
+	Sampler *SamplerSpec `json:"sampler,omitempty"`
+	// independent
+	PQ *SamplerSpec `json:"pq,omitempty"`
+	QP *SamplerSpec `json:"qp,omitempty"`
+	// biasWindow
+	Base  float64 `json:"base,omitempty"`
+	Width float64 `json:"width,omitempty"`
+	// congestion (wraps the inner spec with periodic episodes)
+	Inner  *DelaySpec `json:"inner,omitempty"`
+	Period float64    `json:"period,omitempty"`
+	Duty   float64    `json:"duty,omitempty"`
+	Surge  float64    `json:"surge,omitempty"`
+	Phase  float64    `json:"phase,omitempty"`
+}
+
+// Build converts the spec into a link delay model.
+func (d DelaySpec) Build() (sim.LinkDelays, error) {
+	switch d.Kind {
+	case "symmetric":
+		if d.Sampler == nil {
+			return nil, fmt.Errorf("scenario: symmetric delays need a sampler")
+		}
+		s, err := d.Sampler.Build()
+		if err != nil {
+			return nil, err
+		}
+		return sim.Symmetric(s), nil
+	case "independent":
+		if d.PQ == nil || d.QP == nil {
+			return nil, fmt.Errorf("scenario: independent delays need pq and qp samplers")
+		}
+		pq, err := d.PQ.Build()
+		if err != nil {
+			return nil, err
+		}
+		qp, err := d.QP.Build()
+		if err != nil {
+			return nil, err
+		}
+		return sim.Independent{PQ: pq, QP: qp}, nil
+	case "biasWindow":
+		if d.Base < 0 || d.Width < 0 {
+			return nil, fmt.Errorf("scenario: biasWindow base/width must be non-negative")
+		}
+		return sim.BiasWindow{Base: d.Base, Width: d.Width}, nil
+	case "congestion":
+		if d.Inner == nil {
+			return nil, fmt.Errorf("scenario: congestion needs an inner delay spec")
+		}
+		if d.Period <= 0 || d.Duty < 0 || d.Duty > 1 || d.Surge < 0 {
+			return nil, fmt.Errorf("scenario: congestion(period=%v, duty=%v, surge=%v) invalid", d.Period, d.Duty, d.Surge)
+		}
+		inner, err := d.Inner.Build()
+		if err != nil {
+			return nil, err
+		}
+		return sim.Congestion{Base: inner, Period: d.Period, Duty: d.Duty, Surge: d.Surge, Phase: d.Phase}, nil
+	default:
+		return nil, fmt.Errorf("scenario: unknown delay kind %q", d.Kind)
+	}
+}
+
+// SamplerSpec is the JSON form of a delay sampler.
+type SamplerSpec struct {
+	Kind string       `json:"kind"` // constant|uniform|shiftedExp|truncNormal|bimodal
+	D    float64      `json:"d,omitempty"`
+	Lo   float64      `json:"lo,omitempty"`
+	Hi   float64      `json:"hi,omitempty"`
+	Min  float64      `json:"min,omitempty"`
+	Mean float64      `json:"mean,omitempty"`
+	Mu   float64      `json:"mu,omitempty"`
+	Sig  float64      `json:"sigma,omitempty"`
+	A    *SamplerSpec `json:"a,omitempty"`
+	B    *SamplerSpec `json:"b,omitempty"`
+	PA   float64      `json:"pa,omitempty"`
+}
+
+// Build converts the spec into a sampler.
+func (s SamplerSpec) Build() (sim.Sampler, error) {
+	switch s.Kind {
+	case "constant":
+		if s.D < 0 {
+			return nil, fmt.Errorf("scenario: constant delay %v negative", s.D)
+		}
+		return sim.Constant{D: s.D}, nil
+	case "uniform":
+		if s.Lo < 0 || s.Hi < s.Lo {
+			return nil, fmt.Errorf("scenario: uniform range [%v,%v] invalid", s.Lo, s.Hi)
+		}
+		return sim.Uniform{Lo: s.Lo, Hi: s.Hi}, nil
+	case "shiftedExp":
+		if s.Min < 0 || s.Mean <= 0 {
+			return nil, fmt.Errorf("scenario: shiftedExp(min=%v,mean=%v) invalid", s.Min, s.Mean)
+		}
+		return sim.ShiftedExp{Min: s.Min, Mean: s.Mean}, nil
+	case "truncNormal":
+		if s.Lo < 0 || s.Hi < s.Lo {
+			return nil, fmt.Errorf("scenario: truncNormal window [%v,%v] invalid", s.Lo, s.Hi)
+		}
+		return sim.TruncNormal{Mu: s.Mu, Sigma: s.Sig, Lo: s.Lo, Hi: s.Hi}, nil
+	case "bimodal":
+		if s.A == nil || s.B == nil || s.PA < 0 || s.PA > 1 {
+			return nil, fmt.Errorf("scenario: bimodal needs a, b and pa in [0,1]")
+		}
+		a, err := s.A.Build()
+		if err != nil {
+			return nil, err
+		}
+		b, err := s.B.Build()
+		if err != nil {
+			return nil, err
+		}
+		return sim.Bimodal{A: a, B: b, PA: s.PA}, nil
+	default:
+		return nil, fmt.Errorf("scenario: unknown sampler kind %q", s.Kind)
+	}
+}
+
+// ProtocolSpec selects the measurement protocol.
+type ProtocolSpec struct {
+	Kind    string  `json:"kind"` // burst|periodic|pingpong
+	K       int     `json:"k,omitempty"`
+	Spacing float64 `json:"spacing,omitempty"`
+	Period  float64 `json:"period,omitempty"`
+	Count   int     `json:"count,omitempty"`
+	Rounds  int     `json:"rounds,omitempty"`
+	// Warmup < 0 selects the safe automatic warmup (start spread + 1).
+	Warmup float64 `json:"warmup"`
+}
+
+// Built is the executable form of a scenario.
+type Built struct {
+	Starts  []float64
+	Net     *sim.Network
+	Links   []core.Link
+	Factory sim.ProtocolFactory
+	RunCfg  sim.RunConfig
+}
+
+// Materialize builds the topology's link set.
+func (t Topology) Materialize(n int, rng *rand.Rand) ([]sim.Pair, error) {
+	switch t.Kind {
+	case "line":
+		return sim.Line(n), nil
+	case "ring":
+		return sim.Ring(n), nil
+	case "star":
+		return sim.Star(n), nil
+	case "complete":
+		return sim.Complete(n), nil
+	case "grid":
+		if t.W*t.H != n {
+			return nil, fmt.Errorf("scenario: grid %dx%d does not cover %d processors", t.W, t.H, n)
+		}
+		return sim.Grid(t.W, t.H), nil
+	case "torus":
+		if t.W*t.H != n {
+			return nil, fmt.Errorf("scenario: torus %dx%d does not cover %d processors", t.W, t.H, n)
+		}
+		return sim.Torus(t.W, t.H), nil
+	case "tree":
+		b := t.B
+		if b == 0 {
+			b = 2
+		}
+		return sim.Tree(n, b), nil
+	case "hypercube":
+		if 1<<t.D != n {
+			return nil, fmt.Errorf("scenario: hypercube dim %d does not cover %d processors", t.D, n)
+		}
+		return sim.Hypercube(t.D), nil
+	case "random":
+		return sim.RandomConnected(rng, n, t.P), nil
+	case "custom":
+		pairs := make([]sim.Pair, len(t.Pairs))
+		for i, e := range t.Pairs {
+			pairs[i] = sim.Pair{P: e[0], Q: e[1]}
+		}
+		return pairs, nil
+	default:
+		return nil, fmt.Errorf("scenario: unknown topology kind %q", t.Kind)
+	}
+}
+
+// Build validates and materializes the scenario.
+func (s *Scenario) Build() (*Built, error) {
+	if s.Processors < 1 {
+		return nil, fmt.Errorf("scenario: processors = %d, want >= 1", s.Processors)
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	starts := s.Starts
+	if len(starts) == 0 {
+		spread := s.StartSpread
+		if spread == 0 {
+			spread = 1
+		}
+		starts = sim.UniformStarts(rng, s.Processors, spread)
+	}
+	if len(starts) != s.Processors {
+		return nil, fmt.Errorf("scenario: %d starts for %d processors", len(starts), s.Processors)
+	}
+	pairs, err := s.Topology.Materialize(s.Processors, rng)
+	if err != nil {
+		return nil, err
+	}
+	if err := sim.Validate(s.Processors, pairs); err != nil {
+		return nil, err
+	}
+
+	// Resolve per-link specs.
+	inTopology := make(map[sim.Pair]bool, len(pairs))
+	for _, e := range pairs {
+		inTopology[canon(e)] = true
+	}
+	specFor := make(map[sim.Pair]LinkSpec, len(pairs))
+	if s.DefaultLink != nil {
+		for _, e := range pairs {
+			specFor[canon(e)] = *s.DefaultLink
+		}
+	}
+	for _, o := range s.Links {
+		c := canon(sim.Pair{P: o.P, Q: o.Q})
+		if !inTopology[c] {
+			return nil, fmt.Errorf("scenario: link override (%d,%d) not in topology", o.P, o.Q)
+		}
+		specFor[c] = o.LinkSpec
+	}
+	if len(specFor) < len(pairs) {
+		return nil, fmt.Errorf("scenario: %d of %d links lack a spec (set defaultLink)", len(pairs)-len(specFor), len(pairs))
+	}
+
+	delaysFor := make(map[sim.Pair]sim.LinkDelays, len(pairs))
+	links := make([]core.Link, 0, len(pairs))
+	for _, e := range pairs {
+		c := canon(e)
+		spec := specFor[c]
+		a, err := spec.Assumption.Build()
+		if err != nil {
+			return nil, fmt.Errorf("scenario: link (%d,%d): %w", c.P, c.Q, err)
+		}
+		ld, err := spec.Delays.Build()
+		if err != nil {
+			return nil, fmt.Errorf("scenario: link (%d,%d): %w", c.P, c.Q, err)
+		}
+		delaysFor[c] = ld
+		links = append(links, core.Link{P: model.ProcID(c.P), Q: model.ProcID(c.Q), A: a})
+	}
+
+	net, err := sim.NewNetwork(starts, pairs, func(p sim.Pair) sim.LinkDelays { return delaysFor[canon(p)] })
+	if err != nil {
+		return nil, err
+	}
+
+	factory, err := s.Protocol.factory(starts)
+	if err != nil {
+		return nil, err
+	}
+	return &Built{
+		Starts:  append([]float64(nil), starts...),
+		Net:     net,
+		Links:   links,
+		Factory: factory,
+		RunCfg:  sim.RunConfig{Seed: rng.Int63()},
+	}, nil
+}
+
+func (p ProtocolSpec) factory(starts []float64) (sim.ProtocolFactory, error) {
+	warmup := p.Warmup
+	if warmup < 0 {
+		warmup = sim.SafeWarmup(starts) + 1
+	}
+	switch p.Kind {
+	case "burst":
+		k := p.K
+		if k == 0 {
+			k = 1
+		}
+		return sim.NewBurstFactory(k, p.Spacing, warmup), nil
+	case "periodic":
+		if p.Period <= 0 || p.Count <= 0 {
+			return nil, fmt.Errorf("scenario: periodic needs positive period and count")
+		}
+		return sim.NewPeriodicFactory(p.Period, p.Count, warmup), nil
+	case "pingpong":
+		if p.Rounds <= 0 {
+			return nil, fmt.Errorf("scenario: pingpong needs positive rounds")
+		}
+		return sim.NewPingPongFactory(p.Rounds, warmup), nil
+	default:
+		return nil, fmt.Errorf("scenario: unknown protocol kind %q", p.Kind)
+	}
+}
+
+func canon(p sim.Pair) sim.Pair {
+	if p.P > p.Q {
+		return sim.Pair{P: p.Q, Q: p.P}
+	}
+	return p
+}
+
+// Parse decodes a scenario from JSON.
+func Parse(data []byte) (*Scenario, error) {
+	var s Scenario
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("scenario: parse: %w", err)
+	}
+	return &s, nil
+}
+
+// Encode renders the scenario as indented JSON.
+func (s *Scenario) Encode() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}

@@ -1,0 +1,234 @@
+package scenario
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"clocksync/internal/core"
+	"clocksync/internal/sim"
+	"clocksync/internal/trace"
+)
+
+func validScenario() *Scenario {
+	return &Scenario{
+		Processors:  4,
+		Seed:        7,
+		StartSpread: 2,
+		Topology:    Topology{Kind: "ring"},
+		DefaultLink: &LinkSpec{
+			Assumption: AssumptionSpec{Kind: "symmetricBounds", LB: 0.05, UB: 0.2},
+			Delays:     DelaySpec{Kind: "symmetric", Sampler: &SamplerSpec{Kind: "uniform", Lo: 0.05, Hi: 0.2}},
+		},
+		Protocol: ProtocolSpec{Kind: "burst", K: 3, Spacing: 0.01, Warmup: -1},
+	}
+}
+
+func TestBuildAndRunEndToEnd(t *testing.T) {
+	b, err := validScenario().Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	exec, err := sim.Run(b.Net, b.Factory, b.RunCfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	tab, err := trace.Collect(exec, false)
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	res, err := core.SynchronizeSystem(4, b.Links, tab, core.DefaultMLSOptions(), core.Options{})
+	if err != nil {
+		t.Fatalf("SynchronizeSystem: %v", err)
+	}
+	if math.IsInf(res.Precision, 1) {
+		t.Error("precision infinite on connected scenario")
+	}
+	rho, err := core.Rho(b.Starts, res.Corrections)
+	if err != nil {
+		t.Fatalf("Rho: %v", err)
+	}
+	if rho > res.Precision+1e-9 {
+		t.Errorf("rho %v exceeds precision %v", rho, res.Precision)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	s := validScenario()
+	data, err := s.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	parsed, err := Parse(data)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if parsed.Processors != s.Processors || parsed.Topology.Kind != s.Topology.Kind {
+		t.Errorf("round trip mismatch: %+v", parsed)
+	}
+	if _, err := parsed.Build(); err != nil {
+		t.Errorf("parsed scenario does not build: %v", err)
+	}
+}
+
+func TestParseInvalidJSON(t *testing.T) {
+	if _, err := Parse([]byte("{nope")); err == nil {
+		t.Error("invalid JSON accepted")
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Scenario)
+	}{
+		{"no processors", func(s *Scenario) { s.Processors = 0 }},
+		{"bad topology", func(s *Scenario) { s.Topology.Kind = "moebius" }},
+		{"starts length", func(s *Scenario) { s.Starts = []float64{0} }},
+		{"no default link", func(s *Scenario) { s.DefaultLink = nil }},
+		{"bad assumption", func(s *Scenario) { s.DefaultLink.Assumption.Kind = "psychic" }},
+		{"bad sampler", func(s *Scenario) { s.DefaultLink.Delays.Sampler.Kind = "quantum" }},
+		{"bad protocol", func(s *Scenario) { s.Protocol.Kind = "telepathy" }},
+		{"grid mismatch", func(s *Scenario) { s.Topology = Topology{Kind: "grid", W: 3, H: 3} }},
+		{"override off topology", func(s *Scenario) {
+			s.Links = []LinkOverride{{P: 0, Q: 2, LinkSpec: *s.DefaultLink}}
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s := validScenario()
+			tt.mutate(s)
+			if _, err := s.Build(); err == nil {
+				t.Error("Build accepted invalid scenario")
+			}
+		})
+	}
+}
+
+func TestLinkOverride(t *testing.T) {
+	s := validScenario()
+	s.Links = []LinkOverride{{
+		P: 0, Q: 1,
+		LinkSpec: LinkSpec{
+			Assumption: AssumptionSpec{Kind: "bias", B: 0.1},
+			Delays:     DelaySpec{Kind: "biasWindow", Base: 0.2, Width: 0.05},
+		},
+	}}
+	b, err := s.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	found := false
+	for _, l := range b.Links {
+		if l.P == 0 && l.Q == 1 {
+			if !strings.Contains(l.A.String(), "bias") {
+				t.Errorf("override not applied: %v", l.A)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Error("link (0,1) missing")
+	}
+}
+
+func TestAssumptionSpecKinds(t *testing.T) {
+	tests := []struct {
+		name string
+		spec AssumptionSpec
+		want string
+	}{
+		{"bounds", AssumptionSpec{Kind: "bounds", LBPQ: 0.1, UBPQ: 0.3, LBQP: 0.05, UBQP: 0.2}, "bounds"},
+		{"bounds inf ub", AssumptionSpec{Kind: "bounds", LBPQ: 0.1}, "inf"},
+		{"lowerOnly", AssumptionSpec{Kind: "lowerOnly", LBPQ: 0.1, LBQP: 0.2}, "inf"},
+		{"noBounds", AssumptionSpec{Kind: "noBounds"}, "bounds"},
+		{"bias", AssumptionSpec{Kind: "bias", B: 0.5}, "bias"},
+		{"and", AssumptionSpec{Kind: "and", Parts: []AssumptionSpec{{Kind: "noBounds"}, {Kind: "bias", B: 1}}}, "and"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			a, err := tt.spec.Build()
+			if err != nil {
+				t.Fatalf("Build: %v", err)
+			}
+			if !strings.Contains(a.String(), tt.want) {
+				t.Errorf("assumption %v does not mention %q", a, tt.want)
+			}
+		})
+	}
+}
+
+func TestSamplerSpecKinds(t *testing.T) {
+	ok := []SamplerSpec{
+		{Kind: "constant", D: 1},
+		{Kind: "uniform", Lo: 0, Hi: 1},
+		{Kind: "shiftedExp", Min: 0.1, Mean: 0.2},
+		{Kind: "truncNormal", Mu: 1, Sig: 0.1, Lo: 0.5, Hi: 1.5},
+		{Kind: "bimodal", A: &SamplerSpec{Kind: "constant", D: 1}, B: &SamplerSpec{Kind: "constant", D: 2}, PA: 0.5},
+	}
+	for _, spec := range ok {
+		if _, err := spec.Build(); err != nil {
+			t.Errorf("%s: %v", spec.Kind, err)
+		}
+	}
+	bad := []SamplerSpec{
+		{Kind: "constant", D: -1},
+		{Kind: "uniform", Lo: 1, Hi: 0},
+		{Kind: "shiftedExp", Min: 0.1},
+		{Kind: "bimodal", PA: 2},
+	}
+	for _, spec := range bad {
+		if _, err := spec.Build(); err == nil {
+			t.Errorf("%s: invalid spec accepted", spec.Kind)
+		}
+	}
+}
+
+func TestTopologyKinds(t *testing.T) {
+	tests := []struct {
+		topo Topology
+		n    int
+		want int
+	}{
+		{Topology{Kind: "line"}, 4, 3},
+		{Topology{Kind: "star"}, 4, 3},
+		{Topology{Kind: "complete"}, 4, 6},
+		{Topology{Kind: "grid", W: 2, H: 2}, 4, 4},
+		{Topology{Kind: "torus", W: 3, H: 3}, 9, 18},
+		{Topology{Kind: "tree", B: 2}, 7, 6},
+		{Topology{Kind: "hypercube", D: 2}, 4, 4},
+		{Topology{Kind: "custom", Pairs: [][2]int{{0, 1}, {1, 2}}}, 3, 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.topo.Kind, func(t *testing.T) {
+			s := validScenario()
+			s.Processors = tt.n
+			s.Topology = tt.topo
+			b, err := s.Build()
+			if err != nil {
+				t.Fatalf("Build: %v", err)
+			}
+			if got := len(b.Links); got != tt.want {
+				t.Errorf("links = %d, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestProtocolSpecKinds(t *testing.T) {
+	for _, p := range []ProtocolSpec{
+		{Kind: "burst", K: 2, Warmup: -1},
+		{Kind: "periodic", Period: 0.5, Count: 3, Warmup: -1},
+		{Kind: "pingpong", Rounds: 2, Warmup: -1},
+	} {
+		s := validScenario()
+		s.Protocol = p
+		b, err := s.Build()
+		if err != nil {
+			t.Fatalf("%s: Build: %v", p.Kind, err)
+		}
+		if _, err := sim.Run(b.Net, b.Factory, b.RunCfg); err != nil {
+			t.Errorf("%s: Run: %v", p.Kind, err)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkEngine measures event throughput of the discrete-event engine
+// on a burst workload.
+func BenchmarkEngine(b *testing.B) {
+	for _, n := range []int{8, 32} {
+		for _, k := range []int{4, 32} {
+			b.Run(fmt.Sprintf("ring%d/k=%d", n, k), func(b *testing.B) {
+				starts := make([]float64, n)
+				net, err := NewNetwork(starts, Ring(n), func(Pair) LinkDelays {
+					return Symmetric(Uniform{Lo: 0.01, Hi: 0.05})
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := Run(net, NewBurstFactory(k, 0.001, 0.5), RunConfig{Seed: int64(i)}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(2*n*k), "msgs/op")
+			})
+		}
+	}
+}
+
+// BenchmarkSamplers measures the delay samplers.
+func BenchmarkSamplers(b *testing.B) {
+	samplers := []Sampler{
+		Constant{D: 0.1},
+		Uniform{Lo: 0.1, Hi: 0.2},
+		ShiftedExp{Min: 0.1, Mean: 0.05},
+		TruncNormal{Mu: 0.15, Sigma: 0.02, Lo: 0.1, Hi: 0.2},
+	}
+	for _, s := range samplers {
+		b.Run(s.String(), func(b *testing.B) {
+			rng := newBenchRng()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = s.Sample(rng)
+			}
+		})
+	}
+}
+
+func newBenchRng() *rand.Rand { return rand.New(rand.NewSource(1)) }

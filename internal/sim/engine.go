@@ -1,0 +1,353 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"clocksync/internal/model"
+)
+
+// Network describes the simulated system: processor start times and links
+// with their delay models.
+type Network struct {
+	starts []float64
+	links  map[Pair]LinkDelays // canonical orientation P < Q
+	adj    [][]int
+}
+
+// NewNetwork builds a network. starts[p] is the real time of p's start
+// event. Every link must appear exactly once (any orientation); its delay
+// model's PQ direction refers to the canonical orientation P < Q.
+func NewNetwork(starts []float64, links []Pair, delays func(Pair) LinkDelays) (*Network, error) {
+	n := len(starts)
+	if err := Validate(n, links); err != nil {
+		return nil, err
+	}
+	net := &Network{
+		starts: append([]float64(nil), starts...),
+		links:  make(map[Pair]LinkDelays, len(links)),
+		adj:    make([][]int, n),
+	}
+	for _, e := range links {
+		c := orderPair(e.P, e.Q)
+		d := delays(c)
+		if d == nil {
+			return nil, fmt.Errorf("sim: nil delay model for link (%d,%d)", c.P, c.Q)
+		}
+		net.links[c] = d
+		net.adj[c.P] = append(net.adj[c.P], c.Q)
+		net.adj[c.Q] = append(net.adj[c.Q], c.P)
+	}
+	return net, nil
+}
+
+// N returns the number of processors.
+func (net *Network) N() int { return len(net.starts) }
+
+// Starts returns a copy of the start-time vector.
+func (net *Network) Starts() []float64 { return append([]float64(nil), net.starts...) }
+
+// Neighbors returns p's neighbors. The slice is owned by the network.
+func (net *Network) Neighbors(p model.ProcID) []int { return net.adj[p] }
+
+// Links returns the canonical link set.
+func (net *Network) Links() []Pair {
+	out := make([]Pair, 0, len(net.links))
+	for e := range net.links {
+		out = append(out, e)
+	}
+	// Deterministic order.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && less(out[j], out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Delays returns the delay model of the canonical link {p,q}, or nil.
+func (net *Network) Delays(p, q int) LinkDelays { return net.links[orderPair(p, q)] }
+
+func less(a, b Pair) bool { return a.P < b.P || (a.P == b.P && a.Q < b.Q) }
+
+// sampleDelay draws a delay for the directed hop from -> to of a message
+// sent at real time now. Time-aware link models receive the send time.
+func (net *Network) sampleDelay(rng *rand.Rand, from, to int, now float64) (float64, error) {
+	c := orderPair(from, to)
+	ld, ok := net.links[c]
+	if !ok {
+		return 0, fmt.Errorf("sim: no link between %d and %d", from, to)
+	}
+	var d float64
+	if ta, isTA := ld.(TimeAware); isTA {
+		d = ta.SampleAt(rng, now, from == c.P)
+	} else if from == c.P {
+		d = ld.SamplePQ(rng)
+	} else {
+		d = ld.SampleQP(rng)
+	}
+	if math.IsNaN(d) || d < 0 || math.IsInf(d, 0) {
+		return 0, fmt.Errorf("sim: sampler %v produced invalid delay %v", ld, d)
+	}
+	return d, nil
+}
+
+// Protocol is the behavior of one processor. Implementations receive an Env
+// bound to their processor; all interaction goes through it. One Protocol
+// instance is created per processor (see ProtocolFactory), so instances may
+// keep per-processor state.
+type Protocol interface {
+	// OnStart runs at the processor's start event (clock 0).
+	OnStart(env *Env)
+	// OnReceive runs when a message arrives.
+	OnReceive(env *Env, from model.ProcID, payload any)
+	// OnTimer runs when a timer set via env.SetTimer fires.
+	OnTimer(env *Env, tag int)
+}
+
+// ProtocolFactory creates the protocol instance for processor p.
+type ProtocolFactory func(p model.ProcID) Protocol
+
+// Env is a processor's interface to the engine during a callback.
+type Env struct {
+	engine *engine
+	self   int
+	now    float64 // real time of the current event
+}
+
+// Self returns the processor id.
+func (e *Env) Self() model.ProcID { return model.ProcID(e.self) }
+
+// N returns the number of processors.
+func (e *Env) N() int { return e.engine.net.N() }
+
+// Clock returns the processor's clock reading at the current event.
+func (e *Env) Clock() float64 { return e.now - e.engine.net.starts[e.self] }
+
+// Neighbors returns the processor's neighbors.
+func (e *Env) Neighbors() []int { return e.engine.net.adj[e.self] }
+
+// Send transmits a message to a neighbor; the delay is drawn from the
+// link's model. The payload travels with the message (any value; the
+// engine never inspects it). Failures (no such link, invalid sampled
+// delay, receipt before the receiver's start) abort the run even if the
+// protocol ignores the returned error.
+func (e *Env) Send(to model.ProcID, payload any) error {
+	err := e.engine.send(e.self, int(to), payload, e.now)
+	if err != nil && e.engine.err == nil {
+		e.engine.err = err
+	}
+	return err
+}
+
+// SetTimer schedules OnTimer(tag) at the given clock time, which must not
+// be in the past.
+func (e *Env) SetTimer(atClock float64, tag int) error {
+	at := e.engine.net.starts[e.self] + atClock
+	if at < e.now {
+		err := fmt.Errorf("sim: p%d set timer for clock %v in the past", e.self, atClock)
+		if e.engine.err == nil {
+			e.engine.err = err
+		}
+		return err
+	}
+	e.engine.push(event{time: at, kind: evTimer, proc: e.self, tag: tag})
+	if e.engine.recordTimers {
+		e.engine.timers = append(e.engine.timers, timerTrack{
+			proc:   e.self,
+			setAt:  e.Clock(),
+			fireAt: atClock,
+		})
+	}
+	return nil
+}
+
+// Event kinds inside the engine.
+const (
+	evStart = iota + 1
+	evDeliver
+	evTimer
+)
+
+type event struct {
+	time    float64
+	seq     int64 // FIFO tie-break for equal times: determinism
+	kind    int
+	proc    int // processor the event happens at
+	from    int // sender, for evDeliver
+	payload any
+	sendRel float64 // sender clock at send, for evDeliver
+	tag     int     // timer tag, for evTimer
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	*q = old[:n-1]
+	return x
+}
+
+type engine struct {
+	net     *Network
+	rng     *rand.Rand
+	queue   eventQueue
+	seq     int64
+	procs   []Protocol
+	builder *model.Builder
+	horizon float64
+	sent    int
+	err     error
+
+	recordTimers bool
+	timers       []timerTrack
+}
+
+// timerTrack mirrors one SetTimer call for optional history recording.
+type timerTrack struct {
+	proc   int
+	setAt  float64
+	fireAt float64
+	fired  bool
+}
+
+func (en *engine) push(ev event) {
+	ev.seq = en.seq
+	en.seq++
+	heap.Push(&en.queue, ev)
+}
+
+func (en *engine) send(from, to int, payload any, now float64) error {
+	c := orderPair(from, to)
+	if lm, ok := en.net.links[c].(LossModel); ok && lm.MaybeLose(en.rng, now, from == c.P) {
+		en.sent++
+		return nil // lost in transit: sent but never delivered
+	}
+	d, err := en.net.sampleDelay(en.rng, from, to, now)
+	if err != nil {
+		return err
+	}
+	arrive := now + d
+	if arrive < en.net.starts[to] {
+		return fmt.Errorf("sim: message p%d->p%d arrives at real %v before receiver start %v; increase protocol warmup",
+			from, to, arrive, en.net.starts[to])
+	}
+	en.push(event{
+		time:    arrive,
+		kind:    evDeliver,
+		proc:    to,
+		from:    from,
+		payload: payload,
+		sendRel: now - en.net.starts[from],
+	})
+	en.sent++
+	return nil
+}
+
+// RunConfig parameterizes a simulation run.
+type RunConfig struct {
+	// Seed drives all randomness deterministically.
+	Seed int64
+	// Horizon is the real time after which pending events are discarded
+	// (undelivered messages are simply in flight). Zero means run to
+	// quiescence.
+	Horizon float64
+	// MaxEvents caps the number of processed events as a runaway guard.
+	// Zero means a generous default.
+	MaxEvents int
+	// RecordTimers includes timer-set and timer events in the resulting
+	// execution's histories (full Section 2.1 fidelity). Off by default:
+	// synchronization needs only the message events.
+	RecordTimers bool
+}
+
+// Run simulates the protocol on the network and returns the resulting
+// formal execution.
+func Run(net *Network, factory ProtocolFactory, cfg RunConfig) (*model.Execution, error) {
+	maxEvents := cfg.MaxEvents
+	if maxEvents == 0 {
+		maxEvents = 1 << 22
+	}
+	en := &engine{
+		net:          net,
+		rng:          rand.New(rand.NewSource(cfg.Seed)),
+		builder:      model.NewBuilder(net.starts),
+		horizon:      cfg.Horizon,
+		recordTimers: cfg.RecordTimers,
+	}
+	en.procs = make([]Protocol, net.N())
+	for p := range en.procs {
+		en.procs[p] = factory(model.ProcID(p))
+		if en.procs[p] == nil {
+			return nil, fmt.Errorf("sim: factory returned nil protocol for p%d", p)
+		}
+	}
+	for p, s := range net.starts {
+		en.push(event{time: s, kind: evStart, proc: p})
+	}
+
+	processed := 0
+	for en.queue.Len() > 0 {
+		ev, ok := heap.Pop(&en.queue).(event)
+		if !ok {
+			return nil, fmt.Errorf("sim: corrupt event queue")
+		}
+		if cfg.Horizon > 0 && ev.time > cfg.Horizon {
+			continue // past the horizon: discard
+		}
+		processed++
+		if processed > maxEvents {
+			return nil, fmt.Errorf("sim: exceeded %d events; runaway protocol?", maxEvents)
+		}
+		env := &Env{engine: en, self: ev.proc, now: ev.time}
+		switch ev.kind {
+		case evStart:
+			en.procs[ev.proc].OnStart(env)
+		case evDeliver:
+			recvRel := ev.time - net.starts[ev.proc]
+			if _, err := en.builder.AddMessage(model.ProcID(ev.from), model.ProcID(ev.proc), ev.sendRel, recvRel); err != nil {
+				return nil, err
+			}
+			en.procs[ev.proc].OnReceive(env, model.ProcID(ev.from), ev.payload)
+		case evTimer:
+			if en.recordTimers {
+				en.markTimerFired(ev.proc, ev.time-net.starts[ev.proc])
+			}
+			en.procs[ev.proc].OnTimer(env, ev.tag)
+		}
+		if en.err != nil {
+			return nil, en.err
+		}
+	}
+	for _, tr := range en.timers {
+		if err := en.builder.AddTimer(model.ProcID(tr.proc), tr.setAt, tr.fireAt, tr.fired); err != nil {
+			return nil, err
+		}
+	}
+	return en.builder.Build()
+}
+
+// markTimerFired flags the earliest-set unfired timer of proc scheduled
+// for the given clock time.
+func (en *engine) markTimerFired(proc int, fireAt float64) {
+	for i := range en.timers {
+		tr := &en.timers[i]
+		if !tr.fired && tr.proc == proc && math.Abs(tr.fireAt-fireAt) < 1e-12 {
+			tr.fired = true
+			return
+		}
+	}
+}

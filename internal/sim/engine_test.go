@@ -1,0 +1,395 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"clocksync/internal/model"
+	"clocksync/internal/trace"
+)
+
+// runBurst is a helper: ring network with uniform delays, burst protocol.
+func runBurst(t *testing.T, n int, starts []float64, lo, hi float64, k int, seed int64) *model.Execution {
+	t.Helper()
+	net, err := NewNetwork(starts, Ring(n), func(Pair) LinkDelays {
+		return Symmetric(Uniform{Lo: lo, Hi: hi})
+	})
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	e, err := Run(net, NewBurstFactory(k, 0.01, SafeWarmup(starts)+1), RunConfig{Seed: seed})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return e
+}
+
+func TestNewNetworkValidation(t *testing.T) {
+	if _, err := NewNetwork([]float64{0, 0}, []Pair{{0, 2}}, func(Pair) LinkDelays { return Symmetric(Constant{D: 1}) }); err == nil {
+		t.Error("out-of-range link accepted")
+	}
+	if _, err := NewNetwork([]float64{0, 0}, []Pair{{0, 1}}, func(Pair) LinkDelays { return nil }); err == nil {
+		t.Error("nil delay model accepted")
+	}
+}
+
+func TestNetworkAccessors(t *testing.T) {
+	starts := []float64{0, 1, 2}
+	net, err := NewNetwork(starts, []Pair{{1, 0}, {1, 2}}, func(Pair) LinkDelays {
+		return Symmetric(Constant{D: 1})
+	})
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	if net.N() != 3 {
+		t.Errorf("N = %d, want 3", net.N())
+	}
+	links := net.Links()
+	if len(links) != 2 || links[0] != (Pair{0, 1}) || links[1] != (Pair{1, 2}) {
+		t.Errorf("Links = %v, want canonical sorted [{0 1} {1 2}]", links)
+	}
+	if net.Delays(1, 0) == nil || net.Delays(0, 2) != nil {
+		t.Error("Delays lookup wrong")
+	}
+	s := net.Starts()
+	s[0] = 99
+	if net.starts[0] == 99 {
+		t.Error("Starts exposes internal slice")
+	}
+}
+
+func TestRunBurstProducesExpectedTraffic(t *testing.T) {
+	const n, k = 4, 3
+	starts := []float64{0, 0.5, 1.2, 0.3}
+	e := runBurst(t, n, starts, 0.1, 0.2, k, 7)
+	msgs, err := e.Messages()
+	if err != nil {
+		t.Fatalf("Messages: %v", err)
+	}
+	// Ring of 4: each processor has 2 neighbors, sends k bursts to each:
+	// 4 * 2 * 3 = 24 messages.
+	if len(msgs) != 24 {
+		t.Errorf("messages = %d, want 24", len(msgs))
+	}
+	// All true delays within the sampler support.
+	for _, m := range msgs {
+		d := m.Delay(e)
+		if d < 0.1-1e-12 || d > 0.2+1e-12 {
+			t.Errorf("message %d delay %v outside [0.1,0.2]", m.ID, d)
+		}
+	}
+	// Execution must be internally consistent.
+	if err := e.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	starts := []float64{0, 0.4, 0.9}
+	e1 := runBurst(t, 3, starts, 0.05, 0.3, 4, 1234)
+	e2 := runBurst(t, 3, starts, 0.05, 0.3, 4, 1234)
+	m1, err := e1.Messages()
+	if err != nil {
+		t.Fatalf("Messages: %v", err)
+	}
+	m2, err := e2.Messages()
+	if err != nil {
+		t.Fatalf("Messages: %v", err)
+	}
+	if len(m1) != len(m2) {
+		t.Fatalf("message counts differ: %d vs %d", len(m1), len(m2))
+	}
+	for i := range m1 {
+		if m1[i] != m2[i] {
+			t.Fatalf("message %d differs: %+v vs %+v", i, m1[i], m2[i])
+		}
+	}
+}
+
+func TestRunDifferentSeedsDiffer(t *testing.T) {
+	starts := []float64{0, 0.4, 0.9}
+	e1 := runBurst(t, 3, starts, 0.05, 0.3, 4, 1)
+	e2 := runBurst(t, 3, starts, 0.05, 0.3, 4, 2)
+	m1, _ := e1.Messages()
+	m2, _ := e2.Messages()
+	same := true
+	for i := range m1 {
+		if m1[i] != m2[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical executions")
+	}
+}
+
+func TestRunWarmupTooSmall(t *testing.T) {
+	starts := []float64{0, 100}
+	net, err := NewNetwork(starts, []Pair{{0, 1}}, func(Pair) LinkDelays {
+		return Symmetric(Constant{D: 0.1})
+	})
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	_, err = Run(net, NewBurstFactory(1, 0, 0), RunConfig{Seed: 1})
+	if err == nil || !strings.Contains(err.Error(), "warmup") {
+		t.Errorf("error = %v, want warmup complaint", err)
+	}
+}
+
+func TestRunHorizonDropsLateEvents(t *testing.T) {
+	starts := []float64{0, 0}
+	net, err := NewNetwork(starts, []Pair{{0, 1}}, func(Pair) LinkDelays {
+		return Symmetric(Constant{D: 10})
+	})
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	// Messages sent at clock 1 arrive at 11 > horizon 5: in flight forever.
+	e, err := Run(net, NewBurstFactory(1, 0, 1), RunConfig{Seed: 1, Horizon: 5})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	msgs, err := e.Messages()
+	if err != nil {
+		t.Fatalf("Messages: %v", err)
+	}
+	if len(msgs) != 0 {
+		t.Errorf("delivered = %d, want 0", len(msgs))
+	}
+}
+
+func TestRunMaxEventsGuard(t *testing.T) {
+	// A protocol that ping-pongs forever trips the event cap.
+	starts := []float64{0, 0}
+	net, err := NewNetwork(starts, []Pair{{0, 1}}, func(Pair) LinkDelays {
+		return Symmetric(Constant{D: 0.1})
+	})
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	factory := func(p model.ProcID) Protocol { return infiniteEcho{} }
+	if _, err := Run(net, factory, RunConfig{Seed: 1, MaxEvents: 100}); err == nil {
+		t.Error("runaway protocol not stopped")
+	}
+}
+
+type infiniteEcho struct{}
+
+func (infiniteEcho) OnStart(env *Env) {
+	if int(env.Self()) == 0 {
+		_ = env.Send(1, 0)
+	}
+}
+func (infiniteEcho) OnReceive(env *Env, from model.ProcID, _ any) { _ = env.Send(from, 0) }
+func (infiniteEcho) OnTimer(*Env, int)                            {}
+
+func TestPeriodicProtocol(t *testing.T) {
+	starts := []float64{0, 0.2}
+	net, err := NewNetwork(starts, []Pair{{0, 1}}, func(Pair) LinkDelays {
+		return Symmetric(Constant{D: 0.05})
+	})
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	const count = 5
+	e, err := Run(net, NewPeriodicFactory(1, count, SafeWarmup(starts)+0.5), RunConfig{Seed: 1})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	msgs, err := e.Messages()
+	if err != nil {
+		t.Fatalf("Messages: %v", err)
+	}
+	if want := 2 * count; len(msgs) != want {
+		t.Errorf("messages = %d, want %d", len(msgs), want)
+	}
+}
+
+func TestPingPongProtocol(t *testing.T) {
+	starts := []float64{0, 0.1}
+	net, err := NewNetwork(starts, []Pair{{0, 1}}, func(Pair) LinkDelays {
+		return Symmetric(Uniform{Lo: 0.01, Hi: 0.02})
+	})
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	const rounds = 3
+	e, err := Run(net, NewPingPongFactory(rounds, SafeWarmup(starts)+0.5), RunConfig{Seed: 1})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	msgs, err := e.Messages()
+	if err != nil {
+		t.Fatalf("Messages: %v", err)
+	}
+	// Each round is one ping + one pong.
+	if want := 2 * rounds; len(msgs) != want {
+		t.Errorf("messages = %d, want %d", len(msgs), want)
+	}
+	// Both directions saw traffic.
+	tab, err := trace.Collect(e, false)
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	if tab.Stats(0, 1).Count != rounds || tab.Stats(1, 0).Count != rounds {
+		t.Errorf("per-direction counts = %d/%d, want %d/%d",
+			tab.Stats(0, 1).Count, tab.Stats(1, 0).Count, rounds, rounds)
+	}
+}
+
+func TestBiasWindowLinkInSimulation(t *testing.T) {
+	starts := []float64{0, 0.3}
+	net, err := NewNetwork(starts, []Pair{{0, 1}}, func(Pair) LinkDelays {
+		return BiasWindow{Base: 1, Width: 0.2}
+	})
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	e, err := Run(net, NewBurstFactory(10, 0.01, SafeWarmup(starts)+0.5), RunConfig{Seed: 3})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	msgs, err := e.Messages()
+	if err != nil {
+		t.Fatalf("Messages: %v", err)
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, m := range msgs {
+		d := m.Delay(e)
+		lo = math.Min(lo, d)
+		hi = math.Max(hi, d)
+	}
+	if hi-lo > 0.2 {
+		t.Errorf("bias window violated: spread %v > 0.2", hi-lo)
+	}
+}
+
+func TestSafeWarmupAndUniformStarts(t *testing.T) {
+	if got := SafeWarmup(nil); got != 0 {
+		t.Errorf("SafeWarmup(nil) = %v, want 0", got)
+	}
+	if got := SafeWarmup([]float64{3, 1, 7}); got != 6 {
+		t.Errorf("SafeWarmup = %v, want 6", got)
+	}
+	rng := rand.New(rand.NewSource(1))
+	starts := UniformStarts(rng, 10, 5)
+	if len(starts) != 10 {
+		t.Fatalf("len = %d", len(starts))
+	}
+	for _, s := range starts {
+		if s < 0 || s >= 5 {
+			t.Errorf("start %v outside [0,5)", s)
+		}
+	}
+}
+
+func TestTimerInPast(t *testing.T) {
+	starts := []float64{0, 0}
+	net, err := NewNetwork(starts, []Pair{{0, 1}}, func(Pair) LinkDelays {
+		return Symmetric(Constant{D: 1})
+	})
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	factory := func(p model.ProcID) Protocol { return badTimer{} }
+	if _, err := Run(net, factory, RunConfig{Seed: 1}); err == nil {
+		t.Error("timer in the past accepted")
+	}
+}
+
+type badTimer struct{}
+
+func (badTimer) OnStart(env *Env)                  { _ = env.SetTimer(-5, 0) }
+func (badTimer) OnReceive(*Env, model.ProcID, any) {}
+func (badTimer) OnTimer(*Env, int)                 {}
+
+// TestRecordTimers: with RecordTimers on, the execution's histories carry
+// timer-set and timer events satisfying Section 2.1's timer condition,
+// and the trace pipeline is unaffected.
+func TestRecordTimers(t *testing.T) {
+	starts := []float64{0, 0.3}
+	net, err := NewNetwork(starts, []Pair{{0, 1}}, func(Pair) LinkDelays {
+		return Symmetric(Constant{D: 0.05})
+	})
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	exec, err := Run(net, NewBurstFactory(3, 0.1, SafeWarmup(starts)+0.5), RunConfig{Seed: 2, RecordTimers: true})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := exec.ValidateTimers(); err != nil {
+		t.Errorf("ValidateTimers: %v", err)
+	}
+	setCount, fireCount := 0, 0
+	for _, h := range exec.Histories {
+		for _, st := range h.Steps {
+			switch st.Event.Kind {
+			case model.KindTimerSet:
+				setCount++
+			case model.KindTimer:
+				fireCount++
+			}
+		}
+	}
+	// Burst with K=3 sets 3 timers per processor; all fire to quiescence.
+	if setCount != 6 || fireCount != 6 {
+		t.Errorf("timer events = %d set / %d fired, want 6/6", setCount, fireCount)
+	}
+	// Shifting preserves views including timer events.
+	sh, err := exec.Shift([]float64{0.1, -0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !model.Equivalent(exec, sh) {
+		t.Error("shifted execution with timers not equivalent")
+	}
+	// Trace collection ignores timers gracefully.
+	tab, err := trace.Collect(exec, false)
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	if tab.Stats(0, 1).Count != 3 {
+		t.Errorf("trace count = %d, want 3", tab.Stats(0, 1).Count)
+	}
+}
+
+// TestRecordTimersHorizonLeavesUnfired: timers beyond the horizon are
+// recorded as set-but-unfired, which the validator permits.
+func TestRecordTimersHorizonLeavesUnfired(t *testing.T) {
+	starts := []float64{0, 0}
+	net, err := NewNetwork(starts, []Pair{{0, 1}}, func(Pair) LinkDelays {
+		return Symmetric(Constant{D: 0.05})
+	})
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	// Periodic with long period: later timers land beyond the horizon.
+	exec, err := Run(net, NewPeriodicFactory(10, 5, 0.5), RunConfig{Seed: 2, Horizon: 5, RecordTimers: true})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := exec.ValidateTimers(); err != nil {
+		t.Errorf("ValidateTimers: %v", err)
+	}
+	unfired := 0
+	for _, h := range exec.Histories {
+		sets, fires := 0, 0
+		for _, st := range h.Steps {
+			switch st.Event.Kind {
+			case model.KindTimerSet:
+				sets++
+			case model.KindTimer:
+				fires++
+			}
+		}
+		unfired += sets - fires
+	}
+	if unfired == 0 {
+		t.Error("expected some set-but-unfired timers past the horizon")
+	}
+}

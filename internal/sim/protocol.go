@@ -1,0 +1,173 @@
+package sim
+
+import (
+	"math/rand"
+
+	"clocksync/internal/model"
+)
+
+// Burst sends K timestamped messages to every neighbor, the bursts spaced
+// Spacing apart in clock time, starting at clock Warmup. It is the
+// canonical measurement protocol: the synchronizer needs only the extremal
+// estimated delays, which more samples sharpen.
+type Burst struct {
+	K       int
+	Spacing float64
+	Warmup  float64
+}
+
+// NewBurstFactory returns a factory producing Burst protocols.
+func NewBurstFactory(k int, spacing, warmup float64) ProtocolFactory {
+	return func(model.ProcID) Protocol {
+		return &burstProc{cfg: Burst{K: k, Spacing: spacing, Warmup: warmup}}
+	}
+}
+
+type burstProc struct {
+	cfg Burst
+}
+
+var _ Protocol = (*burstProc)(nil)
+
+func (b *burstProc) OnStart(env *Env) {
+	for k := 0; k < b.cfg.K; k++ {
+		if err := env.SetTimer(b.cfg.Warmup+float64(k)*b.cfg.Spacing, k); err != nil {
+			return
+		}
+	}
+}
+
+func (b *burstProc) OnReceive(*Env, model.ProcID, any) {}
+
+func (b *burstProc) OnTimer(env *Env, _ int) {
+	for _, q := range env.Neighbors() {
+		if err := env.Send(model.ProcID(q), env.Clock()); err != nil {
+			return
+		}
+	}
+}
+
+// Periodic sends one message to every neighbor each Period, Count times,
+// starting at clock Warmup: a beacon protocol.
+type Periodic struct {
+	Period float64
+	Count  int
+	Warmup float64
+}
+
+// NewPeriodicFactory returns a factory producing Periodic protocols.
+func NewPeriodicFactory(period float64, count int, warmup float64) ProtocolFactory {
+	return func(model.ProcID) Protocol {
+		return &periodicProc{cfg: Periodic{Period: period, Count: count, Warmup: warmup}}
+	}
+}
+
+type periodicProc struct {
+	cfg  Periodic
+	sent int
+}
+
+var _ Protocol = (*periodicProc)(nil)
+
+func (p *periodicProc) OnStart(env *Env) {
+	if p.cfg.Count > 0 {
+		_ = env.SetTimer(p.cfg.Warmup, 0)
+	}
+}
+
+func (p *periodicProc) OnReceive(*Env, model.ProcID, any) {}
+
+func (p *periodicProc) OnTimer(env *Env, _ int) {
+	for _, q := range env.Neighbors() {
+		if err := env.Send(model.ProcID(q), env.Clock()); err != nil {
+			return
+		}
+	}
+	p.sent++
+	if p.sent < p.cfg.Count {
+		_ = env.SetTimer(env.Clock()+p.cfg.Period, 0)
+	}
+}
+
+// PingPong runs request/response exchanges: the lower-id endpoint of each
+// link initiates Rounds round trips. Payload encoding: a positive payload r
+// is a ping with r rounds remaining; its receiver answers with -r; a pong
+// -r triggers ping r-1 while r-1 >= 1.
+type PingPong struct {
+	Rounds int
+	Warmup float64
+}
+
+// NewPingPongFactory returns a factory producing PingPong protocols.
+func NewPingPongFactory(rounds int, warmup float64) ProtocolFactory {
+	return func(model.ProcID) Protocol {
+		return &pingPongProc{cfg: PingPong{Rounds: rounds, Warmup: warmup}}
+	}
+}
+
+type pingPongProc struct {
+	cfg PingPong
+}
+
+var _ Protocol = (*pingPongProc)(nil)
+
+func (p *pingPongProc) OnStart(env *Env) {
+	if p.cfg.Rounds > 0 {
+		_ = env.SetTimer(p.cfg.Warmup, 0)
+	}
+}
+
+func (p *pingPongProc) OnTimer(env *Env, _ int) {
+	self := int(env.Self())
+	for _, q := range env.Neighbors() {
+		if self < q {
+			if err := env.Send(model.ProcID(q), float64(p.cfg.Rounds)); err != nil {
+				return
+			}
+		}
+	}
+}
+
+func (p *pingPongProc) OnReceive(env *Env, from model.ProcID, payload any) {
+	v, ok := payload.(float64)
+	if !ok {
+		return // foreign message; ignore
+	}
+	switch {
+	case v > 0: // ping: answer with a pong
+		_ = env.Send(from, -v)
+	case v < 0: // pong: maybe start the next round
+		if r := -v - 1; r >= 1 {
+			_ = env.Send(from, r)
+		}
+	}
+}
+
+// SafeWarmup returns a warmup clock offset large enough that no message
+// sent at or after it can arrive before its receiver's start event: the
+// start-time spread.
+func SafeWarmup(starts []float64) float64 {
+	if len(starts) == 0 {
+		return 0
+	}
+	lo, hi := starts[0], starts[0]
+	for _, s := range starts[1:] {
+		if s < lo {
+			lo = s
+		}
+		if s > hi {
+			hi = s
+		}
+	}
+	return hi - lo
+}
+
+// UniformStarts draws n start times uniformly from [0, spread): the
+// adversarially unknown skews the synchronizer must recover.
+func UniformStarts(rng *rand.Rand, n int, spread float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = spread * rng.Float64()
+	}
+	return out
+}

@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// connected checks connectivity of an undirected topology.
+func connected(n int, pairs []Pair) bool {
+	if n == 0 {
+		return true
+	}
+	adj := make([][]int, n)
+	for _, e := range pairs {
+		adj[e.P] = append(adj[e.P], e.Q)
+		adj[e.Q] = append(adj[e.Q], e.P)
+	}
+	seen := make([]bool, n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range adj[v] {
+			if !seen[w] {
+				seen[w] = true
+				count++
+				stack = append(stack, w)
+			}
+		}
+	}
+	return count == n
+}
+
+func TestTopologySizes(t *testing.T) {
+	tests := []struct {
+		name  string
+		n     int
+		pairs []Pair
+		want  int
+	}{
+		{"line5", 5, Line(5), 4},
+		{"line1", 1, Line(1), 0},
+		{"ring5", 5, Ring(5), 5},
+		{"ring2", 2, Ring(2), 1},
+		{"star6", 6, Star(6), 5},
+		{"complete5", 5, Complete(5), 10},
+		{"grid3x3", 9, Grid(3, 3), 12},
+		{"torus3x3", 9, Torus(3, 3), 18},
+		{"tree7binary", 7, Tree(7, 2), 6},
+		{"hypercube3", 8, Hypercube(3), 12},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := len(tt.pairs); got != tt.want {
+				t.Errorf("edges = %d, want %d", got, tt.want)
+			}
+			if err := Validate(tt.n, tt.pairs); err != nil {
+				t.Errorf("Validate: %v", err)
+			}
+			if len(tt.pairs) > 0 && !connected(tt.n, tt.pairs) {
+				t.Error("topology not connected")
+			}
+		})
+	}
+}
+
+func TestRandomConnected(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(20)
+		pairs := RandomConnected(rng, n, 0.2)
+		if err := Validate(n, pairs); err != nil {
+			t.Fatalf("trial %d: Validate: %v", trial, err)
+		}
+		if !connected(n, pairs) {
+			t.Fatalf("trial %d: not connected", trial)
+		}
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	tests := []struct {
+		name  string
+		n     int
+		pairs []Pair
+	}{
+		{"out of range", 2, []Pair{{0, 2}}},
+		{"negative", 2, []Pair{{-1, 0}}},
+		{"self loop", 2, []Pair{{1, 1}}},
+		{"duplicate", 3, []Pair{{0, 1}, {1, 0}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := Validate(tt.n, tt.pairs); err == nil {
+				t.Error("error = nil, want non-nil")
+			}
+		})
+	}
+}

@@ -1,0 +1,63 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"clocksync/internal/model"
+)
+
+// tableJSON is the wire form of a Table: only non-empty directed pairs are
+// serialized, as statistics (raw samples are not persisted).
+type tableJSON struct {
+	Processors int         `json:"processors"`
+	Pairs      []pairStats `json:"pairs"`
+}
+
+type pairStats struct {
+	From  model.ProcID `json:"from"`
+	To    model.ProcID `json:"to"`
+	Count int          `json:"count"`
+	Min   float64      `json:"min"`
+	Max   float64      `json:"max"`
+}
+
+// MarshalJSON encodes the table's statistics. Raw samples (if retained)
+// are not included; a decoded table always has raw retention off.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	out := tableJSON{Processors: t.n}
+	for p := 0; p < t.n; p++ {
+		for q := 0; q < t.n; q++ {
+			st := t.stats[p][q]
+			if st.Empty() {
+				continue
+			}
+			out.Pairs = append(out.Pairs, pairStats{
+				From: model.ProcID(p), To: model.ProcID(q),
+				Count: st.Count, Min: st.Min, Max: st.Max,
+			})
+		}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON decodes a table serialized by MarshalJSON.
+func (t *Table) UnmarshalJSON(data []byte) error {
+	var in tableJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("trace: decode table: %w", err)
+	}
+	if in.Processors < 0 {
+		return fmt.Errorf("trace: decode table: negative processor count %d", in.Processors)
+	}
+	*t = *NewTable(in.Processors, false)
+	for _, p := range in.Pairs {
+		if p.Count <= 0 {
+			return fmt.Errorf("trace: decode table: pair p%d->p%d has count %d", p.From, p.To, p.Count)
+		}
+		if err := t.MergeStats(p.From, p.To, DirStats{Count: p.Count, Min: p.Min, Max: p.Max}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"clocksync/internal/model"
+)
+
+// LinkKey identifies an unordered link in canonical orientation P < Q.
+type LinkKey struct {
+	P, Q model.ProcID
+}
+
+// Canon returns the canonical key for an unordered pair.
+func Canon(p, q model.ProcID) LinkKey {
+	if p > q {
+		p, q = q, p
+	}
+	return LinkKey{P: p, Q: q}
+}
+
+// EstPair is one matched request/response exchange: the estimated delay
+// of the i-th P->Q message and of the i-th Q->P message, in send-clock
+// order. (The canonical orientation's P side is the "request" direction.)
+type EstPair struct {
+	PQ, QP float64
+}
+
+// CollectPairs matches the messages of each link by rank in send-clock
+// order: the i-th P->Q message pairs with the i-th Q->P message. For
+// exchange protocols that alternate request/response per link (ping-pong,
+// symmetric bursts) this recovers exactly the same-time pairs the
+// paired-bias model constrains. Unmatched trailing messages are dropped.
+func CollectPairs(e *model.Execution) (map[LinkKey][]EstPair, error) {
+	msgs, err := e.Messages()
+	if err != nil {
+		return nil, fmt.Errorf("trace: resolve messages: %w", err)
+	}
+	type dirMsgs struct {
+		pq, qp []model.Message
+	}
+	byLink := make(map[LinkKey]*dirMsgs)
+	for _, m := range msgs {
+		key := Canon(m.From, m.To)
+		dm := byLink[key]
+		if dm == nil {
+			dm = &dirMsgs{}
+			byLink[key] = dm
+		}
+		if m.From == key.P {
+			dm.pq = append(dm.pq, m)
+		} else {
+			dm.qp = append(dm.qp, m)
+		}
+	}
+	out := make(map[LinkKey][]EstPair, len(byLink))
+	for key, dm := range byLink {
+		sort.Slice(dm.pq, func(i, j int) bool { return dm.pq[i].SendClock < dm.pq[j].SendClock })
+		sort.Slice(dm.qp, func(i, j int) bool { return dm.qp[i].SendClock < dm.qp[j].SendClock })
+		n := len(dm.pq)
+		if len(dm.qp) < n {
+			n = len(dm.qp)
+		}
+		pairs := make([]EstPair, n)
+		for i := 0; i < n; i++ {
+			pairs[i] = EstPair{
+				PQ: dm.pq[i].EstimatedDelay(),
+				QP: dm.qp[i].EstimatedDelay(),
+			}
+		}
+		out[key] = pairs
+	}
+	return out, nil
+}
+
+// CollectActualPairs is CollectPairs with actual (real-time) delays; for
+// the verifier only.
+func CollectActualPairs(e *model.Execution) (map[LinkKey][]EstPair, error) {
+	msgs, err := e.Messages()
+	if err != nil {
+		return nil, fmt.Errorf("trace: resolve messages: %w", err)
+	}
+	type dirMsgs struct {
+		pq, qp []model.Message
+	}
+	byLink := make(map[LinkKey]*dirMsgs)
+	for _, m := range msgs {
+		key := Canon(m.From, m.To)
+		dm := byLink[key]
+		if dm == nil {
+			dm = &dirMsgs{}
+			byLink[key] = dm
+		}
+		if m.From == key.P {
+			dm.pq = append(dm.pq, m)
+		} else {
+			dm.qp = append(dm.qp, m)
+		}
+	}
+	out := make(map[LinkKey][]EstPair, len(byLink))
+	for key, dm := range byLink {
+		sort.Slice(dm.pq, func(i, j int) bool { return dm.pq[i].SendClock < dm.pq[j].SendClock })
+		sort.Slice(dm.qp, func(i, j int) bool { return dm.qp[i].SendClock < dm.qp[j].SendClock })
+		n := len(dm.pq)
+		if len(dm.qp) < n {
+			n = len(dm.qp)
+		}
+		pairs := make([]EstPair, n)
+		for i := 0; i < n; i++ {
+			pairs[i] = EstPair{PQ: dm.pq[i].Delay(e), QP: dm.qp[i].Delay(e)}
+		}
+		out[key] = pairs
+	}
+	return out, nil
+}

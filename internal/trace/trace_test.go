@@ -1,0 +1,232 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"clocksync/internal/model"
+)
+
+func TestDirStatsBasics(t *testing.T) {
+	d := NewDirStats()
+	if !d.Empty() {
+		t.Error("NewDirStats not empty")
+	}
+	if !math.IsInf(d.Min, 1) || !math.IsInf(d.Max, -1) {
+		t.Errorf("empty stats = %v, want Min=+Inf Max=-Inf", d)
+	}
+	d.Add(3)
+	d.Add(1)
+	d.Add(2)
+	if d.Count != 3 || d.Min != 1 || d.Max != 3 {
+		t.Errorf("stats = %+v, want n=3 min=1 max=3", d)
+	}
+}
+
+func TestDirStatsZeroValueAdd(t *testing.T) {
+	var d DirStats // zero value: Count==0 makes Add initialize correctly
+	d.Add(-2)
+	if d.Count != 1 || d.Min != -2 || d.Max != -2 {
+		t.Errorf("stats = %+v, want n=1 min=-2 max=-2", d)
+	}
+}
+
+func TestDirStatsMerge(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b []float64
+	}{
+		{name: "both empty"},
+		{name: "left empty", b: []float64{1, 2}},
+		{name: "right empty", a: []float64{3}},
+		{name: "overlap", a: []float64{1, 5}, b: []float64{0, 3}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			a, b, both := NewDirStats(), NewDirStats(), NewDirStats()
+			for _, x := range tt.a {
+				a.Add(x)
+				both.Add(x)
+			}
+			for _, x := range tt.b {
+				b.Add(x)
+				both.Add(x)
+			}
+			a.Merge(b)
+			if a != both {
+				t.Errorf("merged = %+v, want %+v", a, both)
+			}
+		})
+	}
+}
+
+func TestDirStatsString(t *testing.T) {
+	d := NewDirStats()
+	if got := d.String(); got != "{}" {
+		t.Errorf("empty String() = %q", got)
+	}
+	d.Add(1.5)
+	if got := d.String(); got != "{n=1 min=1.5 max=1.5}" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestTableAddValidation(t *testing.T) {
+	tab := NewTable(2, false)
+	tests := []struct {
+		name    string
+		s       Sample
+		wantErr bool
+	}{
+		{name: "ok", s: Sample{From: 0, To: 1, SendClock: 1, RecvClock: 2}},
+		{name: "self", s: Sample{From: 1, To: 1}, wantErr: true},
+		{name: "from out of range", s: Sample{From: 5, To: 1}, wantErr: true},
+		{name: "to out of range", s: Sample{From: 0, To: -1}, wantErr: true},
+		{name: "nan", s: Sample{From: 0, To: 1, RecvClock: math.NaN()}, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tab.Add(tt.s)
+			if (err != nil) != tt.wantErr {
+				t.Errorf("Add error = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestTableRawRetention(t *testing.T) {
+	tab := NewTable(2, true)
+	for _, d := range []float64{0.5, 0.3, 0.9} {
+		if err := tab.Add(Sample{From: 0, To: 1, SendClock: 0, RecvClock: d}); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+	raw := tab.Raw(0, 1)
+	if len(raw) != 3 {
+		t.Fatalf("len(Raw) = %d, want 3", len(raw))
+	}
+	if tab.Raw(1, 0) != nil {
+		t.Error("Raw(silent link) != nil")
+	}
+	noRaw := NewTable(2, false)
+	_ = noRaw.Add(Sample{From: 0, To: 1, RecvClock: 1})
+	if noRaw.Raw(0, 1) != nil {
+		t.Error("Raw != nil with retention off")
+	}
+}
+
+func TestTablePairsAndActive(t *testing.T) {
+	tab := NewTable(3, false)
+	_ = tab.Add(Sample{From: 0, To: 1, RecvClock: 1})
+	if !tab.Active(0, 1) || !tab.Active(1, 0) {
+		t.Error("Active(0,1)/(1,0) = false, want true")
+	}
+	if tab.Active(1, 2) {
+		t.Error("Active(1,2) = true, want false")
+	}
+	var visited [][2]model.ProcID
+	tab.Pairs(func(p, q model.ProcID, pq, qp DirStats) {
+		visited = append(visited, [2]model.ProcID{p, q})
+	})
+	// Both orientations of the active pair are visited (and nothing else).
+	if len(visited) != 2 {
+		t.Fatalf("Pairs visited %v, want both orientations of (0,1)", visited)
+	}
+}
+
+// buildExec creates an execution with one message in each direction between
+// adjacent processors of a 3-line, with known delays.
+func buildExec(t *testing.T) *model.Execution {
+	t.Helper()
+	starts := []float64{0, 10, -5}
+	b := model.NewBuilder(starts)
+	sendAt := 20.0
+	add := func(from, to model.ProcID, d float64) {
+		t.Helper()
+		if _, err := b.AddMessageDelay(from, to, sendAt, d); err != nil {
+			t.Fatalf("AddMessageDelay: %v", err)
+		}
+	}
+	add(0, 1, 1.0)
+	add(1, 0, 2.0)
+	add(1, 2, 0.5)
+	add(2, 1, 0.25)
+	e, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return e
+}
+
+func TestCollectEstimated(t *testing.T) {
+	e := buildExec(t)
+	tab, err := Collect(e, true)
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	// d~(0->1) = d + S0 - S1 = 1 + 0 - 10 = -9.
+	if got := tab.Stats(0, 1).Min; got != -9 {
+		t.Errorf("d~min(0,1) = %v, want -9", got)
+	}
+	// d~(1->0) = 2 + 10 - 0 = 12.
+	if got := tab.Stats(1, 0).Min; got != 12 {
+		t.Errorf("d~min(1,0) = %v, want 12", got)
+	}
+	// d~(2->1) = 0.25 - 5 - 10 = -14.75.
+	if got := tab.Stats(2, 1).Max; got != -14.75 {
+		t.Errorf("d~max(2,1) = %v, want -14.75", got)
+	}
+}
+
+func TestCollectActualSeesTrueDelays(t *testing.T) {
+	e := buildExec(t)
+	tab, err := CollectActual(e, false)
+	if err != nil {
+		t.Fatalf("CollectActual: %v", err)
+	}
+	if got := tab.Stats(0, 1).Min; got != 1.0 {
+		t.Errorf("dmin(0,1) = %v, want 1", got)
+	}
+	if got := tab.Stats(2, 1).Max; got != 0.25 {
+		t.Errorf("dmax(2,1) = %v, want 0.25", got)
+	}
+}
+
+// TestEstimatedEqualsActualPlusSkew ties Collect and CollectActual together:
+// d~ = d + S_from - S_to for every directed pair (Lemma 6.1).
+func TestEstimatedEqualsActualPlusSkew(t *testing.T) {
+	e := buildExec(t)
+	est, err := Collect(e, false)
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	act, err := CollectActual(e, false)
+	if err != nil {
+		t.Fatalf("CollectActual: %v", err)
+	}
+	starts := e.Starts()
+	act.Pairs(func(p, q model.ProcID, pq, qp DirStats) {
+		if pq.Empty() {
+			return
+		}
+		skew := starts[p] - starts[q]
+		got := est.Stats(p, q)
+		if math.Abs(got.Min-(pq.Min+skew)) > 1e-12 || math.Abs(got.Max-(pq.Max+skew)) > 1e-12 {
+			t.Errorf("pair (%d,%d): est=%v act=%v skew=%v", p, q, got, pq, skew)
+		}
+	})
+}
+
+// Property: for any sample, EstimatedDelay is RecvClock - SendClock.
+func TestSampleEstimatedDelayQuick(t *testing.T) {
+	f := func(send, recv float64) bool {
+		s := Sample{From: 0, To: 1, SendClock: send, RecvClock: recv}
+		got := s.EstimatedDelay()
+		want := recv - send
+		return got == want || (math.IsNaN(got) && math.IsNaN(want))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

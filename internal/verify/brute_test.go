@@ -1,0 +1,127 @@
+package verify
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"clocksync/internal/core"
+	"clocksync/internal/delay"
+	"clocksync/internal/model"
+	"clocksync/internal/trace"
+)
+
+// admissibleShiftVector checks a full shift vector directly against the
+// per-link assumptions (Lemma 5.2's right-hand side): the shifted
+// execution must be locally admissible on every pair.
+func admissibleShiftVector(t *testing.T, e *model.Execution, links []core.Link, shifts []float64) bool {
+	t.Helper()
+	shifted, err := e.Shift(shifts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := trace.CollectActual(shifted, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range links {
+		if !l.A.Admits(tab.Raw(l.P, l.Q), tab.Raw(l.Q, l.P)) {
+			return false
+		}
+	}
+	// Physical non-negativity on every trafficked pair.
+	nb := delay.NoBounds()
+	bad := false
+	tab.Pairs(func(p, q model.ProcID, _, _ trace.DirStats) {
+		if !nb.Admits(tab.Raw(p, q), tab.Raw(q, p)) {
+			bad = true
+		}
+	})
+	return !bad
+}
+
+// TestGlobalShiftsBruteForce validates Theorem 5.4 end to end on tiny
+// systems: the shortest-path ms(p,q) equals the empirical supremum of
+// admissible relative shifts found by grid search over full shift
+// vectors. This exercises Lemma 5.2 (local <-> global) and Lemma 5.3 (the
+// dist construction) against nothing but the Admits predicates.
+func TestGlobalShiftsBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(271))
+	for trial := 0; trial < 6; trial++ {
+		// Three processors on a line, random admissible delays.
+		lb, ub := 0.1, 0.4
+		bounds, err := delay.SymmetricBounds(lb, ub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		starts := []float64{0, rng.Float64(), rng.Float64()}
+		b := model.NewBuilder(starts)
+		sendAt := 2.0
+		for _, pair := range [][2]model.ProcID{{0, 1}, {1, 2}} {
+			for k := 0; k < 2; k++ {
+				d1 := lb + (ub-lb)*rng.Float64()
+				d2 := lb + (ub-lb)*rng.Float64()
+				if _, err := b.AddMessageDelay(pair[0], pair[1], sendAt+float64(k), d1); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := b.AddMessageDelay(pair[1], pair[0], sendAt+float64(k), d2); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		e, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		links := []core.Link{
+			{P: 0, Q: 1, A: bounds},
+			{P: 1, Q: 2, A: bounds},
+		}
+		ms, err := TrueMS(e, links, core.DefaultMLSOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Brute force: grid over (s1, s2) with s0 = 0; the empirical sup of
+		// s_q - s_p over admissible vectors must match ms(p,q).
+		const (
+			span = 0.5
+			step = 0.005
+		)
+		best := [3][3]float64{}
+		for p := 0; p < 3; p++ {
+			for q := 0; q < 3; q++ {
+				best[p][q] = math.Inf(-1)
+			}
+		}
+		for s1 := -span; s1 <= span; s1 += step {
+			for s2 := -span; s2 <= span; s2 += step {
+				shifts := []float64{0, s1, s2}
+				if !admissibleShiftVector(t, e, links, shifts) {
+					continue
+				}
+				for p := 0; p < 3; p++ {
+					for q := 0; q < 3; q++ {
+						if d := shifts[q] - shifts[p]; d > best[p][q] {
+							best[p][q] = d
+						}
+					}
+				}
+			}
+		}
+		for p := 0; p < 3; p++ {
+			for q := 0; q < 3; q++ {
+				if p == q {
+					continue
+				}
+				if math.IsInf(ms[p][q], 1) {
+					continue // grid too small to witness unbounded shifts
+				}
+				// The grid discretization under-approximates by at most ~2 steps.
+				if diff := ms[p][q] - best[p][q]; diff < -1e-9 || diff > 3*step {
+					t.Fatalf("trial %d: ms(%d,%d) = %v but brute-force sup = %v", trial, p, q, ms[p][q], best[p][q])
+				}
+			}
+		}
+	}
+}

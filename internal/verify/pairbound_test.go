@@ -1,0 +1,81 @@
+package verify
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"clocksync/internal/core"
+	"clocksync/internal/sim"
+)
+
+// TestPairBoundMatchesGroundTruth: the view-computable Result.PairBound
+// equals the ground-truth per-pair rho-bar for every pair, on random
+// simulated systems — the estimates fold the start times through exactly.
+func TestPairBoundMatchesGroundTruth(t *testing.T) {
+	rng := rand.New(rand.NewSource(88))
+	for trial := 0; trial < 8; trial++ {
+		n := 4 + rng.Intn(4)
+		sc := mkScenario(t, rng, n, sim.Ring(n), 0.05, 0.3, 2)
+		msTrue, err := TrueMS(sc.exec, sc.links, core.DefaultMLSOptions())
+		if err != nil {
+			t.Fatalf("TrueMS: %v", err)
+		}
+		starts := sc.exec.Starts()
+		for p := 0; p < n; p++ {
+			for q := 0; q < n; q++ {
+				fromViews, err := sc.res.PairBound(p, q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fromTruth, err := PairRhoBar(starts, msTrue, sc.res.Corrections, p, q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if math.Abs(fromViews-fromTruth) > 1e-9 {
+					t.Fatalf("trial %d pair (%d,%d): views %v vs truth %v", trial, p, q, fromViews, fromTruth)
+				}
+			}
+		}
+	}
+}
+
+func TestPairRhoBarValidation(t *testing.T) {
+	if _, err := PairRhoBar([]float64{0, 1}, [][]float64{{0, 1}, {1, 0}}, []float64{0}, 0, 1); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	if _, err := PairRhoBar([]float64{0, 1}, [][]float64{{0, 1}, {1, 0}}, []float64{0, 0}, 0, 5); err == nil {
+		t.Error("out-of-range pair accepted")
+	}
+	v, err := PairRhoBar([]float64{0, 1}, [][]float64{{0, 1}, {1, 0}}, []float64{0, 0}, 1, 1)
+	if err != nil || v != 0 {
+		t.Errorf("self pair = %v, %v", v, err)
+	}
+}
+
+// TestExactCertificate: the critical cycle reported from views is a valid
+// ground-truth witness that the precision is unimprovable.
+func TestExactCertificate(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 6; trial++ {
+		n := 3 + rng.Intn(5)
+		sc := mkScenario(t, rng, n, sim.Complete(n), 0.05, 0.25, 1+trial%3)
+		cert, err := ExactCertificate(sc.exec, sc.links, core.DefaultMLSOptions(), sc.res)
+		if err != nil {
+			t.Fatalf("trial %d: ExactCertificate: %v", trial, err)
+		}
+		if math.Abs(cert.Mean-sc.res.Precision) > 1e-9 {
+			t.Fatalf("trial %d: certificate mean %v != precision %v", trial, cert.Mean, sc.res.Precision)
+		}
+		if len(cert.Cycle) < 2 || cert.Cycle[0] != cert.Cycle[len(cert.Cycle)-1] {
+			t.Fatalf("trial %d: malformed certificate cycle %v", trial, cert.Cycle)
+		}
+	}
+}
+
+func TestExactCertificateNoCycle(t *testing.T) {
+	res := &core.Result{Precision: 1}
+	if _, err := ExactCertificate(nil, nil, core.DefaultMLSOptions(), res); err == nil {
+		t.Error("missing cycle accepted")
+	}
+}

@@ -1,0 +1,146 @@
+package verify
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"clocksync/internal/core"
+	"clocksync/internal/delay"
+	"clocksync/internal/model"
+	"clocksync/internal/sim"
+	"clocksync/internal/trace"
+)
+
+// TestSoakLargeRandomSystems pushes the whole stack on larger random
+// topologies with heterogeneous assumptions: end-to-end optimality
+// certificates, adversarial shift admissibility, and centered-correction
+// agreement. Skipped under -short.
+func TestSoakLargeRandomSystems(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	rng := rand.New(rand.NewSource(20260706))
+	for trial := 0; trial < 4; trial++ {
+		n := 16 + rng.Intn(9) // 16..24
+		pairs := sim.RandomConnected(rng, n, 0.12)
+		starts := sim.UniformStarts(rng, n, 4)
+
+		delays := func(e sim.Pair) sim.LinkDelays {
+			switch (e.P + e.Q) % 3 {
+			case 0:
+				return sim.Symmetric(sim.Uniform{Lo: 0.05, Hi: 0.25})
+			case 1:
+				return sim.BiasWindow{Base: 0.1 + 0.2*rng.Float64(), Width: 0.03}
+			default:
+				return sim.Symmetric(sim.ShiftedExp{Min: 0.04, Mean: 0.1})
+			}
+		}
+		assume := func(e sim.Pair) delay.Assumption {
+			switch (e.P + e.Q) % 3 {
+			case 0:
+				a, err := delay.SymmetricBounds(0.05, 0.25)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return a
+			case 1:
+				a, err := delay.NewRTTBias(0.03)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return a
+			default:
+				a, err := delay.LowerOnly(0.04, 0.04)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return a
+			}
+		}
+
+		net, err := sim.NewNetwork(starts, pairs, delays)
+		if err != nil {
+			t.Fatalf("trial %d: NewNetwork: %v", trial, err)
+		}
+		exec, err := sim.Run(net, sim.NewBurstFactory(3, 0.01, sim.SafeWarmup(starts)+0.5),
+			sim.RunConfig{Seed: rng.Int63()})
+		if err != nil {
+			t.Fatalf("trial %d: Run: %v", trial, err)
+		}
+		var links []core.Link
+		for _, e := range pairs {
+			p, q := e.P, e.Q
+			if p > q {
+				p, q = q, p
+			}
+			links = append(links, core.Link{P: model.ProcID(p), Q: model.ProcID(q), A: assume(sim.Pair{P: p, Q: q})})
+		}
+		if err := CheckAdmissible(exec, links, core.DefaultMLSOptions()); err != nil {
+			t.Fatalf("trial %d: admissibility: %v", trial, err)
+		}
+		tab, err := trace.Collect(exec, false)
+		if err != nil {
+			t.Fatalf("trial %d: Collect: %v", trial, err)
+		}
+		res, err := core.SynchronizeSystem(n, links, tab, core.DefaultMLSOptions(), core.Options{})
+		if err != nil {
+			t.Fatalf("trial %d: Synchronize: %v", trial, err)
+		}
+		if math.IsInf(res.Precision, 1) {
+			t.Fatalf("trial %d: infinite precision on connected system", trial)
+		}
+		cert, err := CheckOptimality(exec, links, core.DefaultMLSOptions(), res, 300, rng.Int63())
+		if err != nil {
+			t.Fatalf("trial %d: CheckOptimality: %v", trial, err)
+		}
+		if err := cert.Ok(1e-9); err != nil {
+			t.Fatalf("trial %d: %v (cert %+v)", trial, err, cert)
+		}
+
+		// Centered corrections: same guarantee, feasible, usually tighter
+		// realized error.
+		centered, err := core.SynchronizeSystem(n, links, tab, core.DefaultMLSOptions(), core.Options{Centered: true})
+		if err != nil {
+			t.Fatalf("trial %d: centered: %v", trial, err)
+		}
+		if math.Abs(centered.Precision-res.Precision) > 1e-9 {
+			t.Fatalf("trial %d: centered precision %v != %v", trial, centered.Precision, res.Precision)
+		}
+		rhoC, err := core.Rho(starts, centered.Corrections)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rhoC > centered.Precision+1e-9 {
+			t.Fatalf("trial %d: centered rho %v exceeds precision %v", trial, rhoC, centered.Precision)
+		}
+
+		// Adversarial construction on the dominant pair.
+		msTrue, err := TrueMS(exec, links, core.DefaultMLSOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		bestP, bestQ, worst := -1, -1, math.Inf(-1)
+		for p := 0; p < n; p++ {
+			for q := 0; q < n; q++ {
+				if p == q {
+					continue
+				}
+				v := (starts[p] - res.Corrections[p]) - (starts[q] - res.Corrections[q]) + msTrue[p][q]
+				if v > worst {
+					worst, bestP, bestQ = v, p, q
+				}
+			}
+		}
+		shifted, _, err := AdversarialShift(exec, links, core.DefaultMLSOptions(), model.ProcID(bestP), model.ProcID(bestQ), 0.995)
+		if err != nil {
+			t.Fatalf("trial %d: AdversarialShift: %v", trial, err)
+		}
+		if !model.Equivalent(exec, shifted) {
+			t.Fatalf("trial %d: adversarial execution not equivalent", trial)
+		}
+		if err := CheckAdmissible(shifted, links, core.DefaultMLSOptions()); err != nil {
+			t.Fatalf("trial %d: adversarial execution inadmissible: %v", trial, err)
+		}
+	}
+}

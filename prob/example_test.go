@@ -1,0 +1,30 @@
+package prob_test
+
+import (
+	"fmt"
+
+	"clocksync"
+	"clocksync/prob"
+)
+
+// Derive bounds that hold with 99% confidence for a link whose delay is
+// log-normal with a ~100 ms median, then synchronize with them.
+func ExampleConfidenceBounds() {
+	dist := prob.LogNormal{Mu: -2.3, Sigma: 0.5}
+	a, err := prob.ConfidenceBounds(dist, dist, 8, 0.01)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	sys, _ := clocksync.NewSystem(2)
+	_ = sys.AddLink(0, 1, a)
+
+	rec := clocksync.NewRecorder(2)
+	_ = rec.Observe(0, 1, 1.0, 1.0+0.100) // typical samples
+	_ = rec.Observe(1, 0, 1.0, 1.0+0.102)
+
+	res, _ := sys.Synchronize(rec, clocksync.Centered())
+	fmt.Printf("precision %.3f s with 99%% confidence\n", res.Precision)
+	// Output:
+	// precision 0.083 s with 99% confidence
+}

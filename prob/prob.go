@@ -1,0 +1,48 @@
+// Package prob is the public face of the probabilistic delay extension
+// (Section 7 of the paper): when per-link delay distributions are known,
+// quantile-derived bounds turn the instance-optimal synchronizer into one
+// whose guarantees hold with a chosen confidence.
+//
+// Pick a failure budget epsilon and the maximum number of messages per
+// link direction; ConfidenceBounds returns a bounds assumption that every
+// delay satisfies with probability at least 1-epsilon (union bound over
+// all samples and both tails). Use the result with System.AddLink; the
+// synchronizer's reported precision then holds with the same confidence.
+package prob
+
+import (
+	iprob "clocksync/internal/prob"
+
+	"clocksync"
+)
+
+// Distribution is a delay distribution with a known quantile function
+// (inverse CDF) supported on [0, +inf).
+type Distribution = iprob.Distribution
+
+// Concrete distributions.
+type (
+	// Uniform is the uniform distribution on [Lo, Hi].
+	Uniform = iprob.Uniform
+	// ShiftedExp is Min plus an exponential with the given Mean.
+	ShiftedExp = iprob.ShiftedExp
+	// LogNormal is exp(N(Mu, Sigma^2)).
+	LogNormal = iprob.LogNormal
+	// Pareto is the heavy-tailed Pareto distribution (scale Xm, shape
+	// Alpha).
+	Pareto = iprob.Pareto
+)
+
+// ConfidenceBounds derives a delay-bounds assumption that holds with
+// probability at least 1-epsilon for up to maxMessages messages in each
+// direction of the link, assuming delays are drawn independently from the
+// given distributions.
+func ConfidenceBounds(pq, qp Distribution, maxMessages int, epsilon float64) (clocksync.Assumption, error) {
+	return iprob.ConfidenceBounds(pq, qp, maxMessages, epsilon)
+}
+
+// Failure bounds the probability that the ConfidenceBounds assumption is
+// violated in a run that actually used mPQ and mQP messages per direction.
+func Failure(maxMessages, mPQ, mQP int, epsilon float64) float64 {
+	return iprob.Failure(maxMessages, mPQ, mQP, epsilon)
+}

@@ -1,0 +1,76 @@
+package prob_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"clocksync"
+	"clocksync/prob"
+)
+
+// TestConfidenceBoundsEndToEnd drives the public API: derive bounds from
+// a distribution, synchronize a pair, confirm the reported precision is
+// honored on an instance whose delays respect the bounds.
+func TestConfidenceBoundsEndToEnd(t *testing.T) {
+	dist := prob.LogNormal{Mu: -2.3, Sigma: 0.4}
+	const (
+		k   = 6
+		eps = 0.05
+	)
+	a, err := prob.ConfidenceBounds(dist, dist, k, eps)
+	if err != nil {
+		t.Fatalf("ConfidenceBounds: %v", err)
+	}
+	sys, err := clocksync.NewSystem(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddLink(0, 1, a); err != nil {
+		t.Fatal(err)
+	}
+	rec := clocksync.NewRecorder(2)
+	rng := rand.New(rand.NewSource(4))
+	const skew = 0.33
+	for i := 0; i < k; i++ {
+		// Inverse-CDF sampling from the true distribution, bulk quantiles
+		// only so the assumption surely holds in this deterministic test.
+		p := 0.1 + 0.8*rng.Float64()
+		d01 := dist.Quantile(p)
+		d10 := dist.Quantile(1 - p)
+		tm := 2.0 + float64(i)
+		if err := rec.Observe(0, 1, tm, tm+d01-skew); err != nil {
+			t.Fatal(err)
+		}
+		if err := rec.Observe(1, 0, tm, tm+d10+skew); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := sys.Synchronize(rec, clocksync.Centered())
+	if err != nil {
+		t.Fatalf("Synchronize: %v", err)
+	}
+	if math.IsInf(res.Precision, 1) || res.Precision <= 0 {
+		t.Fatalf("precision = %v", res.Precision)
+	}
+	disc, err := clocksync.Discrepancy([]float64{0, skew}, res.Corrections)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if disc > res.Precision+1e-9 {
+		t.Errorf("discrepancy %v exceeds precision %v", disc, res.Precision)
+	}
+}
+
+func TestFailureWrapper(t *testing.T) {
+	if got := prob.Failure(4, 4, 4, 0.2); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("Failure = %v, want 0.2", got)
+	}
+}
+
+func TestConfidenceBoundsValidation(t *testing.T) {
+	u := prob.Uniform{Lo: 0, Hi: 1}
+	if _, err := prob.ConfidenceBounds(u, u, 0, 0.1); err == nil {
+		t.Error("maxMessages 0 accepted")
+	}
+}

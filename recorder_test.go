@@ -1,0 +1,99 @@
+package clocksync
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func TestRecorderJSONRoundTrip(t *testing.T) {
+	rec := NewRecorder(3)
+	if err := rec.Observe(0, 1, 1, 1.4); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Observe(1, 0, 1, 1.6); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Observe(2, 1, 5, 5.2); err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	var back Recorder
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if back.Observed(0, 1) != 1 || back.Observed(1, 0) != 1 || back.Observed(2, 1) != 1 {
+		t.Errorf("counts after round trip: %d %d %d",
+			back.Observed(0, 1), back.Observed(1, 0), back.Observed(2, 1))
+	}
+
+	// The restored recorder synchronizes identically.
+	sys, err := NewSystem(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddLink(0, 1, MustSymmetricBounds(0.1, 0.7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddLink(1, 2, NoBounds()); err != nil {
+		t.Fatal(err)
+	}
+	res1, err := sys.Synchronize(rec)
+	if err != nil {
+		t.Fatalf("Synchronize(original): %v", err)
+	}
+	res2, err := sys.Synchronize(&back)
+	if err != nil {
+		t.Fatalf("Synchronize(restored): %v", err)
+	}
+	for p := range res1.Corrections {
+		if res1.Corrections[p] != res2.Corrections[p] {
+			t.Errorf("correction p%d differs: %v vs %v", p, res1.Corrections[p], res2.Corrections[p])
+		}
+	}
+	same := res1.Precision == res2.Precision ||
+		(math.IsInf(res1.Precision, 1) && math.IsInf(res2.Precision, 1))
+	if !same {
+		t.Errorf("precision differs: %v vs %v", res1.Precision, res2.Precision)
+	}
+}
+
+func TestRecorderUnmarshalBad(t *testing.T) {
+	var rec Recorder
+	if err := json.Unmarshal([]byte(`{"processors": -2}`), &rec); err == nil {
+		t.Error("bad recorder JSON accepted")
+	}
+}
+
+func TestRecorderMerge(t *testing.T) {
+	a := NewRecorder(2)
+	b := NewRecorder(2)
+	if err := a.Observe(0, 1, 1, 1.3); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Observe(0, 1, 2, 2.1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Observe(1, 0, 2, 2.9); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if got := a.Observed(0, 1); got != 2 {
+		t.Errorf("Observed(0,1) = %d, want 2", got)
+	}
+	if got := a.Observed(1, 0); got != 1 {
+		t.Errorf("Observed(1,0) = %d, want 1", got)
+	}
+
+	if err := a.Merge(nil); err == nil {
+		t.Error("nil merge accepted")
+	}
+	if err := a.Merge(NewRecorder(5)); err == nil {
+		t.Error("size-mismatched merge accepted")
+	}
+}

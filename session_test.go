@@ -1,0 +1,139 @@
+package clocksync
+
+import (
+	"math"
+	"testing"
+)
+
+func sessionSystem(t *testing.T) *System {
+	t.Helper()
+	sys, err := NewSystem(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddLink(0, 1, MustSymmetricBounds(0.01, 0.05)); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func sessionRecorder(t *testing.T, skew float64) *Recorder {
+	t.Helper()
+	rec := NewRecorder(2)
+	if err := rec.Observe(0, 1, 10, 10+0.03-skew); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Observe(1, 0, 10, 10+0.03+skew); err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+func TestNewSessionValidation(t *testing.T) {
+	sys := sessionSystem(t)
+	if _, err := NewSession(nil, 0); err == nil {
+		t.Error("nil system accepted")
+	}
+	if _, err := NewSession(sys, -0.1); err == nil {
+		t.Error("negative rho accepted")
+	}
+	if _, err := NewSession(sys, 1); err == nil {
+		t.Error("rho=1 accepted")
+	}
+}
+
+func TestSessionDriftFree(t *testing.T) {
+	sys := sessionSystem(t)
+	sess, err := NewSession(sys, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(sess.BoundAt(0), 1) {
+		t.Error("bound before any round should be +Inf")
+	}
+	if sess.Due(1, 0) != 0 {
+		t.Error("a round should be due before any sync")
+	}
+	res, err := sess.Round(sessionRecorder(t, 0.2), 10.1, 10.2)
+	if err != nil {
+		t.Fatalf("Round: %v", err)
+	}
+	if want := (0.05 - 0.01) / 2; math.Abs(res.Precision-want) > 1e-12 {
+		t.Errorf("precision = %v, want %v", res.Precision, want)
+	}
+	// Drift-free: the bound never decays.
+	if got := sess.BoundAt(1e6); math.Abs(got-res.Precision) > 1e-12 {
+		t.Errorf("BoundAt(1e6) = %v, want %v", got, res.Precision)
+	}
+	if !math.IsInf(sess.Due(0.1, 20), 1) {
+		t.Error("drift-free within target should never be due")
+	}
+	if sess.Due(0.001, 20) != 0 {
+		t.Error("unreachable target should be due immediately")
+	}
+}
+
+func TestSessionWithDrift(t *testing.T) {
+	sys := sessionSystem(t)
+	const rho = 1e-3
+	sess, err := NewSession(sys, rho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const horizon, now = 10.1, 10.2
+	res, err := sess.Round(sessionRecorder(t, -0.4), horizon, now)
+	if err != nil {
+		t.Fatalf("Round: %v", err)
+	}
+	// Inflated bounds widen precision beyond the drift-free value.
+	driftFree := (0.05 - 0.01) / 2
+	if res.Precision <= driftFree {
+		t.Errorf("precision = %v, want > %v (inflation)", res.Precision, driftFree)
+	}
+	// The bound grows linearly after the sync.
+	b0 := sess.BoundAt(now)
+	b1 := sess.BoundAt(now + 100)
+	if want := b0 + 2*rho*100; math.Abs(b1-want) > 1e-9 {
+		t.Errorf("BoundAt decay = %v, want %v", b1, want)
+	}
+	// Due matches the decay rate.
+	target := b0 + 0.01
+	if due := sess.Due(target, now); math.Abs(due-0.01/(2*rho)) > 1e-6 {
+		t.Errorf("Due = %v, want %v", due, 0.01/(2*rho))
+	}
+}
+
+func TestSessionRoundValidation(t *testing.T) {
+	sess, err := NewSession(sessionSystem(t), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Round(nil, 1, 1); err == nil {
+		t.Error("nil recorder accepted")
+	}
+	if _, err := sess.Round(sessionRecorder(t, 0), -1, 1); err == nil {
+		t.Error("negative horizon accepted")
+	}
+	if _, err := sess.Round(sessionRecorder(t, 0), math.Inf(1), 1); err == nil {
+		t.Error("infinite horizon accepted")
+	}
+}
+
+// TestSessionRepeatedRounds: a later round refreshes the decay reference.
+func TestSessionRepeatedRounds(t *testing.T) {
+	sess, err := NewSession(sessionSystem(t), 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Round(sessionRecorder(t, 0.1), 10.1, 10.2); err != nil {
+		t.Fatal(err)
+	}
+	early := sess.BoundAt(100)
+	if _, err := sess.Round(sessionRecorder(t, 0.1), 10.1, 100); err != nil {
+		t.Fatal(err)
+	}
+	refreshed := sess.BoundAt(100)
+	if refreshed >= early {
+		t.Errorf("resync did not refresh the bound: %v >= %v", refreshed, early)
+	}
+}
