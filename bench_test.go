@@ -52,6 +52,7 @@ func BenchmarkF6TraceReduction(b *testing.B)   { benchExperiment(b, "F6") }
 
 // Extension experiments (paper §7 open questions + design ablations).
 func BenchmarkD1Drift(b *testing.B)             { benchExperiment(b, "D1") }
+func BenchmarkD2FaultTolerance(b *testing.B)    { benchExperiment(b, "D2") }
 func BenchmarkP1Probabilistic(b *testing.B)     { benchExperiment(b, "P1") }
 func BenchmarkX1Distributed(b *testing.B)       { benchExperiment(b, "X1") }
 func BenchmarkA1CorrectionStyle(b *testing.B)   { benchExperiment(b, "A1") }

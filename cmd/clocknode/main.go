@@ -51,6 +51,7 @@ func run(args []string) error {
 		offset   = fs.Duration("offset", 0, "artificial clock skew (demos)")
 		jitter   = fs.Duration("jitter", 0, "artificial transmission jitter (demos)")
 		timeout  = fs.Duration("timeout", 30*time.Second, "network wait bound")
+		grace    = fs.Duration("report-grace", 0, "coordinator wait for missing reports before a degraded compute (0 = timeout)")
 		centered = fs.Bool("centered", true, "use centered corrections")
 		seed     = fs.Int64("seed", 1, "jitter randomness seed")
 	)
@@ -82,6 +83,7 @@ func run(args []string) error {
 		Jitter:          *jitter,
 		Seed:            *seed,
 		Timeout:         *timeout,
+		ReportGrace:     *grace,
 		Centered:        *centered,
 	}
 	node, err := netsync.Start(cfg)
@@ -97,6 +99,10 @@ func run(args []string) error {
 	}
 	fmt.Printf("correction: %+.6g s (add to the local clock)\n", out.Correction)
 	fmt.Printf("precision:  %.6g s (optimal guaranteed bound, all pairs)\n", out.Precision)
+	if out.Degraded {
+		fmt.Printf("DEGRADED: missing reports from %v; the precision covers only the synchronized component %v\n",
+			out.Missing, out.Synced)
+	}
 	return nil
 }
 

@@ -37,6 +37,8 @@ func run(args []string) error {
 		root         = fs.Int("root", 0, "processor whose correction is fixed to zero")
 		trials       = fs.Int("trials", 200, "alternative correction vectors for -verify")
 		distMode     = fs.String("dist", "", "run the distributed protocol instead: 'leader' or 'gossip'")
+		reportGrace  = fs.Float64("report-grace", 0, "distributed: leader wait for missing reports before a degraded compute (0 = window)")
+		retries      = fs.Int("retries", 0, "distributed: report/result re-floods for lossy networks")
 		showPairs    = fs.Bool("pairs", false, "print the per-pair precision bound matrix")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -54,7 +56,12 @@ func run(args []string) error {
 		return err
 	}
 	if *distMode != "" {
-		return runDistributed(data, *distMode, clocksync.ProcID(*root), *centered)
+		return runDistributed(data, *distMode, distributed.Config{
+			Leader:      clocksync.ProcID(*root),
+			Centered:    *centered,
+			ReportGrace: *reportGrace,
+			Retries:     *retries,
+		})
 	}
 	rep, err := clocksync.RunScenarioJSON(data, clocksync.SimOptions{
 		Verify:   *doVerify,
@@ -79,8 +86,7 @@ func run(args []string) error {
 }
 
 // runDistributed executes the Section 7 protocol from the CLI.
-func runDistributed(data []byte, mode string, leader clocksync.ProcID, centered bool) error {
-	cfg := distributed.Config{Leader: leader, Centered: centered}
+func runDistributed(data []byte, mode string, cfg distributed.Config) error {
 	switch mode {
 	case "leader":
 	case "gossip":
@@ -96,9 +102,18 @@ func runDistributed(data []byte, mode string, leader clocksync.ProcID, centered 
 	fmt.Printf("messages on the wire: %d\n", out.Messages)
 	fmt.Printf("optimal precision:    %.6g\n", out.Precision)
 	fmt.Printf("realized discrepancy: %.6g\n", out.Realized)
+	if out.Degraded {
+		fmt.Printf("DEGRADED: missing reports from %v\n", out.Missing)
+	}
 	fmt.Println("corrections:")
 	for p, c := range out.Corrections {
-		fmt.Printf("  p%-3d %+.6g\n", p, c)
+		status := ""
+		if out.Applied != nil && !out.Applied[p] {
+			status = "  (not applied)"
+		} else if out.Synced != nil && !out.Synced[p] {
+			status = "  (outside the synchronized component)"
+		}
+		fmt.Printf("  p%-3d %+.6g%s\n", p, c, status)
 	}
 	return nil
 }

@@ -11,6 +11,7 @@ package distributed
 
 import (
 	"fmt"
+	"math"
 
 	"clocksync/internal/dist"
 	"clocksync/internal/scenario"
@@ -31,6 +32,13 @@ type Config struct {
 	// Window is the measurement duration before reports are emitted
 	// (default: Probes*Spacing + 2 s).
 	Window float64
+	// ReportGrace is how long (clock time) the leader waits for missing
+	// reports past the report time before computing from whichever subset
+	// arrived (default: Window).
+	ReportGrace float64
+	// Retries is the number of report/result re-floods, spread across the
+	// grace period, for lossy networks (default 0).
+	Retries int
 	// Centered selects centered corrections at the leader.
 	Centered bool
 	// Gossip selects the leaderless variant: reports are flooded to
@@ -51,19 +59,54 @@ func (c *Config) fill() {
 	}
 }
 
+// validate rejects nonsensical parameters up front, before the zero-value
+// defaulting could mask them.
+func (c *Config) validate() error {
+	if c.Probes < 0 {
+		return fmt.Errorf("distributed: Probes = %d, want >= 0", c.Probes)
+	}
+	if c.Spacing < 0 || math.IsNaN(c.Spacing) || math.IsInf(c.Spacing, 0) {
+		return fmt.Errorf("distributed: Spacing = %v, want a finite value >= 0", c.Spacing)
+	}
+	if c.Window < 0 || math.IsNaN(c.Window) || math.IsInf(c.Window, 0) {
+		return fmt.Errorf("distributed: Window = %v, want a finite value >= 0", c.Window)
+	}
+	if c.ReportGrace < 0 || math.IsNaN(c.ReportGrace) || math.IsInf(c.ReportGrace, 0) {
+		return fmt.Errorf("distributed: ReportGrace = %v, want a finite value >= 0", c.ReportGrace)
+	}
+	if c.Retries < 0 {
+		return fmt.Errorf("distributed: Retries = %d, want >= 0", c.Retries)
+	}
+	return nil
+}
+
 // Outcome reports one distributed run.
 type Outcome struct {
 	// Corrections[p] is the correction processor p received.
 	Corrections []float64
-	// Precision is the leader's optimal guaranteed precision.
+	// Precision is the optimal guaranteed precision of the leader's
+	// synchronized component.
 	Precision float64
 	// Messages is the total number of delivered messages (probes plus
 	// report and result floods).
 	Messages int
 	// Starts is the simulator's ground-truth start vector.
 	Starts []float64
-	// Realized is the ground-truth discrepancy of the corrected clocks.
+	// Realized is the ground-truth discrepancy of the corrected clocks —
+	// over all processors on a clean run, over the applied part of the
+	// synchronized component on a degraded one.
 	Realized float64
+	// Degraded is set when the leader computed without the full report
+	// set (crashes, partitions or flood loss).
+	Degraded bool
+	// Missing lists processors whose reports never reached the leader.
+	Missing []clocksync.ProcID
+	// Applied[p] reports whether p received (and applied) its correction.
+	Applied []bool
+	// Synced flags membership in the leader's synchronized component;
+	// Precision covers exactly these processors. Nil on clean runs of the
+	// leader variant when every processor synchronized.
+	Synced []bool
 }
 
 // RunScenarioJSON simulates the scenario (see the clocksync package and
@@ -79,15 +122,20 @@ func RunScenarioJSON(data []byte, cfg Config) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	cfg.fill()
 	dcfg := dist.Config{
-		Leader:   cfg.Leader,
-		Links:    built.Links,
-		Probes:   cfg.Probes,
-		Spacing:  cfg.Spacing,
-		Warmup:   sim.SafeWarmup(built.Starts) + 0.5,
-		Window:   cfg.Window,
-		Centered: cfg.Centered,
+		Leader:      cfg.Leader,
+		Links:       built.Links,
+		Probes:      cfg.Probes,
+		Spacing:     cfg.Spacing,
+		Warmup:      sim.SafeWarmup(built.Starts) + 0.5,
+		Window:      cfg.Window,
+		ReportGrace: cfg.ReportGrace,
+		Retries:     cfg.Retries,
+		Centered:    cfg.Centered,
 	}
 	runFn := dist.Run
 	if cfg.Gossip {
@@ -101,15 +149,40 @@ func RunScenarioJSON(data []byte, cfg Config) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
-	realized, err := clocksync.Discrepancy(built.Starts, out.Corrections)
-	if err != nil {
-		return nil, err
-	}
-	return &Outcome{
+	res := &Outcome{
 		Corrections: out.Corrections,
 		Precision:   out.Precision,
 		Messages:    len(msgs),
 		Starts:      built.Starts,
-		Realized:    realized,
-	}, nil
+		Degraded:    out.Degraded,
+		Missing:     out.Missing,
+		Applied:     out.Applied,
+		Synced:      out.Synced,
+	}
+	if out.Degraded {
+		// Ground truth restricted to the processors the precision covers
+		// and that actually received their correction.
+		res.Realized = 0
+		var comp []int
+		for p := range out.Applied {
+			if out.Applied[p] && (out.Synced == nil || out.Synced[p]) {
+				comp = append(comp, p)
+			}
+		}
+		for i, p := range comp {
+			for _, q := range comp[:i] {
+				d := math.Abs((built.Starts[p] - out.Corrections[p]) - (built.Starts[q] - out.Corrections[q]))
+				if d > res.Realized {
+					res.Realized = d
+				}
+			}
+		}
+		return res, nil
+	}
+	realized, err := clocksync.Discrepancy(built.Starts, out.Corrections)
+	if err != nil {
+		return nil, err
+	}
+	res.Realized = realized
+	return res, nil
 }

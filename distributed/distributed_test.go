@@ -86,3 +86,69 @@ func TestRunScenarioJSONGossip(t *testing.T) {
 		t.Errorf("gossip messages %d >= leader %d (no result flood expected)", gossip.Messages, leader.Messages)
 	}
 }
+
+// TestConfigValidation: nonsensical parameters are rejected up front with
+// clear errors instead of silently defaulting.
+func TestConfigValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  distributed.Config
+	}{
+		{"negative probes", distributed.Config{Probes: -1}},
+		{"negative spacing", distributed.Config{Spacing: -0.01}},
+		{"NaN spacing", distributed.Config{Spacing: math.NaN()}},
+		{"negative window", distributed.Config{Window: -1}},
+		{"infinite window", distributed.Config{Window: math.Inf(1)}},
+		{"negative report grace", distributed.Config{ReportGrace: -0.5}},
+		{"NaN report grace", distributed.Config{ReportGrace: math.NaN()}},
+		{"negative retries", distributed.Config{Retries: -2}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := distributed.RunScenarioJSON([]byte(scenarioJSON), tc.cfg); err == nil {
+				t.Errorf("invalid config %+v accepted", tc.cfg)
+			}
+		})
+	}
+}
+
+const faultyScenarioJSON = `{
+	"processors": 5,
+	"seed": 31,
+	"startSpread": 1,
+	"topology": {"kind": "star"},
+	"defaultLink": {
+		"assumption": {"kind": "symmetricBounds", "lb": 0.05, "ub": 0.2},
+		"delays": {"kind": "symmetric", "sampler": {"kind": "uniform", "lo": 0.05, "hi": 0.2}}
+	},
+	"protocol": {"kind": "burst", "k": 1, "warmup": -1},
+	"faults": {"crashes": [{"proc": 4, "at": 0}]}
+}`
+
+// TestRunScenarioJSONWithFaults: a crash declared in the scenario's faults
+// section produces a degraded outcome with the survivors synchronized.
+func TestRunScenarioJSONWithFaults(t *testing.T) {
+	out, err := distributed.RunScenarioJSON([]byte(faultyScenarioJSON), distributed.Config{
+		ReportGrace: 1,
+	})
+	if err != nil {
+		t.Fatalf("RunScenarioJSON: %v", err)
+	}
+	if !out.Degraded {
+		t.Error("crashed processor did not degrade the outcome")
+	}
+	if len(out.Missing) != 1 || out.Missing[0] != 4 {
+		t.Errorf("Missing = %v, want [4]", out.Missing)
+	}
+	if out.Applied[4] {
+		t.Error("crashed p4 applied a correction")
+	}
+	for p := 0; p < 4; p++ {
+		if !out.Applied[p] || !out.Synced[p] {
+			t.Errorf("survivor p%d applied=%v synced=%v, want both", p, out.Applied[p], out.Synced[p])
+		}
+	}
+	if out.Realized > out.Precision+1e-9 {
+		t.Errorf("realized %v exceeds degraded precision %v", out.Realized, out.Precision)
+	}
+}

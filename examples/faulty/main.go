@@ -1,0 +1,68 @@
+// faulty: synchronization that survives a crash — the degraded quorum
+// path of the Section 7 protocol.
+//
+// A 6-node ring measures its links; processor 5 crash-stops in the
+// middle of the measurement window, after it has probed its neighbors
+// but before it can flood its report. The leader's report grace expires,
+// it computes from the five reports that arrived, and the survivors
+// synchronize with a sound (merely degraded) precision; nobody blocks on
+// the dead node.
+//
+//	go run ./examples/faulty
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"clocksync/distributed"
+)
+
+const scenarioJSON = `{
+  "processors": 6,
+  "seed": 42,
+  "startSpread": 1,
+  "topology": {"kind": "ring"},
+  "defaultLink": {
+    "assumption": {"kind": "symmetricBounds", "lb": 0.03, "ub": 0.09},
+    "delays": {"kind": "symmetric", "sampler": {"kind": "uniform", "lo": 0.03, "hi": 0.09}}
+  },
+  "protocol": {"kind": "burst", "k": 1, "warmup": -1},
+  "faults": {
+    "crashes": [{"proc": 5, "at": 2.2}]
+  }
+}`
+
+func main() {
+	out, err := distributed.RunScenarioJSON([]byte(scenarioJSON), distributed.Config{
+		Leader:      0,
+		Probes:      5,
+		ReportGrace: 1, // wait one clock second for stragglers, then proceed
+		Centered:    true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("faulty: 6-node ring, p5 crashes mid-measurement (real time 2.2)")
+	fmt.Printf("  degraded:              %v\n", out.Degraded)
+	fmt.Printf("  missing reports:       %v\n", out.Missing)
+	fmt.Printf("  degraded precision:    %.4f s (covers the synchronized component)\n", out.Precision)
+	fmt.Printf("  realized error:        %.4f s (ground truth over that component)\n", out.Realized)
+	fmt.Println("  per-node outcome:")
+	for p, c := range out.Corrections {
+		switch {
+		case !out.Applied[p]:
+			fmt.Printf("    p%d crashed — no correction applied\n", p)
+		case out.Synced != nil && !out.Synced[p]:
+			fmt.Printf("    p%d %+.4f s (outside the synchronized component)\n", p, c)
+		default:
+			fmt.Printf("    p%d %+.4f s\n", p, c)
+		}
+	}
+	fmt.Println()
+	fmt.Println("The crashed processor had already probed its neighbors, so its links still")
+	fmt.Println("carry the neighbors' incoming statistics (Lemma 6.1) plus the declared bounds;")
+	fmt.Println("the survivors' component synchronizes with a guarantee that is optimal for")
+	fmt.Println("exactly the information that reached the leader.")
+}

@@ -1,0 +1,423 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"clocksync/internal/model"
+	"clocksync/internal/sim"
+)
+
+// floodLoss restricts injected loss to report/result floods, leaving the
+// probe traffic to the link delay models.
+func floodLoss(payload any) bool {
+	switch payload.(type) {
+	case Report, ResultMsg:
+		return true
+	}
+	return false
+}
+
+// reachableFrom returns the set of processors connected to root in the
+// topology restricted to non-crashed processors.
+func reachableFrom(n int, pairs []sim.Pair, crashed map[int]bool, root int) map[int]bool {
+	adj := make([][]int, n)
+	for _, e := range pairs {
+		adj[e.P] = append(adj[e.P], e.Q)
+		adj[e.Q] = append(adj[e.Q], e.P)
+	}
+	seen := map[int]bool{root: true}
+	queue := []int{root}
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		for _, q := range adj[p] {
+			if crashed[q] || seen[q] {
+				continue
+			}
+			seen[q] = true
+			queue = append(queue, q)
+		}
+	}
+	return seen
+}
+
+// realizedOver computes the ground-truth corrected-clock discrepancy over
+// a subset of processors.
+func realizedOver(starts, corrections []float64, include []int) float64 {
+	worst := 0.0
+	for i, p := range include {
+		for _, q := range include[i+1:] {
+			d := math.Abs((starts[p] - corrections[p]) - (starts[q] - corrections[q]))
+			if d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+// TestDistCrashDegrades: a leaf crashing mid-measurement leaves the rest
+// synchronized; the crashed processor is reported missing and the
+// precision still dominates the surviving component's realized error.
+func TestDistCrashDegrades(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	n := 5
+	net, links, starts := setup(t, rng, n, sim.Star(n), 0.05, 0.2)
+	cfg := Config{
+		Leader:  0,
+		Links:   links,
+		Probes:  4,
+		Spacing: 0.01,
+		Warmup:  sim.SafeWarmup(starts) + 0.5,
+		Window:  1,
+	}
+	// Crash p4 after roughly half its probes are out.
+	crashAt := starts[4] + cfg.Warmup + 2*cfg.Spacing + 0.001
+	out, _, err := Run(net, cfg, sim.RunConfig{
+		Seed:   5,
+		Faults: &sim.Faults{Crashes: []sim.Crash{{Proc: 4, At: crashAt}}},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !out.Degraded {
+		t.Error("crash did not mark the outcome degraded")
+	}
+	if len(out.Missing) != 1 || out.Missing[0] != 4 {
+		t.Errorf("Missing = %v, want [4]", out.Missing)
+	}
+	if out.Applied[4] {
+		t.Error("crashed p4 applied a correction")
+	}
+	var synced []int
+	for p := 0; p < n; p++ {
+		if p == 4 {
+			continue
+		}
+		if !out.Applied[p] {
+			t.Errorf("live p%d never received the result flood", p)
+		}
+		if !out.Synced[p] {
+			t.Errorf("live p%d outside the synchronized component", p)
+		}
+		synced = append(synced, p)
+	}
+	if rho := realizedOver(starts, out.Corrections, synced); rho > out.Precision+1e-9 {
+		t.Errorf("realized %v exceeds degraded precision %v", rho, out.Precision)
+	}
+}
+
+// TestDistCrashBeforeProbesUnsyncs: a processor that crashes before
+// sending a single probe leaves its links statistic-free, so it cannot be
+// in the synchronized component at all.
+func TestDistCrashBeforeProbesUnsyncs(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	n := 4
+	net, links, starts := setup(t, rng, n, sim.Line(n), 0.05, 0.2)
+	cfg := Config{
+		Leader: 0, Links: links, Probes: 3, Spacing: 0.01,
+		Warmup: sim.SafeWarmup(starts) + 0.5, Window: 1,
+	}
+	out, _, err := Run(net, cfg, sim.RunConfig{
+		Seed:   7,
+		Faults: &sim.Faults{Crashes: []sim.Crash{{Proc: 3, At: 0}}},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !out.Degraded || out.Synced == nil {
+		t.Fatalf("degraded=%v synced=%v, want degraded quorum outcome", out.Degraded, out.Synced)
+	}
+	if out.Synced[3] {
+		t.Error("silent p3 counted as synchronized")
+	}
+	for p := 0; p < 3; p++ {
+		if !out.Synced[p] || !out.Applied[p] {
+			t.Errorf("p%d synced=%v applied=%v, want both", p, out.Synced[p], out.Applied[p])
+		}
+	}
+}
+
+// TestDistPartitionSplitsComponent: a link cut for the whole run splits a
+// line; the leader's side synchronizes, the far side reports missing.
+func TestDistPartitionSplitsComponent(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	n := 5
+	net, links, starts := setup(t, rng, n, sim.Line(n), 0.05, 0.2)
+	cfg := Config{
+		Leader: 0, Links: links, Probes: 3, Spacing: 0.01,
+		Warmup: sim.SafeWarmup(starts) + 0.5, Window: 1,
+	}
+	out, _, err := Run(net, cfg, sim.RunConfig{
+		Seed: 11,
+		Faults: &sim.Faults{
+			Partitions: []sim.Partition{{P: 1, Q: 2, From: 0, Until: math.Inf(1)}},
+		},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !out.Degraded {
+		t.Error("partition did not mark the outcome degraded")
+	}
+	wantMissing := []model.ProcID{2, 3, 4}
+	if len(out.Missing) != len(wantMissing) {
+		t.Fatalf("Missing = %v, want %v", out.Missing, wantMissing)
+	}
+	for i, p := range wantMissing {
+		if out.Missing[i] != p {
+			t.Fatalf("Missing = %v, want %v", out.Missing, wantMissing)
+		}
+	}
+	for p := 0; p < n; p++ {
+		near := p <= 1
+		if out.Synced[p] != near {
+			t.Errorf("p%d synced=%v, want %v", p, out.Synced[p], near)
+		}
+		if out.Applied[p] != near {
+			t.Errorf("p%d applied=%v, want %v", p, out.Applied[p], near)
+		}
+	}
+	if rho := realizedOver(starts, out.Corrections, []int{0, 1}); rho > out.Precision+1e-9 {
+		t.Errorf("realized %v exceeds degraded precision %v", rho, out.Precision)
+	}
+}
+
+// TestDistLossyFloodsConverge: with per-message loss on the floods,
+// round-stamped re-floods still deliver every report and every result.
+func TestDistLossyFloodsConverge(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	n := 6
+	net, links, starts := setup(t, rng, n, sim.Ring(n), 0.05, 0.2)
+	cfg := Config{
+		Leader: 0, Links: links, Probes: 3, Spacing: 0.01,
+		Warmup: sim.SafeWarmup(starts) + 0.5, Window: 1,
+		ReportGrace: 1, Retries: 10,
+	}
+	out, _, err := Run(net, cfg, sim.RunConfig{
+		Seed:   13,
+		Faults: &sim.Faults{Loss: 0.3, LossFilter: floodLoss},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for p := 0; p < n; p++ {
+		if !out.Applied[p] {
+			t.Errorf("p%d never received the result despite %d retries", p, cfg.Retries)
+		}
+	}
+	if len(out.Missing) == 0 && out.Degraded {
+		t.Error("no reports missing yet outcome degraded")
+	}
+	if rho := realizedOver(starts, out.Corrections, syncedSet(out)); rho > out.Precision+1e-9 {
+		t.Errorf("realized %v exceeds precision %v", rho, out.Precision)
+	}
+}
+
+// TestDistCrashedLeaderDoesNotHang: with the leader dead the run still
+// terminates — nobody computes, nobody applies, no error.
+func TestDistCrashedLeaderDoesNotHang(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	n := 4
+	net, links, starts := setup(t, rng, n, sim.Ring(n), 0.05, 0.2)
+	cfg := Config{
+		Leader: 0, Links: links, Probes: 2, Spacing: 0.01,
+		Warmup: sim.SafeWarmup(starts) + 0.5, Window: 1,
+	}
+	out, _, err := Run(net, cfg, sim.RunConfig{
+		Seed:   17,
+		Faults: &sim.Faults{Crashes: []sim.Crash{{Proc: 0, At: 0}}},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if out.Synced != nil || !math.IsNaN(out.Precision) {
+		t.Errorf("dead leader computed: synced=%v precision=%v", out.Synced, out.Precision)
+	}
+	for p, ok := range out.Applied {
+		if ok {
+			t.Errorf("p%d applied without a leader", p)
+		}
+	}
+}
+
+func syncedSet(out *Outcome) []int {
+	var s []int
+	for p, ok := range out.Synced {
+		if ok && out.Applied[p] {
+			s = append(s, p)
+		}
+	}
+	return s
+}
+
+// TestGossipLossyFloodsAgree: the gossip variant under flood loss — with
+// enough re-flood rounds every node assembles the full report set and all
+// nodes compute identical corrections (satellite: gossip under loss).
+func TestGossipLossyFloodsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	n := 8
+	net, links, starts := setup(t, rng, n, sim.Ring(n), 0.05, 0.2)
+	// Per-node deadlines mean agreement needs the re-floods to converge
+	// before the earliest deadline: generous grace and rounds, moderate loss.
+	cfg := Config{
+		Leader: 0, Links: links, Probes: 3, Spacing: 0.01,
+		Warmup: sim.SafeWarmup(starts) + 0.5, Window: 1,
+		ReportGrace: 2, Retries: 20,
+	}
+	out, _, err := GossipRun(net, cfg, sim.RunConfig{
+		Seed:   19,
+		Faults: &sim.Faults{Loss: 0.15, LossFilter: floodLoss},
+	})
+	if err != nil {
+		t.Fatalf("GossipRun: %v", err)
+	}
+	if out.Synced == nil {
+		t.Fatal("leader node never computed")
+	}
+	for p := 0; p < n; p++ {
+		if !out.Synced[p] {
+			t.Fatalf("p%d outside the leader component; retries failed to converge", p)
+		}
+		if out.PerNode[p] == nil {
+			t.Fatalf("p%d never computed", p)
+		}
+		for q := 0; q < n; q++ {
+			if out.PerNode[p][q] != out.PerNode[0][q] {
+				t.Errorf("p%d disagrees with p0 on p%d's correction under loss", p, q)
+			}
+		}
+	}
+}
+
+// TestGossipPartitionAgreesPerSide: a permanent cut splits a gossip line;
+// each side's nodes see exactly their side's reports and agree among
+// themselves (satellite: gossip under partition).
+func TestGossipPartitionAgreesPerSide(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	n := 6
+	net, links, starts := setup(t, rng, n, sim.Line(n), 0.05, 0.2)
+	cfg := Config{
+		Leader: 0, Links: links, Probes: 3, Spacing: 0.01,
+		Warmup: sim.SafeWarmup(starts) + 0.5, Window: 1,
+		ReportGrace: 1, Retries: 4,
+	}
+	out, _, err := GossipRun(net, cfg, sim.RunConfig{
+		Seed: 23,
+		Faults: &sim.Faults{
+			Partitions: []sim.Partition{{P: 2, Q: 3, From: 0, Until: math.Inf(1)}},
+		},
+	})
+	if err != nil {
+		t.Fatalf("GossipRun: %v", err)
+	}
+	sides := [][]int{{0, 1, 2}, {3, 4, 5}}
+	for _, side := range sides {
+		for _, p := range side {
+			if out.PerNode[p] == nil {
+				t.Fatalf("p%d never computed", p)
+			}
+			for q := 0; q < n; q++ {
+				if out.PerNode[p][q] != out.PerNode[side[0]][q] {
+					t.Errorf("p%d disagrees with p%d on p%d within its side", p, side[0], q)
+				}
+			}
+		}
+	}
+	// The leader's component is exactly its side of the cut.
+	for p := 0; p < n; p++ {
+		if got, want := out.Synced[p], p <= 2; got != want {
+			t.Errorf("p%d synced=%v, want %v", p, got, want)
+		}
+	}
+}
+
+// TestDistChaosSoak is the acceptance soak: hundreds of seeded runs with
+// crashes, partitions and flood loss. Invariants per run:
+//
+//  1. the run terminates (no wait-for-all livelock — enforced by the
+//     report deadline) and the leader computes unless itself crashed;
+//  2. every non-crashed processor reachable from the leader through
+//     non-crashed processors receives a correction;
+//  3. the realized discrepancy of the applied part of the synchronized
+//     component never exceeds the reported (degraded) precision.
+func TestDistChaosSoak(t *testing.T) {
+	const trials = 220
+	seedRng := rand.New(rand.NewSource(987654))
+	computedRuns, degradedRuns := 0, 0
+	for trial := 0; trial < trials; trial++ {
+		n := 4 + seedRng.Intn(5)
+		pairs := sim.RandomConnected(rand.New(rand.NewSource(seedRng.Int63())), n, 0.3)
+		net, links, starts := setup(t, seedRng, n, pairs, 0.02, 0.15)
+		cfg := Config{
+			Leader: 0, Links: links, Probes: 3, Spacing: 0.01,
+			Warmup: sim.SafeWarmup(starts) + 0.5, Window: 1,
+			ReportGrace: 1, Retries: 10,
+		}
+
+		// Random fault schedule: up to two non-leader crashes at any time,
+		// up to two measurement-phase partitions, flood loss up to 0.3.
+		faults := &sim.Faults{
+			Loss:       seedRng.Float64() * 0.3,
+			LossFilter: floodLoss,
+		}
+		crashed := map[int]bool{}
+		for c := seedRng.Intn(3); c > 0; c-- {
+			p := 1 + seedRng.Intn(n-1)
+			crashed[p] = true
+			faults.Crashes = append(faults.Crashes, sim.Crash{Proc: p, At: seedRng.Float64() * 4})
+		}
+		// Partitions confined to the measurement phase: the earliest report
+		// flood leaves at real time >= Warmup+Window, so windows ending
+		// before that never block report or result floods.
+		measureEnd := cfg.Warmup + cfg.Window
+		for c := seedRng.Intn(3); c > 0; c-- {
+			e := pairs[seedRng.Intn(len(pairs))]
+			from := seedRng.Float64() * measureEnd
+			faults.Partitions = append(faults.Partitions, sim.Partition{
+				P: e.P, Q: e.Q, From: from, Until: from + seedRng.Float64()*(measureEnd-from),
+			})
+		}
+
+		out, _, err := Run(net, cfg, sim.RunConfig{Seed: seedRng.Int63(), Faults: faults})
+		if err != nil {
+			t.Fatalf("trial %d: Run: %v", trial, err)
+		}
+		if out.Synced == nil {
+			t.Fatalf("trial %d: leader never computed (deadline missed)", trial)
+		}
+		computedRuns++
+		if out.Degraded {
+			degradedRuns++
+		}
+		reachable := reachableFrom(n, pairs, crashed, 0)
+		for p := 0; p < n; p++ {
+			if crashed[p] || !reachable[p] {
+				continue
+			}
+			if !out.Applied[p] {
+				t.Errorf("trial %d: live reachable p%d got no correction (missing=%v loss=%.2f)",
+					trial, p, out.Missing, faults.Loss)
+			}
+		}
+		var comp []int
+		for p := 0; p < n; p++ {
+			if out.Synced[p] && out.Applied[p] && !crashed[p] {
+				comp = append(comp, p)
+			}
+		}
+		if rho := realizedOver(starts, out.Corrections, comp); rho > out.Precision+1e-9 {
+			t.Errorf("trial %d: realized %v exceeds reported precision %v (comp %v)",
+				trial, rho, out.Precision, comp)
+		}
+	}
+	if computedRuns != trials {
+		t.Errorf("computed %d/%d runs", computedRuns, trials)
+	}
+	if degradedRuns == 0 {
+		t.Error("soak never exercised a degraded outcome; fault schedule too tame")
+	}
+	t.Logf("soak: %d runs, %d degraded", trials, degradedRuns)
+}

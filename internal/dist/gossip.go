@@ -1,0 +1,206 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"clocksync/internal/core"
+	"clocksync/internal/model"
+	"clocksync/internal/sim"
+	"clocksync/internal/trace"
+)
+
+// GossipRun executes the decentralized variant: reports are flooded to
+// everyone (which the protocol already does) and EVERY processor computes
+// the corrections locally once it has all n reports — no leader, no
+// result flood. Each node also fires the report deadline: at clock
+// Warmup+Window+ReportGrace it computes from whichever reports it has, so
+// lost floods and crashed peers degrade the local result instead of
+// wedging it.
+//
+// On a fault-free run all processors compute on identical tables and the
+// returned Outcome additionally asserts exact agreement. With faults
+// injected, nodes may see different report subsets; the per-node vectors
+// are returned for the caller to compare (re-floods via Retries drive
+// them back together on lossy networks).
+func GossipRun(net *sim.Network, cfg Config, runCfg sim.RunConfig) (*Outcome, *model.Execution, error) {
+	n := net.N()
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(n); err != nil {
+		return nil, nil, err
+	}
+	out := &Outcome{
+		Corrections: make([]float64, n),
+		Applied:     make([]bool, n),
+		Precision:   math.NaN(),
+	}
+	perNode := make([][]float64, n)
+	factory := func(p model.ProcID) sim.Protocol {
+		return &gossipProc{
+			proc: proc{
+				cfg:         cfg,
+				n:           n,
+				out:         out,
+				incoming:    make(map[model.ProcID]trace.DirStats),
+				seen:        make(map[model.ProcID]bool),
+				forwarded:   make(map[floodKey]bool),
+				deadlineAll: true,
+			},
+			perNode: perNode,
+		}
+	}
+	exec, err := sim.Run(net, factory, runCfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	out.PerNode = perNode
+	if out.Err != nil {
+		return out, exec, fmt.Errorf("dist: gossip computation: %w", out.Err)
+	}
+	if runCfg.Faults == nil {
+		for p := 0; p < n; p++ {
+			if perNode[p] == nil {
+				return out, exec, fmt.Errorf("dist: p%d never completed its local computation", p)
+			}
+			out.Corrections[p] = perNode[p][p]
+			out.Applied[p] = true
+			// Agreement check: every node's full vector must match node 0's.
+			for q := 0; q < n; q++ {
+				if perNode[p][q] != perNode[0][q] {
+					return out, exec, fmt.Errorf("dist: p%d disagrees with p0 on p%d's correction", p, q)
+				}
+			}
+		}
+		return out, exec, nil
+	}
+	for p := 0; p < n; p++ {
+		if perNode[p] != nil {
+			out.Corrections[p] = perNode[p][p]
+			out.Applied[p] = true
+		}
+	}
+	return out, exec, nil
+}
+
+// gossipProc runs the leaderless variant: every node acts like the leader
+// (collect + compute) but floods no result.
+type gossipProc struct {
+	proc
+	perNode [][]float64
+}
+
+var _ sim.Protocol = (*gossipProc)(nil)
+
+func (g *gossipProc) OnReceive(env *sim.Env, via model.ProcID, payload any) {
+	switch msg := payload.(type) {
+	case Probe:
+		g.handleProbe(env, via, msg)
+	case Report:
+		if !g.seen[msg.Origin] {
+			g.absorb(env, msg)
+		}
+		key := floodKey{origin: msg.Origin, round: msg.Round}
+		if g.forwarded[key] {
+			return
+		}
+		g.forwarded[key] = true
+		g.flood(env, via, msg)
+	}
+}
+
+func (g *gossipProc) OnTimer(env *sim.Env, tag int) {
+	switch tag {
+	case timerReport:
+		g.emitGossipReport(env)
+	case timerDeadline:
+		g.computeLocal(env)
+	default:
+		g.proc.OnTimer(env, tag) // probe bursts and report re-floods
+	}
+}
+
+// emitGossipReport freezes and floods the own report, absorbing it into
+// the local table.
+func (g *gossipProc) emitGossipReport(env *sim.Env) {
+	if g.reported {
+		return
+	}
+	g.reported = true
+	rep := Report{Origin: env.Self()}
+	for q, st := range g.incoming {
+		rep.Links = append(rep.Links, DirReport{From: q, To: env.Self(), Stats: st})
+	}
+	for i := 1; i < len(rep.Links); i++ {
+		for j := i; j > 0 && rep.Links[j].From < rep.Links[j-1].From; j-- {
+			rep.Links[j], rep.Links[j-1] = rep.Links[j-1], rep.Links[j]
+		}
+	}
+	g.reportMsg = rep
+	g.absorb(env, rep)
+	g.forwarded[floodKey{origin: rep.Origin}] = true
+	g.flood(env, from(-1), rep)
+}
+
+// absorb merges a report locally (every gossip node keeps a table) and
+// computes once complete.
+func (g *gossipProc) absorb(env *sim.Env, rep Report) {
+	g.seen[rep.Origin] = true
+	if g.computed {
+		return
+	}
+	if g.table == nil {
+		g.table = trace.NewTable(g.n, false)
+	}
+	for _, dr := range rep.Links {
+		if dr.To != rep.Origin {
+			g.fail(fmt.Errorf("dist: report from p%d claims stats for p%d", rep.Origin, dr.To))
+			return
+		}
+		if err := g.table.MergeStats(dr.From, dr.To, dr.Stats); err != nil {
+			g.fail(err)
+			return
+		}
+	}
+	g.reports++
+	if g.reports == g.n {
+		g.computeLocal(env)
+	}
+}
+
+// computeLocal runs the centralized pipeline on this node's table — the
+// full table when all reports arrived, the reporting subgraph otherwise.
+func (g *gossipProc) computeLocal(env *sim.Env) {
+	if g.computed {
+		return
+	}
+	g.computed = true
+	if g.table == nil {
+		g.table = trace.NewTable(g.n, false)
+	}
+	links := g.cfg.Links
+	missing := missingProcs(g.n, g.seen)
+	if len(missing) > 0 {
+		links = restrictLinks(links, g.seen)
+	}
+	res, err := core.SynchronizeSystem(g.n, links, g.table, core.DefaultMLSOptions(),
+		core.Options{Root: int(g.cfg.Leader), Centered: g.cfg.Centered})
+	if err != nil {
+		g.fail(err)
+		return
+	}
+	self := int(env.Self())
+	g.perNode[self] = append([]float64(nil), res.Corrections...)
+	if self == int(g.cfg.Leader) {
+		comp, prec := leaderComponent(res, self)
+		synced := make([]bool, g.n)
+		for _, p := range comp {
+			synced[p] = true
+		}
+		g.out.Precision = prec
+		g.out.LeaderTable = g.table
+		g.out.ReportsSeen = g.reports
+		g.out.Missing = missing
+		g.out.Degraded = len(missing) > 0 || len(comp) < g.n
+		g.out.Synced = synced
+	}
+}

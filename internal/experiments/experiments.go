@@ -126,6 +126,7 @@ func All() []Experiment {
 		{"F5", "Precision vs ring size", F5RingDiameter},
 		{"F6", "View reduction throughput", F6TraceReduction},
 		{"D1", "Bounded clock drift", D1Drift},
+		{"D2", "Fault tolerance: degraded quorum", D2FaultTolerance},
 		{"P1", "Probabilistic delays", P1Probabilistic},
 		{"X1", "Distributed leader protocol", X1Distributed},
 		{"A1", "Ablation: correction style", A1CorrectionStyle},

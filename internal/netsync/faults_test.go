@@ -1,0 +1,174 @@
+package netsync
+
+import (
+	"math"
+	"net"
+	"testing"
+	"time"
+
+	"clocksync/internal/core"
+	"clocksync/internal/delay"
+	"clocksync/internal/model"
+)
+
+// deadAddr binds and immediately closes a loopback listener, yielding an
+// address that refuses connections.
+func deadAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	_ = ln.Close()
+	return addr
+}
+
+// TestClusterDeadPeer: a 3-node cluster where node 2 never starts. The
+// coordinator's report grace expires and the two live nodes synchronize
+// anyway, with the dead node reported missing and excluded from the
+// synchronized component; the live node keeps probing despite its dead
+// peer and Wait never wedges.
+func TestClusterDeadPeer(t *testing.T) {
+	bounds, err := delay.SymmetricBounds(0, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var links []core.Link
+	for i := 0; i < 3; i++ {
+		for j := i + 1; j < 3; j++ {
+			links = append(links, core.Link{P: model.ProcID(i), Q: model.ProcID(j), A: bounds})
+		}
+	}
+	base := Config{
+		N:              3,
+		Listen:         "127.0.0.1:0",
+		Coordinator:    0,
+		Links:          links,
+		Probes:         3,
+		Interval:       2 * time.Millisecond,
+		Jitter:         time.Millisecond,
+		Timeout:        5 * time.Second,
+		ReportDelay:    50 * time.Millisecond,
+		ReportGrace:    400 * time.Millisecond,
+		DialAttempts:   2,
+		DialBackoff:    10 * time.Millisecond,
+		DialMaxBackoff: 50 * time.Millisecond,
+		Centered:       true,
+	}
+
+	coordCfg := base
+	coordCfg.ID = 0
+	coordCfg.Seed = 1
+	coord, err := Start(coordCfg)
+	if err != nil {
+		t.Fatalf("start coordinator: %v", err)
+	}
+	t.Cleanup(coord.Shutdown)
+
+	liveCfg := base
+	liveCfg.ID = 1
+	liveCfg.Seed = 2
+	liveCfg.ClockOffset = 90 * time.Millisecond
+	liveCfg.CoordinatorAddr = coord.Addr()
+	liveCfg.Peers = map[model.ProcID]string{
+		0: coord.Addr(),
+		2: deadAddr(t), // node 2 does not exist
+	}
+	live, err := Start(liveCfg)
+	if err != nil {
+		t.Fatalf("start live node: %v", err)
+	}
+	t.Cleanup(live.Shutdown)
+
+	for name, node := range map[string]*Node{"coordinator": coord, "live": live} {
+		out, err := node.Wait(8 * time.Second)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !out.Degraded {
+			t.Errorf("%s: outcome not degraded despite a dead node", name)
+		}
+		if len(out.Missing) != 1 || out.Missing[0] != 2 {
+			t.Errorf("%s: Missing = %v, want [2]", name, out.Missing)
+		}
+		if len(out.Synced) != 3 || !out.Synced[0] || !out.Synced[1] || out.Synced[2] {
+			t.Errorf("%s: Synced = %v, want [true true false]", name, out.Synced)
+		}
+		if math.IsInf(out.Precision, 0) || math.IsNaN(out.Precision) || out.Precision <= 0 {
+			t.Errorf("%s: precision = %v, want finite positive", name, out.Precision)
+		}
+		// The live pair's corrections must recover the configured offset
+		// within the degraded precision.
+		skew := math.Abs((out.Corrections[0] - out.Corrections[1]) - liveCfg.ClockOffset.Seconds())
+		if skew > out.Precision+1e-9 {
+			t.Errorf("%s: residual skew %v exceeds precision %v", name, skew, out.Precision)
+		}
+	}
+}
+
+// TestLateReportGetsStoredResult: a report arriving after the grace
+// deadline computed is answered immediately with the stored result.
+func TestLateReportGetsStoredResult(t *testing.T) {
+	bounds, err := delay.SymmetricBounds(0, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	links := []core.Link{{P: 0, Q: 1, A: bounds}}
+	coord, err := Start(Config{
+		ID: 0, N: 2, Listen: "127.0.0.1:0", Coordinator: 0, Links: links,
+		Probes: 1, Interval: time.Millisecond,
+		ReportDelay: 10 * time.Millisecond, ReportGrace: 100 * time.Millisecond,
+		Timeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(coord.Shutdown)
+
+	if _, err := coord.Wait(5 * time.Second); err != nil {
+		t.Fatalf("coordinator never computed degraded result: %v", err)
+	}
+
+	// Now a straggler connects and reports; it must get the stored result
+	// straight back instead of being parked forever.
+	raw, err := net.DialTimeout("tcp", coord.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newConn(raw)
+	defer func() { _ = c.close() }()
+	if err := c.send(&Message{Type: "report", Origin: 1}, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.recv(2 * time.Second)
+	if err != nil {
+		t.Fatalf("late report not answered: %v", err)
+	}
+	if res.Type != "result" || !res.Degraded {
+		t.Errorf("late reporter got %+v, want the stored degraded result", res)
+	}
+}
+
+// TestDialRetryBackoff: the dialer retries a refusing address the
+// configured number of times and then gives up with an error.
+func TestDialRetryBackoff(t *testing.T) {
+	node, err := Start(Config{
+		ID: 0, N: 2, Listen: "127.0.0.1:0", Coordinator: 0,
+		Probes: 1, DialAttempts: 3, DialBackoff: 5 * time.Millisecond,
+		DialMaxBackoff: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(node.Shutdown)
+
+	start := time.Now()
+	if _, err := node.dialRetry(deadAddr(t)); err == nil {
+		t.Fatal("dialRetry succeeded against a closed port")
+	}
+	// Two backoff sleeps of >= 2.5ms and >= 5ms minimum.
+	if elapsed := time.Since(start); elapsed < 7*time.Millisecond {
+		t.Errorf("dialRetry returned after %v; backoff not applied", elapsed)
+	}
+}

@@ -45,8 +45,22 @@ type Config struct {
 	Jitter time.Duration
 	// Seed drives the jitter randomness.
 	Seed int64
-	// Timeout bounds every network wait (default 10s).
+	// Timeout bounds every network wait, reads and writes alike
+	// (default 10s).
 	Timeout time.Duration
+	// ReportGrace is how long the coordinator waits for missing reports
+	// after its own report is ready before computing from whichever subset
+	// arrived (degraded quorum). Default: Timeout. A dead node therefore
+	// delays the cluster by at most ReportGrace instead of wedging it.
+	ReportGrace time.Duration
+	// DialAttempts is the number of connection attempts per peer before
+	// the peer is declared dead (default 4).
+	DialAttempts int
+	// DialBackoff is the initial retry backoff, doubled per attempt with
+	// jitter (default 50ms).
+	DialBackoff time.Duration
+	// DialMaxBackoff caps the backoff growth (default 1s).
+	DialMaxBackoff time.Duration
 	// ReportDelay is the minimum node age before the incoming statistics
 	// are snapshotted and reported: it gives peers (possibly started
 	// later) time to finish probing. Default 500ms + Probes*Interval.
@@ -67,6 +81,18 @@ func (c *Config) fill() {
 	}
 	if c.ReportDelay == 0 {
 		c.ReportDelay = 500*time.Millisecond + time.Duration(c.Probes)*c.Interval
+	}
+	if c.ReportGrace == 0 {
+		c.ReportGrace = c.Timeout
+	}
+	if c.DialAttempts == 0 {
+		c.DialAttempts = 4
+	}
+	if c.DialBackoff == 0 {
+		c.DialBackoff = 50 * time.Millisecond
+	}
+	if c.DialMaxBackoff == 0 {
+		c.DialMaxBackoff = time.Second
 	}
 }
 
@@ -93,10 +119,19 @@ type Outcome struct {
 	// Correction is this node's clock correction: corrected clock =
 	// Clock() + Correction.
 	Correction float64
-	// Precision is the coordinator-computed optimal guaranteed precision.
+	// Precision is the coordinator-computed optimal guaranteed precision
+	// of the coordinator's synchronized component.
 	Precision float64
 	// Corrections is the full vector (as disseminated).
 	Corrections []float64
+	// Degraded is set when the coordinator computed without the full
+	// report set or when the reporting subgraph split.
+	Degraded bool
+	// Missing lists the nodes whose reports never arrived.
+	Missing []model.ProcID
+	// Synced flags membership in the coordinator's synchronized
+	// component; the precision guarantee covers exactly these nodes.
+	Synced []bool
 }
 
 // Node is one running cluster member. Create with Start, collect with
@@ -112,6 +147,9 @@ type Node struct {
 	incoming map[model.ProcID]trace.DirStats // per-peer incoming probe stats
 	reports  map[model.ProcID][]LinkStats    // coordinator: collected reports
 	pending  []*conn                         // coordinator: report conns awaiting results
+	computed bool                            // coordinator: result already produced
+	result   *Message                        // coordinator: stored result for late reports
+	grace    *time.Timer                     // coordinator: report deadline
 
 	wg       sync.WaitGroup
 	stopping chan struct{}
@@ -181,6 +219,9 @@ func (n *Node) Shutdown() {
 	}
 	_ = n.listener.Close()
 	n.mu.Lock()
+	if n.grace != nil {
+		n.grace.Stop()
+	}
 	for _, pc := range n.pending {
 		_ = pc.close()
 	}
@@ -297,33 +338,96 @@ func (n *Node) run() {
 	if n.cfg.ID == n.cfg.Coordinator {
 		// Register our own readiness; the links are re-snapshotted live at
 		// compute time, so late probes into the coordinator still count.
+		// From here on, missing reports hold the result up for at most
+		// ReportGrace: the deadline computes from whichever subset arrived.
 		n.mu.Lock()
 		n.absorbReportLocked(&report, nil)
+		if !n.computed {
+			n.grace = time.AfterFunc(n.cfg.ReportGrace, n.reportDeadline)
+		}
 		n.mu.Unlock()
 		return
 	}
 
-	raw, err := net.DialTimeout("tcp", n.cfg.CoordinatorAddr, n.cfg.Timeout)
+	// The report connection retries the dial with backoff and, on a broken
+	// stream, reconnects and resends once — a coordinator restart or a
+	// dropped connection costs a retry, not the node.
+	res, err := n.reportAndAwait(&report)
 	if err != nil {
-		n.fail(fmt.Errorf("netsync: dial coordinator: %w", err))
-		return
-	}
-	c := newConn(raw)
-	defer func() { _ = c.close() }()
-	if err := c.send(&report); err != nil {
-		n.fail(fmt.Errorf("netsync: send report: %w", err))
-		return
-	}
-	res, err := c.recv(n.cfg.Timeout)
-	if err != nil {
-		n.fail(fmt.Errorf("netsync: await result: %w", err))
+		n.fail(err)
 		return
 	}
 	n.applyResult(res)
 }
 
+// reportAndAwait delivers the report to the coordinator and waits for the
+// result, reconnecting once if the exchange breaks mid-flight.
+func (n *Node) reportAndAwait(report *Message) (*Message, error) {
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		c, err := n.dialRetry(n.cfg.CoordinatorAddr)
+		if err != nil {
+			return nil, fmt.Errorf("netsync: dial coordinator: %w", err)
+		}
+		if err := c.send(report, n.cfg.Timeout); err != nil {
+			_ = c.close()
+			lastErr = fmt.Errorf("netsync: send report: %w", err)
+			continue
+		}
+		res, err := c.recv(n.cfg.Timeout)
+		_ = c.close()
+		if err != nil {
+			lastErr = fmt.Errorf("netsync: await result: %w", err)
+			continue
+		}
+		return res, nil
+	}
+	return nil, lastErr
+}
+
+// reportDeadline fires when the coordinator's report grace expires: the
+// computation proceeds with whichever reports arrived.
+func (n *Node) reportDeadline() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.computed {
+		return
+	}
+	n.computeAndDisseminateLocked()
+}
+
+// dialRetry dials with exponential backoff and jitter. Called only from
+// the run goroutine (it shares the node's rng).
+func (n *Node) dialRetry(addr string) (*conn, error) {
+	backoff := n.cfg.DialBackoff
+	var lastErr error
+	for attempt := 0; attempt < n.cfg.DialAttempts; attempt++ {
+		if attempt > 0 {
+			sleep := time.Duration(float64(backoff) * (0.5 + n.rng.Float64()))
+			select {
+			case <-time.After(sleep):
+			case <-n.stopping:
+				return nil, fmt.Errorf("netsync: node %d stopped while dialing %s", n.cfg.ID, addr)
+			}
+			backoff *= 2
+			if backoff > n.cfg.DialMaxBackoff {
+				backoff = n.cfg.DialMaxBackoff
+			}
+		}
+		raw, err := net.DialTimeout("tcp", addr, n.cfg.Timeout)
+		if err == nil {
+			return newConn(raw), nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("netsync: dial %s: %d attempts: %w", addr, n.cfg.DialAttempts, lastErr)
+}
+
 // probePeers sends the timestamped probe bursts over per-peer
-// connections. Probes across peers are interleaved round by round.
+// connections. Probes across peers are interleaved round by round. A peer
+// that cannot be reached — dial failure after retries, or a stream that
+// breaks and cannot be re-established — is dropped, not fatal: its links
+// simply carry no statistics and degrade to the assumption bounds.
 func (n *Node) probePeers() error {
 	conns := make(map[model.ProcID]*conn, len(n.cfg.Peers))
 	defer func() {
@@ -332,26 +436,29 @@ func (n *Node) probePeers() error {
 		}
 	}()
 	for id, addr := range n.cfg.Peers {
-		raw, err := net.DialTimeout("tcp", addr, n.cfg.Timeout)
+		c, err := n.dialRetry(addr)
 		if err != nil {
-			return fmt.Errorf("netsync: dial peer %d: %w", id, err)
+			continue // dead peer: skip it, keep the node alive
 		}
-		conns[id] = newConn(raw)
+		conns[id] = c
 	}
 	for round := 0; round < n.cfg.Probes; round++ {
 		for id, c := range conns {
-			if n.cfg.Jitter > 0 {
-				// Artificial transmission delay: stamp first, then hold the
-				// message back, exactly like a slow link.
-				sendClock := n.Clock()
-				time.Sleep(time.Duration(n.rng.Float64() * float64(n.cfg.Jitter)))
-				if err := c.send(&Message{Type: "probe", From: n.cfg.ID, SendClock: sendClock}); err != nil {
-					return fmt.Errorf("netsync: probe peer %d: %w", id, err)
+			if err := n.sendProbe(c); err != nil {
+				// Broken stream: reconnect once and resend (with a fresh
+				// timestamp — a stale stamp would inflate the measured
+				// delay past the declared bounds).
+				_ = c.close()
+				nc, derr := n.dialRetry(n.cfg.Peers[id])
+				if derr != nil {
+					delete(conns, id)
+					continue
 				}
-				continue
-			}
-			if err := c.send(&Message{Type: "probe", From: n.cfg.ID, SendClock: n.Clock()}); err != nil {
-				return fmt.Errorf("netsync: probe peer %d: %w", id, err)
+				conns[id] = nc
+				if err := n.sendProbe(nc); err != nil {
+					_ = nc.close()
+					delete(conns, id)
+				}
 			}
 		}
 		select {
@@ -363,6 +470,17 @@ func (n *Node) probePeers() error {
 	return nil
 }
 
+// sendProbe stamps and sends one probe, optionally holding it back by the
+// configured artificial jitter (stamp first, then delay, exactly like a
+// slow link).
+func (n *Node) sendProbe(c *conn) error {
+	sendClock := n.Clock()
+	if n.cfg.Jitter > 0 {
+		time.Sleep(time.Duration(n.rng.Float64() * float64(n.cfg.Jitter)))
+	}
+	return c.send(&Message{Type: "probe", From: n.cfg.ID, SendClock: sendClock}, n.cfg.Timeout)
+}
+
 // handleReport runs on the coordinator for each inbound report connection:
 // absorb, and when complete compute and disseminate.
 func (n *Node) handleReport(c *conn, m *Message) {
@@ -372,11 +490,20 @@ func (n *Node) handleReport(c *conn, m *Message) {
 }
 
 // absorbReportLocked merges one report; the caller holds n.mu. conn is nil
-// for the coordinator's own report.
+// for the coordinator's own report. A report arriving after the deadline
+// already computed is answered immediately with the stored result, so a
+// slow node still receives its correction.
 func (n *Node) absorbReportLocked(m *Message, c *conn) {
+	if n.computed {
+		if c != nil {
+			_ = c.send(n.result, n.cfg.Timeout)
+			_ = c.close()
+		}
+		return
+	}
 	if _, dup := n.reports[m.Origin]; dup {
 		if c != nil {
-			_ = c.send(&Message{Type: "result", Err: "duplicate report"})
+			_ = c.send(&Message{Type: "result", Err: "duplicate report"}, n.cfg.Timeout)
 			_ = c.close()
 		}
 		return
@@ -391,9 +518,14 @@ func (n *Node) absorbReportLocked(m *Message, c *conn) {
 	n.computeAndDisseminateLocked()
 }
 
-// computeAndDisseminateLocked assembles the table, runs the pipeline and
+// computeAndDisseminateLocked assembles the table from whichever reports
+// arrived, runs the pipeline restricted to the reporting subgraph, and
 // answers every parked report connection. Caller holds n.mu.
 func (n *Node) computeAndDisseminateLocked() {
+	n.computed = true
+	if n.grace != nil {
+		n.grace.Stop()
+	}
 	tab := trace.NewTable(n.cfg.N, false)
 	var buildErr error
 	for origin, links := range n.reports {
@@ -427,30 +559,76 @@ func (n *Node) computeAndDisseminateLocked() {
 		}
 	}
 	msg := Message{Type: "result"}
+	var missing []model.ProcID
+	for p := 0; p < n.cfg.N; p++ {
+		if _, ok := n.reports[model.ProcID(p)]; !ok {
+			missing = append(missing, model.ProcID(p))
+		}
+	}
 	if buildErr == nil {
-		res, err := core.SynchronizeSystem(n.cfg.N, n.cfg.Links, tab, core.DefaultMLSOptions(),
+		// With reports missing, restrict to links with at least one
+		// reporting endpoint: the reporter's incoming statistics cover its
+		// direction (Lemma 6.1) and the assumption bounds cover the other.
+		links := n.cfg.Links
+		if len(missing) > 0 {
+			links = nil
+			for _, l := range n.cfg.Links {
+				_, pOK := n.reports[l.P]
+				_, qOK := n.reports[l.Q]
+				if pOK || qOK {
+					links = append(links, l)
+				}
+			}
+		}
+		res, err := core.SynchronizeSystem(n.cfg.N, links, tab, core.DefaultMLSOptions(),
 			core.Options{Root: int(n.cfg.Coordinator), Centered: n.cfg.Centered})
 		if err != nil {
 			buildErr = err
 		} else {
+			synced := make([]bool, n.cfg.N)
+			precision := res.Precision
+			for ci, comp := range res.Components {
+				if !containsProc(comp, int(n.cfg.Coordinator)) {
+					continue
+				}
+				precision = res.ComponentPrecision[ci]
+				for _, p := range comp {
+					synced[p] = true
+				}
+				msg.Synced = synced
+				if msg.Degraded = len(missing) > 0 || len(comp) < n.cfg.N; msg.Degraded {
+					msg.Missing = missing
+				}
+				break
+			}
 			msg.Corrections = res.Corrections
-			msg.Precision = res.Precision
+			msg.Precision = precision // finite: the coordinator component's A_max
 		}
 	}
 	if buildErr != nil {
 		msg.Err = buildErr.Error()
 	}
 	for _, pc := range n.pending {
-		_ = pc.send(&msg)
+		_ = pc.send(&msg, n.cfg.Timeout)
 		_ = pc.close()
 	}
 	n.pending = nil
+	n.result = &msg
 	if buildErr != nil {
 		n.fail(buildErr)
 		return
 	}
 	// Apply locally on the coordinator.
 	n.applyResult(&msg)
+}
+
+func containsProc(comp []int, p int) bool {
+	for _, q := range comp {
+		if q == p {
+			return true
+		}
+	}
+	return false
 }
 
 // applyResult validates and publishes the outcome for this node.
@@ -467,6 +645,9 @@ func (n *Node) applyResult(m *Message) {
 		Correction:  m.Corrections[n.cfg.ID],
 		Precision:   m.Precision,
 		Corrections: append([]float64(nil), m.Corrections...),
+		Degraded:    m.Degraded,
+		Missing:     append([]model.ProcID(nil), m.Missing...),
+		Synced:      append([]bool(nil), m.Synced...),
 	}
 	select {
 	case n.outcome <- out:

@@ -39,9 +39,12 @@ type Message struct {
 	Links  []LinkStats  `json:"links,omitempty"`
 
 	// result
-	Corrections []float64 `json:"corrections,omitempty"`
-	Precision   float64   `json:"precision,omitempty"`
-	Err         string    `json:"err,omitempty"`
+	Corrections []float64      `json:"corrections,omitempty"`
+	Precision   float64        `json:"precision,omitempty"`
+	Degraded    bool           `json:"degraded,omitempty"`
+	Missing     []model.ProcID `json:"missing,omitempty"`
+	Synced      []bool         `json:"synced,omitempty"`
+	Err         string         `json:"err,omitempty"`
 }
 
 // LinkStats carries the reporter's incoming-direction summary of one link.
@@ -75,7 +78,12 @@ func newConn(raw net.Conn) *conn {
 	return &conn{raw: raw, r: bufio.NewReader(raw), enc: json.NewEncoder(raw)}
 }
 
-func (c *conn) send(m *Message) error {
+func (c *conn) send(m *Message, timeout time.Duration) error {
+	if timeout > 0 {
+		if err := c.raw.SetWriteDeadline(time.Now().Add(timeout)); err != nil {
+			return err
+		}
+	}
 	return c.enc.Encode(m) // Encode appends the newline
 }
 

@@ -36,6 +36,54 @@ type Scenario struct {
 	Links []LinkOverride `json:"links,omitempty"`
 	// Protocol selects the measurement traffic.
 	Protocol ProtocolSpec `json:"protocol"`
+	// Faults optionally injects crashes, partitions and message loss.
+	Faults *FaultsSpec `json:"faults,omitempty"`
+}
+
+// FaultsSpec is the JSON form of a fault schedule.
+type FaultsSpec struct {
+	// Crashes stops processors at real times (crash-stop: no further
+	// sends, receives or timers).
+	Crashes []CrashSpec `json:"crashes,omitempty"`
+	// Partitions drop every message crossing a link during a window.
+	Partitions []PartitionSpec `json:"partitions,omitempty"`
+	// Loss drops each message independently with this probability, on top
+	// of any per-link loss models. Must be in [0, 1).
+	Loss float64 `json:"loss,omitempty"`
+}
+
+// CrashSpec crash-stops one processor.
+type CrashSpec struct {
+	Proc int     `json:"proc"`
+	At   float64 `json:"at"`
+}
+
+// PartitionSpec cuts one link during [from, until). An until of 0 (or
+// negative) means forever, mirroring the upper-bound sentinel convention.
+type PartitionSpec struct {
+	P     int     `json:"p"`
+	Q     int     `json:"q"`
+	From  float64 `json:"from"`
+	Until float64 `json:"until,omitempty"`
+}
+
+// Build converts the spec into a simulator fault schedule.
+func (f *FaultsSpec) Build() (*sim.Faults, error) {
+	if f == nil {
+		return nil, nil
+	}
+	faults := &sim.Faults{Loss: f.Loss}
+	for _, c := range f.Crashes {
+		faults.Crashes = append(faults.Crashes, sim.Crash{Proc: c.Proc, At: c.At})
+	}
+	for _, p := range f.Partitions {
+		until := p.Until
+		if until <= 0 {
+			until = math.Inf(1)
+		}
+		faults.Partitions = append(faults.Partitions, sim.Partition{P: p.P, Q: p.Q, From: p.From, Until: until})
+	}
+	return faults, nil
 }
 
 // Topology selects one of the built-in topologies.
@@ -50,10 +98,13 @@ type Topology struct {
 	Pairs [][2]int `json:"pairs,omitempty"`
 }
 
-// LinkSpec is an assumption plus a delay model.
+// LinkSpec is an assumption plus a delay model, optionally lossy.
 type LinkSpec struct {
 	Assumption AssumptionSpec `json:"assumption"`
 	Delays     DelaySpec      `json:"delays"`
+	// Loss drops each message on this link independently with the given
+	// probability (wraps the delay model in sim.Lossy). Must be in [0, 1).
+	Loss float64 `json:"loss,omitempty"`
 }
 
 // LinkOverride attaches a LinkSpec to one link.
@@ -366,6 +417,12 @@ func (s *Scenario) Build() (*Built, error) {
 		if err != nil {
 			return nil, fmt.Errorf("scenario: link (%d,%d): %w", c.P, c.Q, err)
 		}
+		if spec.Loss != 0 {
+			if spec.Loss < 0 || spec.Loss >= 1 {
+				return nil, fmt.Errorf("scenario: link (%d,%d): loss %v outside [0,1)", c.P, c.Q, spec.Loss)
+			}
+			ld = sim.Lossy{Inner: ld, P: spec.Loss}
+		}
 		delaysFor[c] = ld
 		links = append(links, core.Link{P: model.ProcID(c.P), Q: model.ProcID(c.Q), A: a})
 	}
@@ -379,12 +436,19 @@ func (s *Scenario) Build() (*Built, error) {
 	if err != nil {
 		return nil, err
 	}
+	faults, err := s.Faults.Build()
+	if err != nil {
+		return nil, err
+	}
+	if err := faults.Validate(s.Processors); err != nil {
+		return nil, err
+	}
 	return &Built{
 		Starts:  append([]float64(nil), starts...),
 		Net:     net,
 		Links:   links,
 		Factory: factory,
-		RunCfg:  sim.RunConfig{Seed: rng.Int63()},
+		RunCfg:  sim.RunConfig{Seed: rng.Int63(), Faults: faults},
 	}, nil
 }
 

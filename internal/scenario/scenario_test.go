@@ -232,3 +232,95 @@ func TestProtocolSpecKinds(t *testing.T) {
 		}
 	}
 }
+
+// TestFaultsSpecBuild: the faults section materializes into a simulator
+// schedule attached to the run config, with the open-until sentinel mapped
+// to forever.
+func TestFaultsSpecBuild(t *testing.T) {
+	s := validScenario()
+	s.Faults = &FaultsSpec{
+		Crashes:    []CrashSpec{{Proc: 2, At: 1.5}},
+		Partitions: []PartitionSpec{{P: 0, Q: 1, From: 0.5}, {P: 1, Q: 2, From: 0, Until: 2}},
+		Loss:       0.1,
+	}
+	b, err := s.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	f := b.RunCfg.Faults
+	if f == nil {
+		t.Fatal("faults not attached to the run config")
+	}
+	if len(f.Crashes) != 1 || f.Crashes[0].Proc != 2 || f.Crashes[0].At != 1.5 {
+		t.Errorf("crashes = %+v", f.Crashes)
+	}
+	if len(f.Partitions) != 2 || !math.IsInf(f.Partitions[0].Until, 1) || f.Partitions[1].Until != 2 {
+		t.Errorf("partitions = %+v", f.Partitions)
+	}
+	if f.Loss != 0.1 {
+		t.Errorf("loss = %v", f.Loss)
+	}
+	if _, err := sim.Run(b.Net, b.Factory, b.RunCfg); err != nil {
+		t.Errorf("faulty run: %v", err)
+	}
+}
+
+// TestFaultsSpecRejected: invalid schedules are caught at Build time.
+func TestFaultsSpecRejected(t *testing.T) {
+	for name, f := range map[string]*FaultsSpec{
+		"crash out of range": {Crashes: []CrashSpec{{Proc: 9, At: 1}}},
+		"partition self":     {Partitions: []PartitionSpec{{P: 1, Q: 1, From: 0, Until: 1}}},
+		"loss one":           {Loss: 1},
+	} {
+		s := validScenario()
+		s.Faults = f
+		if _, err := s.Build(); err == nil {
+			t.Errorf("%s: Build accepted %+v", name, f)
+		}
+	}
+}
+
+// TestFaultsJSONRoundTrip: the faults section survives encode/parse.
+func TestFaultsJSONRoundTrip(t *testing.T) {
+	s := validScenario()
+	s.Faults = &FaultsSpec{Crashes: []CrashSpec{{Proc: 1, At: 2}}, Loss: 0.25}
+	data, err := s.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Faults == nil || back.Faults.Loss != 0.25 || len(back.Faults.Crashes) != 1 {
+		t.Errorf("faults did not round-trip: %+v", back.Faults)
+	}
+}
+
+// TestLinkLoss: a per-link loss probability wraps the delay model in the
+// lossy adapter; invalid probabilities are rejected.
+func TestLinkLoss(t *testing.T) {
+	s := validScenario()
+	s.DefaultLink.Loss = 0.2
+	b, err := s.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	ld := b.Net.Delays(0, 1)
+	lossy, ok := ld.(sim.Lossy)
+	if !ok {
+		t.Fatalf("link delays are %T, want sim.Lossy", ld)
+	}
+	if lossy.P != 0.2 {
+		t.Errorf("lossy P = %v, want 0.2", lossy.P)
+	}
+
+	s.DefaultLink.Loss = 1.0
+	if _, err := s.Build(); err == nil {
+		t.Error("loss = 1.0 accepted")
+	}
+	s.DefaultLink.Loss = -0.1
+	if _, err := s.Build(); err == nil {
+		t.Error("negative loss accepted")
+	}
+}

@@ -212,6 +212,9 @@ type engine struct {
 	sent    int
 	err     error
 
+	faults  *Faults
+	crashAt []float64 // per-processor crash time, +Inf when never
+
 	recordTimers bool
 	timers       []timerTrack
 }
@@ -232,6 +235,16 @@ func (en *engine) push(ev event) {
 
 func (en *engine) send(from, to int, payload any, now float64) error {
 	c := orderPair(from, to)
+	if en.faults.linkDown(from, to, now) {
+		en.sent++
+		return nil // link partitioned: sent into the void
+	}
+	if en.faults != nil && en.faults.Loss > 0 &&
+		(en.faults.LossFilter == nil || en.faults.LossFilter(payload)) &&
+		en.rng.Float64() < en.faults.Loss {
+		en.sent++
+		return nil // injected per-message loss
+	}
 	if lm, ok := en.net.links[c].(LossModel); ok && lm.MaybeLose(en.rng, now, from == c.P) {
 		en.sent++
 		return nil // lost in transit: sent but never delivered
@@ -272,6 +285,9 @@ type RunConfig struct {
 	// execution's histories (full Section 2.1 fidelity). Off by default:
 	// synchronization needs only the message events.
 	RecordTimers bool
+	// Faults optionally injects crashes, partitions and per-message loss.
+	// Nil injects nothing.
+	Faults *Faults
 }
 
 // Run simulates the protocol on the network and returns the resulting
@@ -281,12 +297,17 @@ func Run(net *Network, factory ProtocolFactory, cfg RunConfig) (*model.Execution
 	if maxEvents == 0 {
 		maxEvents = 1 << 22
 	}
+	if err := cfg.Faults.Validate(net.N()); err != nil {
+		return nil, err
+	}
 	en := &engine{
 		net:          net,
 		rng:          rand.New(rand.NewSource(cfg.Seed)),
 		builder:      model.NewBuilder(net.starts),
 		horizon:      cfg.Horizon,
 		recordTimers: cfg.RecordTimers,
+		faults:       cfg.Faults,
+		crashAt:      cfg.Faults.crashTimes(net.N()),
 	}
 	en.procs = make([]Protocol, net.N())
 	for p := range en.procs {
@@ -307,6 +328,9 @@ func Run(net *Network, factory ProtocolFactory, cfg RunConfig) (*model.Execution
 		}
 		if cfg.Horizon > 0 && ev.time > cfg.Horizon {
 			continue // past the horizon: discard
+		}
+		if ev.time >= en.crashAt[ev.proc] {
+			continue // crashed: no receives, no timers, no start
 		}
 		processed++
 		if processed > maxEvents {

@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Crash stops a processor at a real time: from At on (inclusive) the
+// processor neither receives messages, sends, nor fires timers. Messages
+// already in flight toward it are dropped on arrival; messages it sent
+// before crashing are delivered normally (they are already on the wire).
+type Crash struct {
+	// Proc is the crashing processor.
+	Proc int
+	// At is the real time of the crash. Events scheduled exactly at the
+	// crash time are suppressed: the crash wins ties.
+	At float64
+}
+
+// Partition cuts one link for a real-time window: messages sent on the
+// link {P,Q} (either direction) during [From, Until) are silently lost.
+// Several partitions may overlap; a link is down whenever any covering
+// window is active.
+type Partition struct {
+	P, Q        int
+	From, Until float64
+}
+
+// Faults is an injectable fault schedule for a run. The zero value injects
+// nothing. Faults compose with the per-link delay and loss models: a
+// message survives only if no fault drops it AND its link's LossModel (if
+// any) keeps it.
+type Faults struct {
+	// Crashes lists crash-stop faults.
+	Crashes []Crash
+	// Partitions lists link-down windows.
+	Partitions []Partition
+	// Loss is an independent per-message drop probability applied to every
+	// send (restricted by LossFilter when set). It models loss that delay
+	// models cannot express per message class, e.g. report/result floods.
+	Loss float64
+	// LossFilter restricts Loss to messages whose payload it accepts; nil
+	// applies Loss to every message. Filters must be pure functions so runs
+	// stay deterministic.
+	LossFilter func(payload any) bool
+}
+
+// Validate checks the schedule against a system of n processors.
+func (f *Faults) Validate(n int) error {
+	if f == nil {
+		return nil
+	}
+	for _, c := range f.Crashes {
+		if c.Proc < 0 || c.Proc >= n {
+			return fmt.Errorf("sim: crash of p%d out of range [0,%d)", c.Proc, n)
+		}
+		if math.IsNaN(c.At) {
+			return fmt.Errorf("sim: crash of p%d at NaN", c.Proc)
+		}
+	}
+	for _, pt := range f.Partitions {
+		if pt.P < 0 || pt.P >= n || pt.Q < 0 || pt.Q >= n || pt.P == pt.Q {
+			return fmt.Errorf("sim: partition (%d,%d) invalid for %d processors", pt.P, pt.Q, n)
+		}
+		if math.IsNaN(pt.From) || math.IsNaN(pt.Until) || pt.Until < pt.From {
+			return fmt.Errorf("sim: partition (%d,%d) window [%v,%v) invalid", pt.P, pt.Q, pt.From, pt.Until)
+		}
+	}
+	if math.IsNaN(f.Loss) || f.Loss < 0 || f.Loss >= 1 {
+		return fmt.Errorf("sim: flood loss probability %v outside [0,1)", f.Loss)
+	}
+	return nil
+}
+
+// crashTimes returns per-processor crash times (+Inf when never crashing),
+// keeping the earliest time when a processor is listed more than once.
+func (f *Faults) crashTimes(n int) []float64 {
+	at := make([]float64, n)
+	for i := range at {
+		at[i] = math.Inf(1)
+	}
+	if f == nil {
+		return at
+	}
+	for _, c := range f.Crashes {
+		if c.At < at[c.Proc] {
+			at[c.Proc] = c.At
+		}
+	}
+	return at
+}
+
+// linkDown reports whether the link {p,q} is partitioned at real time now.
+func (f *Faults) linkDown(p, q int, now float64) bool {
+	if f == nil {
+		return false
+	}
+	for _, pt := range f.Partitions {
+		if ((pt.P == p && pt.Q == q) || (pt.P == q && pt.Q == p)) && now >= pt.From && now < pt.Until {
+			return true
+		}
+	}
+	return false
+}

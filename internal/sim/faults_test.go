@@ -1,0 +1,257 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"clocksync/internal/model"
+)
+
+// echoProto replies to every message and records per-processor activity.
+type echoProto struct {
+	self     int
+	received *[]int // shared log of receiver ids, in delivery order
+	budget   *int
+}
+
+func (e *echoProto) OnStart(env *Env) {
+	_ = env.SetTimer(1, 0)
+}
+func (e *echoProto) OnTimer(env *Env, _ int) {
+	for _, q := range env.Neighbors() {
+		_ = env.Send(model.ProcID(q), "ping")
+	}
+}
+func (e *echoProto) OnReceive(env *Env, from model.ProcID, payload any) {
+	*e.received = append(*e.received, e.self)
+	if payload == "ping" && *e.budget > 0 {
+		*e.budget--
+		_ = env.Send(from, "pong")
+	}
+}
+
+func lineNet(t *testing.T, n int) *Network {
+	t.Helper()
+	starts := make([]float64, n)
+	net, err := NewNetwork(starts, Line(n), func(Pair) LinkDelays {
+		return Symmetric(Constant{D: 0.1})
+	})
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	return net
+}
+
+func echoFactory(received *[]int, budget *int) ProtocolFactory {
+	return func(p model.ProcID) Protocol {
+		return &echoProto{self: int(p), received: received, budget: budget}
+	}
+}
+
+// TestFaultsCrashStopsProcessor: a processor crashed before the ping round
+// neither sends nor receives; its neighbors simply see silence.
+func TestFaultsCrashStopsProcessor(t *testing.T) {
+	var received []int
+	budget := 100
+	net := lineNet(t, 3)
+	_, err := Run(net, echoFactory(&received, &budget), RunConfig{
+		Seed:   1,
+		Faults: &Faults{Crashes: []Crash{{Proc: 2, At: 0.5}}},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, r := range received {
+		if r == 2 {
+			t.Errorf("crashed p2 received a message")
+		}
+	}
+	// p1 hears only from p0 (one ping, one pong), never from the dead p2.
+	count1 := 0
+	for _, r := range received {
+		if r == 1 {
+			count1++
+		}
+	}
+	if count1 != 2 {
+		t.Errorf("p1 received %d messages, want 2 (ping+pong from p0 only)", count1)
+	}
+}
+
+// TestFaultsCrashDropsInFlight: a message already traveling toward a
+// processor that crashes before it arrives is dropped, and the execution
+// still validates (in-flight messages are legal).
+func TestFaultsCrashDropsInFlight(t *testing.T) {
+	var received []int
+	budget := 100
+	net := lineNet(t, 2)
+	// Pings are sent at real time 1 and arrive at 1.1; crash p1 at 1.05.
+	exec, err := Run(net, echoFactory(&received, &budget), RunConfig{
+		Seed:   1,
+		Faults: &Faults{Crashes: []Crash{{Proc: 1, At: 1.05}}},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, r := range received {
+		if r == 1 {
+			t.Errorf("p1 received after crashing")
+		}
+	}
+	if err := exec.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+// TestFaultsPartitionWindow: messages sent while the link is down vanish;
+// messages sent after the window heal normally.
+func TestFaultsPartitionWindow(t *testing.T) {
+	starts := []float64{0, 0}
+	net, err := NewNetwork(starts, []Pair{{0, 1}}, func(Pair) LinkDelays {
+		return Symmetric(Constant{D: 0.01})
+	})
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	// Periodic protocol sends on a schedule; cut the link for the first
+	// half of the sends.
+	exec, err := Run(net, NewPeriodicFactory(0.1, 10, 0.5), RunConfig{
+		Seed:   2,
+		Faults: &Faults{Partitions: []Partition{{P: 0, Q: 1, From: 0, Until: 1.0}}},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	msgs, err := exec.Messages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) == 0 {
+		t.Fatal("partition swallowed every message, including post-window sends")
+	}
+	for _, m := range msgs {
+		sendReal := m.SendClock + starts[m.From]
+		if sendReal >= 0 && sendReal < 1.0 {
+			t.Errorf("message sent at real %v delivered despite partition", sendReal)
+		}
+	}
+}
+
+// TestFaultsLossProbability: injected per-message loss drops about the
+// configured fraction, independent of the link delay model.
+func TestFaultsLossProbability(t *testing.T) {
+	starts := []float64{0, 0}
+	const (
+		p     = 0.4
+		sends = 2000
+	)
+	net, err := NewNetwork(starts, []Pair{{0, 1}}, func(Pair) LinkDelays {
+		return Symmetric(Constant{D: 0.01})
+	})
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	exec, err := Run(net, NewPeriodicFactory(0.01, sends/2, 0.5), RunConfig{
+		Seed:      3,
+		MaxEvents: 1 << 22,
+		Faults:    &Faults{Loss: p},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	msgs, err := exec.Messages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered := float64(len(msgs))
+	expected := float64(sends) * (1 - p)
+	sigma := math.Sqrt(float64(sends) * p * (1 - p))
+	if math.Abs(delivered-expected) > 5*sigma {
+		t.Errorf("delivered %v, expected ~%v (±%v)", delivered, expected, 5*sigma)
+	}
+}
+
+// TestFaultsLossFilter: a filter restricts injected loss to matching
+// payloads only.
+func TestFaultsLossFilter(t *testing.T) {
+	var received []int
+	budget := 100
+	net := lineNet(t, 2)
+	_, err := Run(net, echoFactory(&received, &budget), RunConfig{
+		Seed: 4,
+		Faults: &Faults{
+			Loss:       1 - 1e-12, // effectively always (Validate rejects 1.0)
+			LossFilter: func(payload any) bool { s, ok := payload.(string); return ok && s == "pong" },
+		},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Pings get through (both nodes receive one), pongs never do.
+	if len(received) != 2 {
+		t.Errorf("received %v, want exactly the two pings", received)
+	}
+}
+
+// TestFaultsValidate rejects malformed schedules.
+func TestFaultsValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		f    Faults
+	}{
+		{"crash out of range", Faults{Crashes: []Crash{{Proc: 5, At: 1}}}},
+		{"crash negative proc", Faults{Crashes: []Crash{{Proc: -1, At: 1}}}},
+		{"partition self loop", Faults{Partitions: []Partition{{P: 1, Q: 1, From: 0, Until: 1}}}},
+		{"partition inverted window", Faults{Partitions: []Partition{{P: 0, Q: 1, From: 2, Until: 1}}}},
+		{"loss one", Faults{Loss: 1}},
+		{"loss negative", Faults{Loss: -0.1}},
+	}
+	for _, tc := range cases {
+		if err := tc.f.Validate(3); err == nil {
+			t.Errorf("%s: Validate accepted %+v", tc.name, tc.f)
+		}
+	}
+	ok := Faults{
+		Crashes:    []Crash{{Proc: 0, At: 2}},
+		Partitions: []Partition{{P: 0, Q: 2, From: 0, Until: 1}},
+		Loss:       0.5,
+	}
+	if err := ok.Validate(3); err != nil {
+		t.Errorf("Validate rejected valid schedule: %v", err)
+	}
+	var nilFaults *Faults
+	if err := nilFaults.Validate(3); err != nil {
+		t.Errorf("nil faults: %v", err)
+	}
+}
+
+// TestFaultsDeterminism: identical seeds and schedules reproduce the
+// execution exactly, even with probabilistic loss.
+func TestFaultsDeterminism(t *testing.T) {
+	seedRng := rand.New(rand.NewSource(7))
+	starts := UniformStarts(seedRng, 4, 1)
+	mk := func() *model.Execution {
+		net, err := NewNetwork(starts, Ring(4), func(Pair) LinkDelays {
+			return Symmetric(Uniform{Lo: 0.01, Hi: 0.1})
+		})
+		if err != nil {
+			t.Fatalf("NewNetwork: %v", err)
+		}
+		exec, err := Run(net, NewBurstFactory(8, 0.01, SafeWarmup(starts)+0.5), RunConfig{
+			Seed: 99,
+			Faults: &Faults{
+				Loss:       0.3,
+				Crashes:    []Crash{{Proc: 3, At: SafeWarmup(starts) + 0.6}},
+				Partitions: []Partition{{P: 0, Q: 1, From: 0, Until: SafeWarmup(starts) + 0.55}},
+			},
+		})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return exec
+	}
+	if !model.Equivalent(mk(), mk()) {
+		t.Fatal("same seed and fault schedule produced different executions")
+	}
+}
