@@ -27,6 +27,7 @@ import (
 	"clocksync/internal/delay"
 	"clocksync/internal/model"
 	"clocksync/internal/netsync"
+	"clocksync/internal/obs"
 )
 
 func main() {
@@ -54,9 +55,23 @@ func run(args []string) error {
 		grace    = fs.Duration("report-grace", 0, "coordinator wait for missing reports before a degraded compute (0 = timeout)")
 		centered = fs.Bool("centered", true, "use centered corrections")
 		seed     = fs.Int64("seed", 1, "jitter randomness seed")
+		logLevel = fs.String("log", "off", "structured log level: off, debug, info, warn or error")
+		logJSON  = fs.Bool("log-json", false, "emit structured logs as JSON instead of text")
+		metrics  = fs.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if err := obs.EnableLogging(os.Stderr, *logLevel, *logJSON); err != nil {
+		return err
+	}
+	if *metrics != "" {
+		srv, err := obs.Serve(*metrics, obs.Default)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "clocknode: metrics on http://%s/metrics\n", srv.Addr())
 	}
 	if *n < 1 {
 		return fmt.Errorf("missing -n (cluster size)")
@@ -95,15 +110,35 @@ func run(args []string) error {
 
 	out, err := node.Wait(*timeout)
 	if err != nil {
+		obs.SetHealth(obs.Health{Err: err.Error(), Precision: -1})
 		return err
 	}
+	publishHealth(out)
 	fmt.Printf("correction: %+.6g s (add to the local clock)\n", out.Correction)
 	fmt.Printf("precision:  %.6g s (optimal guaranteed bound, all pairs)\n", out.Precision)
 	if out.Degraded {
 		fmt.Printf("DEGRADED: missing reports from %v; the precision covers only the synchronized component %v\n",
 			out.Missing, out.Synced)
 	}
+	st := node.Stats()
+	fmt.Printf("network: %d dials (%d retries, %d failures), %d probes sent, %d received\n",
+		st.Dials, st.DialRetries, st.DialFailures, st.ProbesSent, st.ProbesReceived)
 	return nil
+}
+
+// publishHealth mirrors this node's outcome into the /healthz endpoint.
+func publishHealth(out *netsync.Outcome) {
+	h := obs.Health{Degraded: out.Degraded, Missing: len(out.Missing), Precision: out.Precision}
+	for _, ok := range out.Synced {
+		if ok {
+			h.Synced++
+		}
+	}
+	if out.Synced == nil && !out.Degraded {
+		h.Synced = len(out.Corrections)
+	}
+	h.Applied = h.Synced
+	obs.SetHealth(h)
 }
 
 // parsePeers parses "id=addr,id=addr".

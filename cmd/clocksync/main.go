@@ -7,21 +7,38 @@
 //
 //	clocksync -scenario cfg.json [-verify] [-centered] [-root N] [-trials N]
 //	clocksync -init > cfg.json     # emit a starter scenario
+//
+// Observability: -log enables structured logging, -metrics-addr serves
+// live metrics (/metrics, /healthz, /debug/pprof) during the run, and
+// -trace writes the sync-round phase spans as JSON. A distributed run
+// that completes degraded (missing reports) exits with status 2.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"time"
 
 	"clocksync"
 	"clocksync/distributed"
+	"clocksync/internal/obs"
 	"clocksync/internal/scenario"
 )
 
+// errDegraded marks a run that completed but without the full report set;
+// main maps it to exit status 2 so scripts can tell "synced but degraded"
+// from hard failures.
+var errDegraded = errors.New("distributed run degraded")
+
 func main() {
 	if err := run(os.Args[1:]); err != nil {
+		if errors.Is(err, errDegraded) {
+			fmt.Fprintln(os.Stderr, "clocksync:", err)
+			os.Exit(2)
+		}
 		fmt.Fprintln(os.Stderr, "clocksync:", err)
 		os.Exit(1)
 	}
@@ -40,9 +57,28 @@ func run(args []string) error {
 		reportGrace  = fs.Float64("report-grace", 0, "distributed: leader wait for missing reports before a degraded compute (0 = window)")
 		retries      = fs.Int("retries", 0, "distributed: report/result re-floods for lossy networks")
 		showPairs    = fs.Bool("pairs", false, "print the per-pair precision bound matrix")
+		logLevel     = fs.String("log", "off", "structured log level: off, debug, info, warn or error")
+		logJSON      = fs.Bool("log-json", false, "emit structured logs as JSON instead of text")
+		metricsAddr  = fs.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address")
+		linger       = fs.Duration("metrics-linger", 0, "keep the metrics server up this long after the run (for scraping)")
+		tracePath    = fs.String("trace", "", "distributed: write sync-round phase spans as JSON to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if err := obs.EnableLogging(os.Stderr, *logLevel, *logJSON); err != nil {
+		return err
+	}
+	if *metricsAddr != "" {
+		srv, err := obs.Serve(*metricsAddr, obs.Default)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "clocksync: metrics on http://%s/metrics\n", srv.Addr())
+		if *linger > 0 {
+			defer time.Sleep(*linger)
+		}
 	}
 	if *doInit {
 		return printStarter()
@@ -56,7 +92,7 @@ func run(args []string) error {
 		return err
 	}
 	if *distMode != "" {
-		return runDistributed(data, *distMode, distributed.Config{
+		return runDistributed(data, *distMode, *tracePath, distributed.Config{
 			Leader:      clocksync.ProcID(*root),
 			Centered:    *centered,
 			ReportGrace: *reportGrace,
@@ -86,7 +122,7 @@ func run(args []string) error {
 }
 
 // runDistributed executes the Section 7 protocol from the CLI.
-func runDistributed(data []byte, mode string, cfg distributed.Config) error {
+func runDistributed(data []byte, mode, tracePath string, cfg distributed.Config) error {
 	switch mode {
 	case "leader":
 	case "gossip":
@@ -94,9 +130,19 @@ func runDistributed(data []byte, mode string, cfg distributed.Config) error {
 	default:
 		return fmt.Errorf("unknown -dist mode %q (want leader or gossip)", mode)
 	}
+	if tracePath != "" {
+		cfg.Trace = obs.NewTrace(mode)
+	}
 	out, err := distributed.RunScenarioJSON(data, cfg)
 	if err != nil {
+		obs.SetHealth(obs.Health{Err: err.Error(), Precision: -1})
 		return err
+	}
+	publishHealth(out)
+	if tracePath != "" {
+		if err := writeTrace(tracePath, cfg.Trace); err != nil {
+			return err
+		}
 	}
 	fmt.Printf("distributed (%s) synchronization\n", mode)
 	fmt.Printf("messages on the wire: %d\n", out.Messages)
@@ -115,7 +161,42 @@ func runDistributed(data []byte, mode string, cfg distributed.Config) error {
 		}
 		fmt.Printf("  p%-3d %+.6g%s\n", p, c, status)
 	}
+	if out.Degraded {
+		return fmt.Errorf("%w: missing reports from %v", errDegraded, out.Missing)
+	}
 	return nil
+}
+
+// publishHealth mirrors the run outcome into the /healthz endpoint.
+func publishHealth(out *distributed.Outcome) {
+	h := obs.Health{Degraded: out.Degraded, Missing: len(out.Missing), Precision: out.Precision}
+	for _, ok := range out.Applied {
+		if ok {
+			h.Applied++
+		}
+	}
+	for _, ok := range out.Synced {
+		if ok {
+			h.Synced++
+		}
+	}
+	if out.Synced == nil && !out.Degraded {
+		h.Synced = len(out.Corrections)
+	}
+	obs.SetHealth(h)
+}
+
+// writeTrace dumps the collected phase spans as JSON.
+func writeTrace(path string, tr *obs.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteJSON(f); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("write trace: %w", err)
+	}
+	return f.Close()
 }
 
 func printReport(rep *clocksync.Report) {

@@ -1,9 +1,15 @@
 package main
 
 import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"clocksync/internal/obs"
 )
 
 func writeScenario(t *testing.T) string {
@@ -105,5 +111,102 @@ func TestRunPairsFlag(t *testing.T) {
 	path := writeScenario(t)
 	if err := run([]string{"-scenario", path, "-pairs", "-centered"}); err != nil {
 		t.Fatalf("run -pairs: %v", err)
+	}
+}
+
+// writeFaultyScenario crashes p3 mid-measurement so the leader computes
+// degraded.
+func writeFaultyScenario(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "faulty.json")
+	cfg := `{
+		"processors": 4,
+		"seed": 7,
+		"startSpread": 1,
+		"topology": {"kind": "ring"},
+		"defaultLink": {
+			"assumption": {"kind": "symmetricBounds", "lb": 0.03, "ub": 0.09},
+			"delays": {"kind": "symmetric", "sampler": {"kind": "uniform", "lo": 0.03, "hi": 0.09}}
+		},
+		"protocol": {"kind": "burst", "k": 1, "warmup": -1},
+		"faults": {"crashes": [{"proc": 3, "at": 2.0}]}
+	}`
+	if err := os.WriteFile(path, []byte(cfg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunDistributedDegradedExit: a degraded run returns errDegraded (so
+// main exits 2) and publishes a degraded /healthz payload.
+func TestRunDistributedDegradedExit(t *testing.T) {
+	path := writeFaultyScenario(t)
+	err := run([]string{"-scenario", path, "-dist", "leader", "-report-grace", "1"})
+	if !errors.Is(err, errDegraded) {
+		t.Fatalf("degraded run returned %v, want errDegraded", err)
+	}
+	h := obs.CurrentHealth()
+	if !h.Degraded || h.Status != "degraded" {
+		t.Errorf("health = %+v, want degraded", h)
+	}
+	if h.Missing == 0 {
+		t.Errorf("health reports no missing processors: %+v", h)
+	}
+}
+
+// TestRunDistributedTrace: -trace writes span JSON with non-zero phase
+// timings for the probe window and every compute sub-phase.
+func TestRunDistributedTrace(t *testing.T) {
+	scen := writeScenario(t)
+	tracePath := filepath.Join(t.TempDir(), "trace.json")
+	if err := run([]string{"-scenario", scen, "-dist", "leader", "-trace", tracePath}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Name  string     `json:"name"`
+		Spans []obs.Span `json:"spans"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	seen := map[string]float64{}
+	for _, sp := range doc.Spans {
+		seen[sp.Phase] += sp.Seconds
+	}
+	for _, phase := range []string{"probe", "collect", "compute", "estimate", "karp_amax", "corrections"} {
+		if seen[phase] <= 0 {
+			t.Errorf("phase %q total duration %v, want > 0 (spans: %v)", phase, seen[phase], seen)
+		}
+	}
+}
+
+// TestRunMetricsServer: -metrics-addr serves a JSON metrics snapshot and
+// a /healthz that reflects the finished run.
+func TestRunMetricsServer(t *testing.T) {
+	srv, err := obs.Serve("127.0.0.1:0", obs.Default)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	path := writeScenario(t)
+	if err := run([]string{"-scenario", path, "-dist", "gossip"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	var snap obs.Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("/metrics not JSON: %v\n%s", err, body)
+	}
+	if snap.Counters["dist.probes.sent"] == 0 {
+		t.Errorf("dist.probes.sent = 0 after a gossip run; counters: %v", snap.Counters)
 	}
 }

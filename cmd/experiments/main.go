@@ -8,6 +8,7 @@
 //	experiments -run T1,F2       # run a subset
 //	experiments -csv out/        # additionally write CSV series per experiment
 //	experiments -seed 7          # change the experiment seed
+//	experiments -metrics m.json  # dump the process metrics snapshot after the runs
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"strings"
 
 	"clocksync/internal/experiments"
+	"clocksync/internal/obs"
 )
 
 func main() {
@@ -34,8 +36,13 @@ func run(args []string) error {
 		csvDir  = fs.String("csv", "", "directory to write per-experiment CSV files")
 		mdPath  = fs.String("md", "", "write a combined markdown report to this file")
 		seed    = fs.Int64("seed", 12345, "experiment seed")
+		metrics = fs.String("metrics", "", "write the process metrics snapshot as JSON to this file")
+		logLvl  = fs.String("log", "off", "structured log level: off, debug, info, warn or error")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := obs.EnableLogging(os.Stderr, *logLvl, false); err != nil {
 		return err
 	}
 
@@ -106,10 +113,29 @@ func run(args []string) error {
 			}
 		}
 	}
+	if *metrics != "" {
+		if err := writeMetrics(*metrics); err != nil {
+			return err
+		}
+	}
 	if failures > 0 {
 		return fmt.Errorf("%d FAIL verdicts; see tables above", failures)
 	}
 	return nil
+}
+
+// writeMetrics snapshots the process-wide registry — every simulator,
+// protocol and phase counter the selected experiments drove — to a file.
+func writeMetrics(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.Default.WriteJSON(f); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("write metrics: %w", err)
+	}
+	return f.Close()
 }
 
 func knownIDs() string {

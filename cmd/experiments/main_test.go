@@ -1,10 +1,13 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"clocksync/internal/obs"
 )
 
 func TestRunSubset(t *testing.T) {
@@ -52,6 +55,29 @@ func TestKnownIDs(t *testing.T) {
 func TestRunSeedOverride(t *testing.T) {
 	if err := run([]string{"-run", "F5", "-seed", "7"}); err != nil {
 		t.Fatalf("run with seed: %v", err)
+	}
+}
+
+// TestRunMetricsOutput: -metrics dumps a valid JSON snapshot with the
+// simulator counters the experiment drove.
+func TestRunMetricsOutput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	if err := run([]string{"-run", "D2", "-metrics", path}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read metrics: %v", err)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("metrics not JSON: %v\n%s", err, data)
+	}
+	if snap.Counters["sim.messages.delivered"] == 0 {
+		t.Errorf("sim.messages.delivered = 0 after D2; counters: %v", snap.Counters)
+	}
+	if snap.Counters["dist.computes"] == 0 {
+		t.Errorf("dist.computes = 0 after D2; counters: %v", snap.Counters)
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"math"
 
 	"clocksync/internal/dist"
+	"clocksync/internal/obs"
 	"clocksync/internal/scenario"
 	"clocksync/internal/sim"
 
@@ -45,6 +46,10 @@ type Config struct {
 	// everyone and every node computes the (identical) corrections
 	// locally, skipping the result flood.
 	Gossip bool
+	// Trace, when non-nil, collects per-round phase spans (probe,
+	// collect, compute, and the compute sub-phases) for the run; export
+	// it with its WriteJSON method.
+	Trace *obs.Trace
 }
 
 func (c *Config) fill() {
@@ -136,6 +141,7 @@ func RunScenarioJSON(data []byte, cfg Config) (*Outcome, error) {
 		ReportGrace: cfg.ReportGrace,
 		Retries:     cfg.Retries,
 		Centered:    cfg.Centered,
+		Trace:       cfg.Trace,
 	}
 	runFn := dist.Run
 	if cfg.Gossip {

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"clocksync/distributed"
+	"clocksync/internal/obs"
 )
 
 const scenarioJSON = `{
@@ -150,5 +151,41 @@ func TestRunScenarioJSONWithFaults(t *testing.T) {
 	}
 	if out.Realized > out.Precision+1e-9 {
 		t.Errorf("realized %v exceeds degraded precision %v", out.Realized, out.Precision)
+	}
+}
+
+// TestRunScenarioJSONTrace: a non-nil Trace collects the sync-round
+// phase spans — the probe window and every compute sub-phase carry a
+// positive duration; gossip mode records one compute per node.
+func TestRunScenarioJSONTrace(t *testing.T) {
+	tr := obs.NewTrace("leader")
+	if _, err := distributed.RunScenarioJSON([]byte(scenarioJSON), distributed.Config{Trace: tr}); err != nil {
+		t.Fatalf("RunScenarioJSON: %v", err)
+	}
+	totals := map[string]float64{}
+	for _, sp := range tr.Spans() {
+		if sp.Seconds < 0 {
+			t.Errorf("span %q on p%d has negative duration %v", sp.Phase, sp.Proc, sp.Seconds)
+		}
+		totals[sp.Phase] += sp.Seconds
+	}
+	for _, phase := range []string{"probe", "collect", "compute", "estimate", "karp_amax", "corrections"} {
+		if totals[phase] <= 0 {
+			t.Errorf("phase %q total %v, want > 0 (totals: %v)", phase, totals[phase], totals)
+		}
+	}
+
+	gtr := obs.NewTrace("gossip")
+	if _, err := distributed.RunScenarioJSON([]byte(scenarioJSON), distributed.Config{Gossip: true, Trace: gtr}); err != nil {
+		t.Fatalf("gossip run: %v", err)
+	}
+	computes := 0
+	for _, sp := range gtr.Spans() {
+		if sp.Phase == "compute" {
+			computes++
+		}
+	}
+	if computes != 6 {
+		t.Errorf("gossip trace has %d compute spans, want one per node (6)", computes)
 	}
 }

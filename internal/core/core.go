@@ -20,8 +20,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"clocksync/internal/graph"
+	"clocksync/internal/obs"
 )
 
 // ErrInfeasible indicates that the supplied local-shift estimates admit no
@@ -48,6 +50,14 @@ type Options struct {
 	// balances the realized discrepancy on the observed execution, e.g.
 	// recovering exact skews when delays are symmetric.
 	Centered bool
+
+	// Observer, when non-nil, receives the wall-clock duration of each
+	// pipeline phase: "estimate" (GLOBAL ESTIMATES, Theorem 5.5),
+	// "karp_amax" (the maximum-mean-cycle step of SHIFTS, summed over
+	// sync components) and "corrections" (the shortest-path step).
+	// SynchronizeSystem additionally reports "mls" (trace reduction).
+	// Nil — the default — adds no timing calls to the hot path.
+	Observer obs.PhaseObserver
 }
 
 // Result is the output of the synchronization pipeline.
@@ -134,9 +144,17 @@ func AMax(ms [][]float64, subset []int) (float64, []int) {
 // shifts and returns optimal corrections with their precision.
 func Synchronize(mls [][]float64, opts Options) (*Result, error) {
 	n := len(mls)
+	timed := opts.Observer != nil
+	var mark time.Time
+	if timed {
+		mark = time.Now()
+	}
 	ms, err := GlobalEstimates(mls)
 	if err != nil {
 		return nil, err
+	}
+	if timed {
+		opts.Observer.ObservePhase("estimate", time.Since(mark).Seconds())
 	}
 	if opts.Root < 0 || (n > 0 && opts.Root >= n) {
 		return nil, fmt.Errorf("core: root %d out of range [0,%d)", opts.Root, n)
@@ -149,20 +167,37 @@ func Synchronize(mls [][]float64, opts Options) (*Result, error) {
 	}
 	res.ComponentPrecision = make([]float64, len(res.Components))
 
+	var karpDur, corrDur time.Duration
 	for ci, comp := range res.Components {
+		if timed {
+			mark = time.Now()
+		}
 		aMax, cycle := AMax(ms, comp)
+		if timed {
+			karpDur += time.Since(mark)
+		}
 		res.ComponentPrecision[ci] = aMax
 		root := comp[0]
 		if containsInt(comp, opts.Root) {
 			root = opts.Root
 		}
+		if timed {
+			mark = time.Now()
+		}
 		if err := correctionsForComponent(ms, comp, root, aMax, opts.Centered, res.Corrections); err != nil {
 			return nil, err
+		}
+		if timed {
+			corrDur += time.Since(mark)
 		}
 		if len(res.Components) == 1 {
 			res.Precision = aMax
 			res.CriticalCycle = cycle
 		}
+	}
+	if timed {
+		opts.Observer.ObservePhase("karp_amax", karpDur.Seconds())
+		opts.Observer.ObservePhase("corrections", corrDur.Seconds())
 	}
 	if len(res.Components) != 1 {
 		res.Precision = math.Inf(1)

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"clocksync/internal/delay"
 	"clocksync/internal/graph"
@@ -96,9 +97,16 @@ func MLSMatrix(n int, links []Link, tab *trace.Table, opts MLSOptions) ([][]floa
 // local shifts under the system's assumptions, then run GLOBAL ESTIMATES
 // and SHIFTS.
 func SynchronizeSystem(n int, links []Link, tab *trace.Table, mopts MLSOptions, opts Options) (*Result, error) {
+	var mark time.Time
+	if opts.Observer != nil {
+		mark = time.Now()
+	}
 	mls, err := MLSMatrix(n, links, tab, mopts)
 	if err != nil {
 		return nil, err
+	}
+	if opts.Observer != nil {
+		opts.Observer.ObservePhase("mls", time.Since(mark).Seconds())
 	}
 	return Synchronize(mls, opts)
 }

@@ -42,9 +42,35 @@ import (
 
 	"clocksync/internal/core"
 	"clocksync/internal/model"
+	"clocksync/internal/obs"
 	"clocksync/internal/sim"
 	"clocksync/internal/trace"
 )
+
+// Protocol observability: process-wide counters in the obs default
+// registry plus per-run sync-round traces via Config.Trace. The loggers
+// are nops unless the application installs a sink (obs.SetLogger).
+var (
+	dLog = obs.For("dist")
+
+	mProbesSent     = obs.Default.Counter("dist.probes.sent")
+	mProbesRecv     = obs.Default.Counter("dist.probes.received")
+	mProbesLate     = obs.Default.Counter("dist.probes.late")
+	mReportsEmitted = obs.Default.Counter("dist.reports.emitted")
+	mReportsAbsorb  = obs.Default.Counter("dist.reports.absorbed")
+	mReportsLate    = obs.Default.Counter("dist.reports.late")
+	mReportsMissing = obs.Default.Counter("dist.reports.missing")
+	mReportRefloods = obs.Default.Counter("dist.reports.refloods")
+	mResultRefloods = obs.Default.Counter("dist.results.refloods")
+	mDeadlineFires  = obs.Default.Counter("dist.deadline.fires")
+	mComputes       = obs.Default.Counter("dist.computes")
+	mComputesDegr   = obs.Default.Counter("dist.computes.degraded")
+)
+
+// phaseHist maps a pipeline phase name to its duration histogram.
+func phaseHist(phase string) *obs.Histogram {
+	return obs.Default.Histogram("dist.phase."+phase+".seconds", nil)
+}
 
 // Config parameterizes the protocol.
 type Config struct {
@@ -75,6 +101,10 @@ type Config struct {
 	Retries int
 	// Centered selects centered corrections at the leader.
 	Centered bool
+	// Trace optionally collects sync-round spans: per-processor probe
+	// windows (simulated clock) and the leader's collect/compute phases
+	// including the SHIFTS breakdown (wall clock). Nil records nothing.
+	Trace *obs.Trace
 }
 
 // withDefaults fills derived defaults.
@@ -282,6 +312,7 @@ func (pr *proc) OnTimer(env *sim.Env, tag int) {
 			if err := env.Send(model.ProcID(q), Probe{SendClock: env.Clock()}); err != nil {
 				return
 			}
+			mProbesSent.Inc()
 		}
 	case timerReport:
 		pr.emitReport(env)
@@ -289,6 +320,9 @@ func (pr *proc) OnTimer(env *sim.Env, tag int) {
 		pr.refloodReport(env)
 	case timerDeadline:
 		if pr.isLeader(env) && !pr.computed {
+			mDeadlineFires.Inc()
+			dLog.Debug("report grace expired: computing from quorum",
+				"leader", env.Self(), "reports", pr.reports, "n", pr.n, "clock", env.Clock())
 			pr.compute(env)
 		}
 	case timerResultRetry:
@@ -310,7 +344,9 @@ func (pr *proc) OnReceive(env *sim.Env, from model.ProcID, payload any) {
 
 // handleProbe folds one measurement sample into the incoming statistics.
 func (pr *proc) handleProbe(env *sim.Env, from model.ProcID, msg Probe) {
+	mProbesRecv.Inc()
 	if pr.reported {
+		mProbesLate.Inc()
 		return // late probe: measurement window closed
 	}
 	st, ok := pr.incoming[from]
@@ -338,6 +374,11 @@ func (pr *proc) emitReport(env *sim.Env) {
 		}
 	}
 	pr.reportMsg = rep
+	mReportsEmitted.Inc()
+	// The probe span runs from the first burst to the report instant on
+	// this processor's clock.
+	pr.cfg.Trace.AddSim("probe", int(env.Self()), 0, pr.cfg.Warmup, env.Clock()-pr.cfg.Warmup)
+	dLog.Debug("report emitted", "proc", env.Self(), "links", len(rep.Links), "clock", env.Clock())
 	pr.acceptReport(env, rep)
 	pr.forwarded[floodKey{origin: rep.Origin}] = true
 	pr.flood(env, from(-1), rep)
@@ -350,6 +391,7 @@ func (pr *proc) refloodReport(env *sim.Env) {
 		return
 	}
 	pr.rounds++
+	mReportRefloods.Inc()
 	rep := pr.reportMsg
 	rep.Round = pr.rounds
 	pr.forwarded[floodKey{origin: rep.Origin, round: rep.Round}] = true
@@ -362,6 +404,7 @@ func (pr *proc) refloodResult(env *sim.Env) {
 		return
 	}
 	pr.rounds++
+	mResultRefloods.Inc()
 	msg := pr.result
 	msg.Round = pr.rounds
 	pr.handleResult(env, from(-1), msg)
@@ -385,9 +428,15 @@ func (pr *proc) handleReport(env *sim.Env, via model.ProcID, rep Report) {
 // and triggers the computation when complete.
 func (pr *proc) acceptReport(env *sim.Env, rep Report) {
 	pr.seen[rep.Origin] = true
-	if !pr.isLeader(env) || pr.computed {
+	if !pr.isLeader(env) {
 		return
 	}
+	if pr.computed {
+		mReportsLate.Inc()
+		dLog.Debug("report arrived after compute", "leader", env.Self(), "origin", rep.Origin, "clock", env.Clock())
+		return
+	}
+	mReportsAbsorb.Inc()
 	if pr.table == nil {
 		pr.table = trace.NewTable(pr.n, false)
 	}
@@ -448,13 +497,22 @@ func (pr *proc) compute(env *sim.Env) {
 	if pr.table == nil {
 		pr.table = trace.NewTable(pr.n, false)
 	}
+	self := int(env.Self())
+	// Collect phase: report instant to compute instant, on this clock.
+	reportAt := pr.cfg.Warmup + pr.cfg.Window
+	pr.cfg.Trace.AddSim("collect", self, 0, reportAt, env.Clock()-reportAt)
+	endCompute := pr.cfg.Trace.Start("compute", self, 0)
 	links := pr.cfg.Links
 	missing := missingProcs(pr.n, pr.seen)
 	if len(missing) > 0 {
 		links = restrictLinks(links, pr.seen)
+		mReportsMissing.Add(int64(len(missing)))
 	}
+	mComputes.Inc()
 	res, err := core.SynchronizeSystem(pr.n, links, pr.table, core.DefaultMLSOptions(),
-		core.Options{Root: int(pr.cfg.Leader), Centered: pr.cfg.Centered})
+		core.Options{Root: int(pr.cfg.Leader), Centered: pr.cfg.Centered,
+			Observer: pr.phaseObserver(self)})
+	endCompute()
 	if err != nil {
 		pr.fail(err)
 		return
@@ -465,6 +523,11 @@ func (pr *proc) compute(env *sim.Env) {
 		synced[p] = true
 	}
 	degraded := len(missing) > 0 || len(comp) < pr.n
+	if degraded {
+		mComputesDegr.Inc()
+	}
+	dLog.Info("leader computed", "leader", self, "reports", pr.reports,
+		"missing", len(missing), "degraded", degraded, "precision", prec)
 
 	pr.out.LeaderTable = pr.table
 	pr.out.Precision = prec
@@ -533,6 +596,20 @@ func (pr *proc) fail(err error) {
 	if pr.out.Err == nil {
 		pr.out.Err = err
 	}
+}
+
+// phaseObserver feeds the core pipeline's phase durations into both the
+// per-run trace (as spans of proc) and the process-wide phase
+// histograms. Histogram feeding stays on even without a trace — it is
+// four observations per compute, nowhere near a hot path.
+func (pr *proc) phaseObserver(proc int) obs.PhaseObserver {
+	traced := pr.cfg.Trace.Observer(proc, 0)
+	return obs.PhaseFunc(func(phase string, seconds float64) {
+		phaseHist(phase).Observe(seconds)
+		if traced != nil {
+			traced.ObservePhase(phase, seconds)
+		}
+	})
 }
 
 // from converts an int to a ProcID; from(-1) denotes "locally originated".

@@ -6,9 +6,12 @@ import (
 
 	"clocksync/internal/core"
 	"clocksync/internal/model"
+	"clocksync/internal/obs"
 	"clocksync/internal/sim"
 	"clocksync/internal/trace"
 )
+
+var gLog = obs.For("gossip")
 
 // GossipRun executes the decentralized variant: reports are flooded to
 // everyone (which the protocol already does) and EVERY processor computes
@@ -113,6 +116,9 @@ func (g *gossipProc) OnTimer(env *sim.Env, tag int) {
 	case timerReport:
 		g.emitGossipReport(env)
 	case timerDeadline:
+		if !g.computed {
+			mDeadlineFires.Inc()
+		}
 		g.computeLocal(env)
 	default:
 		g.proc.OnTimer(env, tag) // probe bursts and report re-floods
@@ -136,6 +142,9 @@ func (g *gossipProc) emitGossipReport(env *sim.Env) {
 		}
 	}
 	g.reportMsg = rep
+	mReportsEmitted.Inc()
+	g.cfg.Trace.AddSim("probe", int(env.Self()), 0, g.cfg.Warmup, env.Clock()-g.cfg.Warmup)
+	gLog.Debug("report emitted", "proc", env.Self(), "links", len(rep.Links), "clock", env.Clock())
 	g.absorb(env, rep)
 	g.forwarded[floodKey{origin: rep.Origin}] = true
 	g.flood(env, from(-1), rep)
@@ -146,8 +155,10 @@ func (g *gossipProc) emitGossipReport(env *sim.Env) {
 func (g *gossipProc) absorb(env *sim.Env, rep Report) {
 	g.seen[rep.Origin] = true
 	if g.computed {
+		mReportsLate.Inc()
 		return
 	}
+	mReportsAbsorb.Inc()
 	if g.table == nil {
 		g.table = trace.NewTable(g.n, false)
 	}
@@ -177,18 +188,29 @@ func (g *gossipProc) computeLocal(env *sim.Env) {
 	if g.table == nil {
 		g.table = trace.NewTable(g.n, false)
 	}
+	self := int(env.Self())
+	reportAt := g.cfg.Warmup + g.cfg.Window
+	g.cfg.Trace.AddSim("collect", self, 0, reportAt, env.Clock()-reportAt)
+	endCompute := g.cfg.Trace.Start("compute", self, 0)
 	links := g.cfg.Links
 	missing := missingProcs(g.n, g.seen)
 	if len(missing) > 0 {
 		links = restrictLinks(links, g.seen)
+		mReportsMissing.Add(int64(len(missing)))
 	}
+	mComputes.Inc()
 	res, err := core.SynchronizeSystem(g.n, links, g.table, core.DefaultMLSOptions(),
-		core.Options{Root: int(g.cfg.Leader), Centered: g.cfg.Centered})
+		core.Options{Root: int(g.cfg.Leader), Centered: g.cfg.Centered,
+			Observer: g.phaseObserver(self)})
+	endCompute()
 	if err != nil {
 		g.fail(err)
 		return
 	}
-	self := int(env.Self())
+	if len(missing) > 0 {
+		mComputesDegr.Inc()
+	}
+	gLog.Info("node computed locally", "proc", self, "reports", g.reports, "missing", len(missing))
 	g.perNode[self] = append([]float64(nil), res.Corrections...)
 	if self == int(g.cfg.Leader) {
 		comp, prec := leaderComponent(res, self)

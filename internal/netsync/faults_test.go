@@ -105,6 +105,56 @@ func TestClusterDeadPeer(t *testing.T) {
 			t.Errorf("%s: residual skew %v exceeds precision %v", name, skew, out.Precision)
 		}
 	}
+
+	// The injected faults must be visible in the lifecycle counters: the
+	// live node burned dial retries on the dead peer and gave up on it,
+	// and the coordinator's report grace fired to force the degraded
+	// compute.
+	live2 := live.Stats()
+	if live2.DialRetries == 0 {
+		t.Errorf("live node DialRetries = 0, want > 0 (dead peer)")
+	}
+	if live2.DialFailures == 0 {
+		t.Errorf("live node DialFailures = 0, want > 0 (dead peer given up)")
+	}
+	if live2.ProbesSent == 0 {
+		t.Errorf("live node ProbesSent = 0, want > 0")
+	}
+	cst := coord.Stats()
+	if cst.GraceFires != 1 {
+		t.Errorf("coordinator GraceFires = %d, want 1", cst.GraceFires)
+	}
+	if cst.ReportsReceived == 0 {
+		t.Errorf("coordinator ReportsReceived = 0, want > 0")
+	}
+}
+
+// TestDeadlineExpirationCounter: an inbound connection that never sends
+// anything trips the read deadline, and the expiration is counted.
+func TestDeadlineExpirationCounter(t *testing.T) {
+	node, err := Start(Config{
+		ID: 0, N: 1, Listen: "127.0.0.1:0", Coordinator: 0,
+		Probes: 1, ReportDelay: time.Millisecond,
+		Timeout: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(node.Shutdown)
+
+	raw, err := net.DialTimeout("tcp", node.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for node.Stats().DeadlineExpirations == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("DeadlineExpirations still 0 after %v of idle connection", 2*time.Second)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
 }
 
 // TestLateReportGetsStoredResult: a report arriving after the grace
@@ -164,11 +214,21 @@ func TestDialRetryBackoff(t *testing.T) {
 	t.Cleanup(node.Shutdown)
 
 	start := time.Now()
-	if _, err := node.dialRetry(deadAddr(t)); err == nil {
+	if _, err := node.dialRetry(deadAddr(t), "test"); err == nil {
 		t.Fatal("dialRetry succeeded against a closed port")
 	}
 	// Two backoff sleeps of >= 2.5ms and >= 5ms minimum.
 	if elapsed := time.Since(start); elapsed < 7*time.Millisecond {
 		t.Errorf("dialRetry returned after %v; backoff not applied", elapsed)
+	}
+	st := node.Stats()
+	if st.DialRetries != 2 {
+		t.Errorf("DialRetries = %d, want 2", st.DialRetries)
+	}
+	if st.DialFailures != 1 {
+		t.Errorf("DialFailures = %d, want 1", st.DialFailures)
+	}
+	if st.Dials != 0 {
+		t.Errorf("Dials = %d, want 0 (nothing ever connected)", st.Dials)
 	}
 }

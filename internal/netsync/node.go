@@ -6,12 +6,92 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"clocksync/internal/core"
 	"clocksync/internal/model"
+	"clocksync/internal/obs"
 	"clocksync/internal/trace"
 )
+
+// Connection-lifecycle observability: every event counts into the node's
+// own NetStats (inspect with (*Node).Stats) and into the process-wide
+// obs default registry; the logger is a nop unless obs.SetLogger ran.
+var (
+	nLog = obs.For("netsync")
+
+	gDials         = obs.Default.Counter("netsync.dials")
+	gDialRetries   = obs.Default.Counter("netsync.dial.retries")
+	gDialFailures  = obs.Default.Counter("netsync.dial.failures")
+	gReconnects    = obs.Default.Counter("netsync.reconnects")
+	gProbesSent    = obs.Default.Counter("netsync.probes.sent")
+	gProbeSendErrs = obs.Default.Counter("netsync.probes.senderrors")
+	gProbesRecv    = obs.Default.Counter("netsync.probes.received")
+	gReports       = obs.Default.Counter("netsync.reports.received")
+	gDupReports    = obs.Default.Counter("netsync.reports.duplicate")
+	gLateReports   = obs.Default.Counter("netsync.reports.late")
+	gDeadlines     = obs.Default.Counter("netsync.deadline.expirations")
+	gGraceFires    = obs.Default.Counter("netsync.grace.fires")
+)
+
+// netCounters tracks one node's connection-lifecycle events (atomic:
+// probing, serving and reporting run on separate goroutines).
+type netCounters struct {
+	dials, dialRetries, dialFailures, reconnects   atomic.Int64
+	probesSent, probeSendErrors, probesReceived    atomic.Int64
+	reportsReceived, duplicateReports, lateReports atomic.Int64
+	deadlineExpirations, graceFires                atomic.Int64
+}
+
+// NetStats is a point-in-time snapshot of a node's connection-lifecycle
+// counters — events that were previously invisible (silent retries,
+// reconnects, expired deadlines).
+type NetStats struct {
+	// Dials counts successful TCP connects; DialRetries the backoff
+	// retries behind them; DialFailures the peers given up on after
+	// DialAttempts tries.
+	Dials, DialRetries, DialFailures int64
+	// Reconnects counts probe/report streams re-established after
+	// breaking mid-flight.
+	Reconnects int64
+	// Probe traffic on this node's side of each stream.
+	ProbesSent, ProbeSendErrors, ProbesReceived int64
+	// Coordinator-side report accounting.
+	ReportsReceived, DuplicateReports, LateReports int64
+	// DeadlineExpirations counts read/write deadlines that fired;
+	// GraceFires counts report-grace deadlines that forced a degraded
+	// compute.
+	DeadlineExpirations, GraceFires int64
+}
+
+// Stats snapshots the node's lifecycle counters.
+func (n *Node) Stats() NetStats {
+	return NetStats{
+		Dials:               n.stats.dials.Load(),
+		DialRetries:         n.stats.dialRetries.Load(),
+		DialFailures:        n.stats.dialFailures.Load(),
+		Reconnects:          n.stats.reconnects.Load(),
+		ProbesSent:          n.stats.probesSent.Load(),
+		ProbeSendErrors:     n.stats.probeSendErrors.Load(),
+		ProbesReceived:      n.stats.probesReceived.Load(),
+		ReportsReceived:     n.stats.reportsReceived.Load(),
+		DuplicateReports:    n.stats.duplicateReports.Load(),
+		LateReports:         n.stats.lateReports.Load(),
+		DeadlineExpirations: n.stats.deadlineExpirations.Load(),
+		GraceFires:          n.stats.graceFires.Load(),
+	}
+}
+
+// noteNetErr classifies a connection error: expired read/write deadlines
+// feed the deadline counter.
+func (n *Node) noteNetErr(err error) {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		n.stats.deadlineExpirations.Add(1)
+		gDeadlines.Inc()
+	}
+}
 
 // Config describes one node of a cluster.
 type Config struct {
@@ -142,6 +222,8 @@ type Node struct {
 	born     time.Time
 	listener net.Listener
 	rng      *rand.Rand
+
+	stats netCounters
 
 	mu       sync.Mutex
 	incoming map[model.ProcID]trace.DirStats // per-peer incoming probe stats
@@ -279,11 +361,14 @@ func (n *Node) serve(c *conn) {
 	for {
 		m, err := c.recv(n.cfg.Timeout)
 		if err != nil {
+			n.noteNetErr(err)
 			return // EOF, deadline or shutdown: connection done
 		}
 		switch m.Type {
 		case "probe":
 			recvClock := n.Clock()
+			n.stats.probesReceived.Add(1)
+			gProbesRecv.Inc()
 			n.mu.Lock()
 			st, ok := n.incoming[m.From]
 			if !ok {
@@ -297,6 +382,10 @@ func (n *Node) serve(c *conn) {
 				n.fail(fmt.Errorf("netsync: non-coordinator %d received a report", n.cfg.ID))
 				return
 			}
+			n.stats.reportsReceived.Add(1)
+			gReports.Inc()
+			nLog.Debug("report received", "node", n.cfg.ID, "origin", m.Origin,
+				"links", len(m.Links), "remote", c.raw.RemoteAddr().String())
 			// Ownership of the connection moves to the pending list; it is
 			// answered and closed when the result is ready.
 			parked = true
@@ -365,18 +454,26 @@ func (n *Node) run() {
 func (n *Node) reportAndAwait(report *Message) (*Message, error) {
 	var lastErr error
 	for attempt := 0; attempt < 2; attempt++ {
-		c, err := n.dialRetry(n.cfg.CoordinatorAddr)
+		if attempt > 0 {
+			n.stats.reconnects.Add(1)
+			gReconnects.Inc()
+			nLog.Debug("report exchange broke; reconnecting", "node", n.cfg.ID,
+				"addr", n.cfg.CoordinatorAddr, "err", lastErr)
+		}
+		c, err := n.dialRetry(n.cfg.CoordinatorAddr, "coordinator")
 		if err != nil {
 			return nil, fmt.Errorf("netsync: dial coordinator: %w", err)
 		}
 		if err := c.send(report, n.cfg.Timeout); err != nil {
 			_ = c.close()
+			n.noteNetErr(err)
 			lastErr = fmt.Errorf("netsync: send report: %w", err)
 			continue
 		}
 		res, err := c.recv(n.cfg.Timeout)
 		_ = c.close()
 		if err != nil {
+			n.noteNetErr(err)
 			lastErr = fmt.Errorf("netsync: await result: %w", err)
 			continue
 		}
@@ -393,16 +490,25 @@ func (n *Node) reportDeadline() {
 	if n.computed {
 		return
 	}
+	n.stats.graceFires.Add(1)
+	gGraceFires.Inc()
+	nLog.Debug("report grace expired: computing from quorum",
+		"node", n.cfg.ID, "reports", len(n.reports), "n", n.cfg.N)
 	n.computeAndDisseminateLocked()
 }
 
-// dialRetry dials with exponential backoff and jitter. Called only from
-// the run goroutine (it shares the node's rng).
-func (n *Node) dialRetry(addr string) (*conn, error) {
+// dialRetry dials with exponential backoff and jitter; what labels the
+// target ("coordinator", "peer 3") for counters and debug logs. Called
+// only from the run goroutine (it shares the node's rng).
+func (n *Node) dialRetry(addr, what string) (*conn, error) {
 	backoff := n.cfg.DialBackoff
 	var lastErr error
 	for attempt := 0; attempt < n.cfg.DialAttempts; attempt++ {
 		if attempt > 0 {
+			n.stats.dialRetries.Add(1)
+			gDialRetries.Inc()
+			nLog.Debug("dial retry", "node", n.cfg.ID, "peer", what, "addr", addr,
+				"attempt", attempt+1, "backoff", backoff, "err", lastErr)
 			sleep := time.Duration(float64(backoff) * (0.5 + n.rng.Float64()))
 			select {
 			case <-time.After(sleep):
@@ -416,10 +522,17 @@ func (n *Node) dialRetry(addr string) (*conn, error) {
 		}
 		raw, err := net.DialTimeout("tcp", addr, n.cfg.Timeout)
 		if err == nil {
+			n.stats.dials.Add(1)
+			gDials.Inc()
+			nLog.Debug("dialed", "node", n.cfg.ID, "peer", what, "addr", addr, "attempt", attempt+1)
 			return newConn(raw), nil
 		}
 		lastErr = err
 	}
+	n.stats.dialFailures.Add(1)
+	gDialFailures.Inc()
+	nLog.Debug("dial failed: giving up", "node", n.cfg.ID, "peer", what, "addr", addr,
+		"attempts", n.cfg.DialAttempts, "err", lastErr)
 	return nil, fmt.Errorf("netsync: dial %s: %d attempts: %w", addr, n.cfg.DialAttempts, lastErr)
 }
 
@@ -436,7 +549,7 @@ func (n *Node) probePeers() error {
 		}
 	}()
 	for id, addr := range n.cfg.Peers {
-		c, err := n.dialRetry(addr)
+		c, err := n.dialRetry(addr, fmt.Sprintf("peer %d", id))
 		if err != nil {
 			continue // dead peer: skip it, keep the node alive
 		}
@@ -449,7 +562,11 @@ func (n *Node) probePeers() error {
 				// timestamp — a stale stamp would inflate the measured
 				// delay past the declared bounds).
 				_ = c.close()
-				nc, derr := n.dialRetry(n.cfg.Peers[id])
+				n.stats.reconnects.Add(1)
+				gReconnects.Inc()
+				nLog.Debug("probe stream broke; reconnecting", "node", n.cfg.ID,
+					"peer", id, "err", err)
+				nc, derr := n.dialRetry(n.cfg.Peers[id], fmt.Sprintf("peer %d", id))
 				if derr != nil {
 					delete(conns, id)
 					continue
@@ -478,7 +595,16 @@ func (n *Node) sendProbe(c *conn) error {
 	if n.cfg.Jitter > 0 {
 		time.Sleep(time.Duration(n.rng.Float64() * float64(n.cfg.Jitter)))
 	}
-	return c.send(&Message{Type: "probe", From: n.cfg.ID, SendClock: sendClock}, n.cfg.Timeout)
+	err := c.send(&Message{Type: "probe", From: n.cfg.ID, SendClock: sendClock}, n.cfg.Timeout)
+	if err != nil {
+		n.stats.probeSendErrors.Add(1)
+		gProbeSendErrs.Inc()
+		n.noteNetErr(err)
+		return err
+	}
+	n.stats.probesSent.Add(1)
+	gProbesSent.Inc()
+	return nil
 }
 
 // handleReport runs on the coordinator for each inbound report connection:
@@ -495,6 +621,10 @@ func (n *Node) handleReport(c *conn, m *Message) {
 // slow node still receives its correction.
 func (n *Node) absorbReportLocked(m *Message, c *conn) {
 	if n.computed {
+		n.stats.lateReports.Add(1)
+		gLateReports.Inc()
+		nLog.Debug("late report answered with stored result",
+			"node", n.cfg.ID, "origin", m.Origin)
 		if c != nil {
 			_ = c.send(n.result, n.cfg.Timeout)
 			_ = c.close()
@@ -502,6 +632,9 @@ func (n *Node) absorbReportLocked(m *Message, c *conn) {
 		return
 	}
 	if _, dup := n.reports[m.Origin]; dup {
+		n.stats.duplicateReports.Add(1)
+		gDupReports.Inc()
+		nLog.Debug("duplicate report rejected", "node", n.cfg.ID, "origin", m.Origin)
 		if c != nil {
 			_ = c.send(&Message{Type: "result", Err: "duplicate report"}, n.cfg.Timeout)
 			_ = c.close()

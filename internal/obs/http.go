@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// Health is the /healthz payload: the last synchronization round's
+// outcome, in counts.
+type Health struct {
+	// Status is "ok", "degraded" or "unknown" (no round finished yet).
+	Status string `json:"status"`
+	// Degraded mirrors the outcome's Degraded flag.
+	Degraded bool `json:"degraded"`
+	// Synced counts processors inside the synchronized component.
+	Synced int `json:"synced"`
+	// Missing counts processors whose reports never arrived.
+	Missing int `json:"missing"`
+	// Applied counts processors that received their correction.
+	Applied int `json:"applied"`
+	// Precision is the guaranteed precision of the synchronized
+	// component; -1 when unbounded or not yet computed.
+	Precision float64 `json:"precision"`
+	// Err carries a terminal error, if the round failed outright.
+	Err string `json:"err,omitempty"`
+}
+
+var health atomic.Value // Health
+
+// SetHealth publishes the latest round outcome for /healthz. Non-finite
+// precisions are coerced to -1 to keep the payload JSON-encodable.
+func SetHealth(h Health) {
+	if math.IsNaN(h.Precision) || math.IsInf(h.Precision, 0) {
+		h.Precision = -1
+	}
+	if h.Status == "" {
+		if h.Degraded {
+			h.Status = "degraded"
+		} else {
+			h.Status = "ok"
+		}
+	}
+	health.Store(h)
+}
+
+// CurrentHealth returns the last published health (status "unknown"
+// before the first SetHealth).
+func CurrentHealth() Health {
+	if h, ok := health.Load().(Health); ok {
+		return h
+	}
+	return Health{Status: "unknown", Precision: -1}
+}
+
+// Handler returns the introspection mux:
+//
+//	/metrics       JSON snapshot of reg
+//	/healthz       last round's outcome; 200 when ok/unknown, 503 when degraded
+//	/debug/vars    expvar (memstats + published vars)
+//	/debug/pprof/  the standard pprof handlers
+func Handler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := reg.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		h := CurrentHealth()
+		w.Header().Set("Content-Type", "application/json")
+		if h.Status == "degraded" {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(h)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running introspection listener.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Addr returns the bound address (resolves ":0" ports).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and its in-flight handlers.
+func (s *Server) Close() error { return s.srv.Close() }
+
+var publishOnce sync.Once
+
+// Serve binds addr and serves Handler(reg) in a background goroutine.
+// The registry snapshot is also published to expvar under
+// "clocksync.metrics" (once per process).
+func Serve(addr string, reg *Registry) (*Server, error) {
+	if reg == nil {
+		reg = Default
+	}
+	publishOnce.Do(func() {
+		expvar.Publish("clocksync.metrics", expvar.Func(func() any { return reg.Snapshot() }))
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(reg)}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{ln: ln, srv: srv}, nil
+}

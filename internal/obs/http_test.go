@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func getBody(t *testing.T, srv *httptest.Server, path string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+// TestHandlerEndpoints exercises /metrics, /healthz, /debug/vars and the
+// pprof index.
+func TestHandlerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("netsync.dials").Add(7)
+	srv := httptest.NewServer(Handler(reg))
+	t.Cleanup(srv.Close)
+
+	code, body := getBody(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("/metrics not JSON: %v\n%s", err, body)
+	}
+	if snap.Counters["netsync.dials"] != 7 {
+		t.Errorf("/metrics counters = %v", snap.Counters)
+	}
+
+	// Health transitions: unknown -> ok -> degraded (503).
+	health.Store(Health{Status: "unknown", Precision: -1})
+	if code, _ := getBody(t, srv, "/healthz"); code != http.StatusOK {
+		t.Errorf("/healthz unknown status %d, want 200", code)
+	}
+	SetHealth(Health{Synced: 4, Applied: 4, Precision: 0.3})
+	code, body = getBody(t, srv, "/healthz")
+	var h Health
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatalf("/healthz not JSON: %v", err)
+	}
+	if code != http.StatusOK || h.Status != "ok" || h.Synced != 4 {
+		t.Errorf("/healthz ok = %d %+v", code, h)
+	}
+	SetHealth(Health{Degraded: true, Synced: 3, Missing: 1, Applied: 3, Precision: 0.5})
+	code, body = getBody(t, srv, "/healthz")
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatalf("/healthz not JSON: %v", err)
+	}
+	if code != http.StatusServiceUnavailable || h.Status != "degraded" || h.Missing != 1 {
+		t.Errorf("/healthz degraded = %d %+v", code, h)
+	}
+
+	if code, _ := getBody(t, srv, "/debug/vars"); code != http.StatusOK {
+		t.Errorf("/debug/vars status %d", code)
+	}
+	if code, _ := getBody(t, srv, "/debug/pprof/"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/ status %d", code)
+	}
+}
+
+// TestServeBindsAndCloses starts the real listener on an ephemeral port.
+func TestServeBindsAndCloses(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatalf("GET live server: %v", err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("status %d", resp.StatusCode)
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+}
+
+// TestSetHealthSanitizes coerces non-finite precision.
+func TestSetHealthSanitizes(t *testing.T) {
+	SetHealth(Health{Precision: math.Inf(1)})
+	if h := CurrentHealth(); h.Precision != -1 {
+		t.Errorf("precision = %v, want -1", h.Precision)
+	}
+}

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestCounterGaugeConcurrent hammers one counter and one gauge from many
+// goroutines; totals must be exact (run with -race).
+func TestCounterGaugeConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c")
+	g := reg.Gauge("g")
+	const workers, per = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Errorf("counter = %d, want %d", got, workers*per)
+	}
+	if got := g.Value(); got != workers*per {
+		t.Errorf("gauge = %v, want %d", got, workers*per)
+	}
+}
+
+// TestHistogramConcurrent checks bucket placement, totals and extremes
+// under concurrent observation.
+func TestHistogramConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("h", []float64{1, 10, 100})
+	const workers, per = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(w%4) * 50) // 0, 50, 100, 150
+			}
+		}()
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*per {
+		t.Fatalf("count = %d, want %d", s.Count, workers*per)
+	}
+	// Values: 0 -> bucket le=1; 50 -> le=100; 100 -> le=100; 150 -> overflow.
+	if len(s.Counts) != 4 {
+		t.Fatalf("counts = %v, want 4 buckets", s.Counts)
+	}
+	if s.Counts[0] != 2*per || s.Counts[1] != 0 || s.Counts[2] != 4*per || s.Counts[3] != 2*per {
+		t.Errorf("bucket counts = %v, want [%d 0 %d %d]", s.Counts, 2*per, 4*per, 2*per)
+	}
+	if s.Min != 0 || s.Max != 150 {
+		t.Errorf("min/max = %v/%v, want 0/150", s.Min, s.Max)
+	}
+	// Two workers per residue class, each observing per times.
+	if got, want := s.Sum, float64(2*per)*(0+50+100+150); got != want {
+		t.Errorf("sum = %v, want %v", got, want)
+	}
+}
+
+// TestRegistryIdempotent: get-or-create returns the same instance, and
+// histogram bounds are kept from the first registration.
+func TestRegistryIdempotent(t *testing.T) {
+	reg := NewRegistry()
+	if reg.Counter("x") != reg.Counter("x") {
+		t.Error("Counter not idempotent")
+	}
+	if reg.Gauge("x") != reg.Gauge("x") {
+		t.Error("Gauge not idempotent")
+	}
+	h1 := reg.Histogram("x", []float64{1, 2})
+	h2 := reg.Histogram("x", []float64{99})
+	if h1 != h2 {
+		t.Error("Histogram not idempotent")
+	}
+	if got := h1.Snapshot().Bounds; len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("bounds = %v, want the first registration's [1 2]", got)
+	}
+}
+
+// TestSnapshotJSON: the snapshot marshals to valid JSON even with
+// non-finite gauge values, and Reset zeroes metrics in place.
+func TestSnapshotJSON(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("runs")
+	c.Add(3)
+	reg.Gauge("bad").Set(math.Inf(1))
+	reg.Histogram("lat", nil).Observe(0.5)
+
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if snap.Counters["runs"] != 3 {
+		t.Errorf("counters = %v, want runs=3", snap.Counters)
+	}
+	if snap.Gauges["bad"] != 0 {
+		t.Errorf("non-finite gauge leaked: %v", snap.Gauges["bad"])
+	}
+	if snap.Histograms["lat"].Count != 1 {
+		t.Errorf("histogram count = %d, want 1", snap.Histograms["lat"].Count)
+	}
+
+	reg.Reset()
+	if c.Value() != 0 {
+		t.Errorf("counter after Reset = %d, want 0 (same handle)", c.Value())
+	}
+	if reg.Histogram("lat", nil).Snapshot().Count != 0 {
+		t.Error("histogram not reset")
+	}
+}
+
+// TestHistogramEmptySnapshot: an empty histogram reports zero extremes.
+func TestHistogramEmptySnapshot(t *testing.T) {
+	h := NewRegistry().Histogram("e", []float64{1})
+	s := h.Snapshot()
+	if s.Count != 0 || s.Min != 0 || s.Max != 0 || s.Sum != 0 {
+		t.Errorf("empty snapshot = %+v, want zeroes", s)
+	}
+}

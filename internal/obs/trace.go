@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// PhaseObserver receives the duration of one named pipeline phase. The
+// core package reports its SHIFTS phases ("mls", "estimate", "karp_amax",
+// "corrections") through this interface so it needs no knowledge of
+// traces or registries.
+type PhaseObserver interface {
+	ObservePhase(phase string, seconds float64)
+}
+
+// PhaseFunc adapts a function to PhaseObserver.
+type PhaseFunc func(phase string, seconds float64)
+
+// ObservePhase implements PhaseObserver.
+func (f PhaseFunc) ObservePhase(phase string, seconds float64) { f(phase, seconds) }
+
+// Span is one timed phase of a synchronization round.
+type Span struct {
+	// Phase names the work: "probe", "collect", "mls", "estimate",
+	// "karp_amax", "corrections", "compute", ...
+	Phase string `json:"phase"`
+	// Proc is the processor the span belongs to; -1 for global spans.
+	Proc int `json:"proc"`
+	// Round is the synchronization round (0 for single-round runs).
+	Round int `json:"round"`
+	// Start is the span's begin instant: seconds since the trace was
+	// created for wall-clock spans, the processor's clock reading for
+	// simulated ones.
+	Start float64 `json:"start"`
+	// Seconds is the span duration.
+	Seconds float64 `json:"seconds"`
+	// Sim marks spans measured on the simulated clock axis rather than
+	// wall time.
+	Sim bool `json:"sim,omitempty"`
+}
+
+// Trace accumulates the spans of a run. All methods are safe for
+// concurrent use and safe on a nil receiver (they become no-ops), so
+// instrumented code can thread an optional *Trace without nil checks.
+type Trace struct {
+	mu    sync.Mutex
+	name  string
+	t0    time.Time
+	spans []Span
+}
+
+// NewTrace creates an empty trace; name labels the run in the JSON
+// export.
+func NewTrace(name string) *Trace {
+	return &Trace{name: name, t0: time.Now()}
+}
+
+// Name returns the trace label ("" on nil).
+func (t *Trace) Name() string {
+	if t == nil {
+		return ""
+	}
+	return t.name
+}
+
+// Add appends one span.
+func (t *Trace) Add(s Span) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+}
+
+// AddSim appends a span measured on the simulated clock axis.
+func (t *Trace) AddSim(phase string, proc, round int, startClock, seconds float64) {
+	t.Add(Span{Phase: phase, Proc: proc, Round: round, Start: startClock, Seconds: seconds, Sim: true})
+}
+
+// Start begins a wall-clock span and returns the function that ends and
+// records it.
+func (t *Trace) Start(phase string, proc, round int) func() {
+	if t == nil {
+		return func() {}
+	}
+	begin := time.Now()
+	return func() {
+		t.Add(Span{
+			Phase:   phase,
+			Proc:    proc,
+			Round:   round,
+			Start:   begin.Sub(t.t0).Seconds(),
+			Seconds: time.Since(begin).Seconds(),
+		})
+	}
+}
+
+// Observer returns a PhaseObserver that records each reported phase as a
+// wall-clock span attributed to proc and round. Returns nil on a nil
+// trace so callers can pass it straight into core.Options.
+func (t *Trace) Observer(proc, round int) PhaseObserver {
+	if t == nil {
+		return nil
+	}
+	return PhaseFunc(func(phase string, seconds float64) {
+		start := time.Since(t.t0).Seconds() - seconds
+		if start < 0 {
+			start = 0
+		}
+		t.Add(Span{Phase: phase, Proc: proc, Round: round, Start: start, Seconds: seconds})
+	})
+}
+
+// Spans returns a copy of the recorded spans (nil on a nil trace).
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
+}
+
+// Len returns the number of recorded spans.
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// traceJSON is the export envelope.
+type traceJSON struct {
+	Name  string `json:"name"`
+	Spans []Span `json:"spans"`
+}
+
+// JSON renders the trace as an indented JSON document.
+func (t *Trace) JSON() ([]byte, error) {
+	doc := traceJSON{Name: t.Name(), Spans: t.Spans()}
+	if doc.Spans == nil {
+		doc.Spans = []Span{}
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}
+
+// WriteJSON writes the JSON export to w.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	data, err := t.JSON()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}

@@ -2,11 +2,32 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
+	"log/slog"
 	"math"
 	"math/rand"
 
 	"clocksync/internal/model"
+	"clocksync/internal/obs"
+)
+
+// Engine-level observability: counters are process-wide totals in the
+// obs default registry (atomic adds, negligible next to delay sampling
+// and the event heap); the logger is a nop unless the application
+// installs one via obs.SetLogger.
+var (
+	simLog = obs.For("sim")
+
+	mEvents        = obs.Default.Counter("sim.events.processed")
+	mEventsCrashed = obs.Default.Counter("sim.events.dropped.crashed")
+	mSent          = obs.Default.Counter("sim.messages.sent")
+	mDelivered     = obs.Default.Counter("sim.messages.delivered")
+	mDropPartition = obs.Default.Counter("sim.messages.dropped.partition")
+	mDropInjected  = obs.Default.Counter("sim.messages.dropped.loss")
+	mDropLink      = obs.Default.Counter("sim.messages.dropped.linkloss")
+	mTimersFired   = obs.Default.Counter("sim.timers.fired")
+	mRuns          = obs.Default.Counter("sim.runs")
 )
 
 // Network describes the simulated system: processor start times and links
@@ -235,18 +256,31 @@ func (en *engine) push(ev event) {
 
 func (en *engine) send(from, to int, payload any, now float64) error {
 	c := orderPair(from, to)
+	mSent.Inc()
 	if en.faults.linkDown(from, to, now) {
 		en.sent++
+		mDropPartition.Inc()
+		if simLog.Enabled(context.Background(), slog.LevelDebug) {
+			simLog.Debug("message dropped: link partitioned", "from", from, "to", to, "at", now)
+		}
 		return nil // link partitioned: sent into the void
 	}
 	if en.faults != nil && en.faults.Loss > 0 &&
 		(en.faults.LossFilter == nil || en.faults.LossFilter(payload)) &&
 		en.rng.Float64() < en.faults.Loss {
 		en.sent++
+		mDropInjected.Inc()
+		if simLog.Enabled(context.Background(), slog.LevelDebug) {
+			simLog.Debug("message dropped: injected loss", "from", from, "to", to, "at", now)
+		}
 		return nil // injected per-message loss
 	}
 	if lm, ok := en.net.links[c].(LossModel); ok && lm.MaybeLose(en.rng, now, from == c.P) {
 		en.sent++
+		mDropLink.Inc()
+		if simLog.Enabled(context.Background(), slog.LevelDebug) {
+			simLog.Debug("message dropped: link loss model", "from", from, "to", to, "at", now)
+		}
 		return nil // lost in transit: sent but never delivered
 	}
 	d, err := en.net.sampleDelay(en.rng, from, to, now)
@@ -319,6 +353,9 @@ func Run(net *Network, factory ProtocolFactory, cfg RunConfig) (*model.Execution
 	for p, s := range net.starts {
 		en.push(event{time: s, kind: evStart, proc: p})
 	}
+	mRuns.Inc()
+	simLog.Debug("run starting", "n", net.N(), "seed", cfg.Seed,
+		"horizon", cfg.Horizon, "faults", cfg.Faults != nil)
 
 	processed := 0
 	for en.queue.Len() > 0 {
@@ -330,9 +367,11 @@ func Run(net *Network, factory ProtocolFactory, cfg RunConfig) (*model.Execution
 			continue // past the horizon: discard
 		}
 		if ev.time >= en.crashAt[ev.proc] {
+			mEventsCrashed.Inc()
 			continue // crashed: no receives, no timers, no start
 		}
 		processed++
+		mEvents.Inc()
 		if processed > maxEvents {
 			return nil, fmt.Errorf("sim: exceeded %d events; runaway protocol?", maxEvents)
 		}
@@ -341,12 +380,14 @@ func Run(net *Network, factory ProtocolFactory, cfg RunConfig) (*model.Execution
 		case evStart:
 			en.procs[ev.proc].OnStart(env)
 		case evDeliver:
+			mDelivered.Inc()
 			recvRel := ev.time - net.starts[ev.proc]
 			if _, err := en.builder.AddMessage(model.ProcID(ev.from), model.ProcID(ev.proc), ev.sendRel, recvRel); err != nil {
 				return nil, err
 			}
 			en.procs[ev.proc].OnReceive(env, model.ProcID(ev.from), ev.payload)
 		case evTimer:
+			mTimersFired.Inc()
 			if en.recordTimers {
 				en.markTimerFired(ev.proc, ev.time-net.starts[ev.proc])
 			}
@@ -356,6 +397,7 @@ func Run(net *Network, factory ProtocolFactory, cfg RunConfig) (*model.Execution
 			return nil, en.err
 		}
 	}
+	simLog.Debug("run finished", "events", processed, "sent", en.sent)
 	for _, tr := range en.timers {
 		if err := en.builder.AddTimer(model.ProcID(tr.proc), tr.setAt, tr.fireAt, tr.fired); err != nil {
 			return nil, err
