@@ -83,6 +83,39 @@ func BenchmarkSynchronize(b *testing.B) {
 	}
 }
 
+// BenchmarkSynchronizerReuse measures the steady-state cost of a reused
+// core.Synchronizer: after warmup every buffer is recycled, so allocs/op
+// must read 0 (the zero-allocation contract documented in
+// docs/performance.md and enforced by TestSynchronizerSteadyStateAllocs).
+func BenchmarkSynchronizerReuse(b *testing.B) {
+	for _, n := range []int{8, 16, 32, 64, 128} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			mls := graph.NewMatrix(n, 0)
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					if i != j {
+						mls[i][j] = 0.1 + rng.Float64()
+					}
+				}
+			}
+			s := core.NewSynchronizer()
+			defer s.Close()
+			opts := core.Options{Parallelism: 1}
+			if _, err := s.Sync(mls, opts); err != nil { // warm the scratch
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Sync(mls, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkObserve measures the per-message cost of feeding the recorder.
 func BenchmarkObserve(b *testing.B) {
 	rec := NewRecorder(16)

@@ -174,6 +174,14 @@ func Centered() Option {
 	return func(o *core.Options) { o.Centered = true }
 }
 
+// WithParallelism bounds the worker lanes used by the synchronization
+// kernels: 0 (the default) means GOMAXPROCS, 1 forces the serial path.
+// Results are bit-identical for every value; the knob only trades CPU for
+// latency on large systems.
+func WithParallelism(lanes int) Option {
+	return func(o *core.Options) { o.Parallelism = lanes }
+}
+
 // Synchronize computes instance-optimal corrections from the recorded
 // observations under the system's assumptions.
 //

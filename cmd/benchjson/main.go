@@ -1,0 +1,387 @@
+// Command benchjson measures the performance-critical benchmarks of the
+// repository — the core SHIFTS pipeline at several sizes, the steady-state
+// Synchronizer reuse path, and the T/F/D experiment series — and emits the
+// results as JSON (BENCH_core.json by default).
+//
+// With -check FILE it instead compares a fresh measurement against a
+// committed baseline and exits non-zero when any benchmark's ns/op
+// regressed by more than the tolerance. Raw nanoseconds are not compared
+// across machines: every run also measures a fixed calibration workload
+// (serial dense Floyd-Warshall on a pinned 64-node instance), and the
+// gate compares ns/op *relative to the calibration* of the same run, which
+// cancels out the speed of the host.
+//
+// Usage:
+//
+//	go run ./cmd/benchjson                   # write BENCH_core.json
+//	go run ./cmd/benchjson -out FILE         # write elsewhere
+//	go run ./cmd/benchjson -check FILE       # regression gate vs baseline
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"clocksync/internal/core"
+	"clocksync/internal/experiments"
+	"clocksync/internal/graph"
+)
+
+// Entry is one benchmark measurement.
+type Entry struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+// File is the on-disk schema of BENCH_core.json.
+type File struct {
+	// CalibrationNs is the duration of the fixed calibration workload on
+	// the machine that produced this file; benchmark entries are compared
+	// across machines as NsPerOp / CalibrationNs.
+	CalibrationNs float64          `json:"calibration_ns"`
+	GoMaxProcs    int              `json:"gomaxprocs"`
+	Benchmarks    map[string]Entry `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_core.json", "file to write measurements to")
+	check := flag.String("check", "", "baseline file to compare against instead of writing")
+	tol := flag.Float64("tol", 0.25, "allowed relative ns/op regression in -check mode")
+	quick := flag.Bool("quick", false, "tiny sizes and iteration counts (smoke testing)")
+	flag.Parse()
+
+	f, err := runSuite(*quick, *check == "")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *check != "" {
+		base, err := loadFile(*check)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: load baseline: %v\n", err)
+			os.Exit(1)
+		}
+		failures := compare(base, f, *tol)
+		if len(failures) > 0 {
+			// Before declaring a regression, re-measure just the suspects
+			// with escalating round counts: on shared runners a noisy round
+			// is far more likely than a real slowdown, and the minimum over
+			// extra rounds converges to the true cost. A genuine regression
+			// survives every retry.
+			fns := map[string]func() error{}
+			for _, b := range suite(*quick) {
+				fns[b.name] = b.fn
+			}
+			for attempt := 0; attempt < 2 && len(failures) > 0; attempt++ {
+				rounds, targetNs := 9+6*attempt, 60e6*float64(attempt+1)
+				for _, r := range failures {
+					fn, ok := fns[r.name]
+					if !ok {
+						continue
+					}
+					e, err := measure(rounds, targetNs, fn, false)
+					if err == nil && e.NsPerOp < f.Benchmarks[r.name].NsPerOp {
+						f.Benchmarks[r.name] = e
+					}
+				}
+				failures = compare(base, f, *tol)
+			}
+		}
+		for _, r := range failures {
+			fmt.Fprintln(os.Stderr, "REGRESSION:", r.msg)
+		}
+		if len(failures) > 0 {
+			os.Exit(1)
+		}
+		fmt.Printf("benchjson: %d benchmarks within %.0f%% of baseline (calibration %.0f ns vs %.0f ns)\n",
+			len(f.Benchmarks), *tol*100, f.CalibrationNs, base.CalibrationNs)
+		return
+	}
+
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchjson: wrote %d benchmarks to %s\n", len(f.Benchmarks), *out)
+}
+
+// runSuite measures every benchmark and the calibration workload. The
+// calibration is sampled once before every benchmark (and at both ends)
+// with the global minimum kept, so it reflects the machine's peak speed
+// over the same time span the benchmarks ran in — a single calibration
+// burst at process start would couple every ratio to whatever the host
+// happened to be doing in those few milliseconds.
+// When writing a baseline, each benchmark records its *median* round; in
+// check mode the *minimum* round is used. The asymmetry is deliberate:
+// the baseline is a typical cost with built-in headroom, the check is a
+// best-case cost, so scheduler noise can only produce false passes —
+// never false failures — while a genuine regression beyond the tolerance
+// still exceeds the median baseline from every round.
+func runSuite(quick, baseline bool) (*File, error) {
+	f := &File{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Benchmarks: map[string]Entry{},
+	}
+	cal := newCalibrator(quick)
+	cal.round()
+
+	rounds, targetNs := 5, 30e6
+	if quick {
+		rounds, targetNs = 2, 2e6
+	}
+	for _, b := range suite(quick) {
+		cal.round()
+		e, err := measure(rounds, targetNs, b.fn, baseline)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", b.name, err)
+		}
+		f.Benchmarks[b.name] = e
+	}
+	cal.round()
+	f.CalibrationNs = cal.best
+	return f, nil
+}
+
+type bench struct {
+	name string
+	fn   func() error
+}
+
+// suite assembles the measured benchmarks: the pooled Synchronize wrapper
+// across sizes, the zero-allocation Synchronizer reuse path, and one entry
+// per T/F/D experiment.
+func suite(quick bool) []bench {
+	var bs []bench
+
+	sizes := []int{8, 16, 32, 64, 128}
+	expIDs := []string{
+		"T1", "T2", "T3", "T4", "T5", "T6", "T7",
+		"F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8",
+		"D1", "D2",
+	}
+	if quick {
+		sizes = []int{8, 16}
+		expIDs = []string{"T1"}
+	}
+
+	for _, n := range sizes {
+		mls := randomCompleteMLS(n)
+		bs = append(bs, bench{
+			name: fmt.Sprintf("Synchronize/n=%d", n),
+			fn: func() error {
+				_, err := core.Synchronize(mls, core.Options{})
+				return err
+			},
+		})
+	}
+
+	reuseN := 64
+	if quick {
+		reuseN = 16
+	}
+	{
+		mls := randomCompleteMLS(reuseN)
+		s := core.NewSynchronizer()
+		opts := core.Options{Parallelism: 1}
+		bs = append(bs, bench{
+			name: fmt.Sprintf("SynchronizerReuse/n=%d", reuseN),
+			fn: func() error {
+				_, err := s.Sync(mls, opts)
+				return err
+			},
+		})
+	}
+
+	for _, id := range expIDs {
+		exp, ok := experiments.ByID(id)
+		if !ok {
+			continue
+		}
+		run := exp.Run
+		bs = append(bs, bench{
+			name: "Experiment/" + id,
+			fn: func() error {
+				_, err := run(12345)
+				return err
+			},
+		})
+	}
+	return bs
+}
+
+func randomCompleteMLS(n int) [][]float64 {
+	rng := rand.New(rand.NewSource(1))
+	mls := graph.NewMatrix(n, 0)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				mls[i][j] = 0.1 + rng.Float64()
+			}
+		}
+	}
+	return mls
+}
+
+// calibrator times the fixed reference workload — serial dense
+// Floyd-Warshall on a pinned complete 64-node instance — keeping the
+// fastest round seen. The ratio of any benchmark to this number is a
+// machine-independent measure of pipeline cost.
+type calibrator struct {
+	src, d *graph.Dense
+	iters  int
+	best   float64
+}
+
+func newCalibrator(quick bool) *calibrator {
+	n, iters := 64, 10
+	if quick {
+		n, iters = 16, 5
+	}
+	rng := rand.New(rand.NewSource(99))
+	src := graph.NewDense(n)
+	for i := 0; i < n; i++ {
+		row := src.Row(i)
+		for j := range row {
+			if i != j {
+				row[j] = 0.1 + rng.Float64()
+			}
+		}
+	}
+	return &calibrator{src: src, d: graph.NewDense(n), iters: iters, best: math.Inf(1)}
+}
+
+func (c *calibrator) round() {
+	start := time.Now()
+	for i := 0; i < c.iters; i++ {
+		c.d.CopyFrom(c.src)
+		if err := graph.FloydWarshallDense(c.d, nil); err != nil {
+			panic(err) // complete positive matrix: cannot happen
+		}
+	}
+	if ns := float64(time.Since(start).Nanoseconds()) / float64(c.iters); ns < c.best {
+		c.best = ns
+	}
+}
+
+// measure times fn over several rounds and reports either the fastest
+// round (median=false, the standard noise-robust estimator for a check)
+// or the median round (median=true, a typical cost for a baseline). The
+// per-round iteration count is auto-calibrated from a warmup run so every
+// round takes roughly targetNs regardless of how fast fn is;
+// sub-microsecond workloads then amortize timer granularity and
+// scheduler jitter away.
+func measure(rounds int, targetNs float64, fn func() error, median bool) (Entry, error) {
+	start := time.Now()
+	if err := fn(); err != nil { // warmup + duration probe
+		return Entry{}, err
+	}
+	one := float64(time.Since(start).Nanoseconds())
+	iters := 1
+	if one > 0 && one < targetNs {
+		iters = int(targetNs / one)
+		if iters > 100000 {
+			iters = 100000
+		}
+	}
+
+	samples := make([]Entry, 0, rounds)
+	var m0, m1 runtime.MemStats
+	for r := 0; r < rounds; r++ {
+		runtime.GC()
+		runtime.ReadMemStats(&m0)
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if err := fn(); err != nil {
+				return Entry{}, err
+			}
+		}
+		el := time.Since(start)
+		runtime.ReadMemStats(&m1)
+		samples = append(samples, Entry{
+			NsPerOp:     float64(el.Nanoseconds()) / float64(iters),
+			AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / float64(iters),
+			BytesPerOp:  float64(m1.TotalAlloc-m0.TotalAlloc) / float64(iters),
+		})
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i].NsPerOp < samples[j].NsPerOp })
+	if median {
+		return samples[len(samples)/2], nil
+	}
+	return samples[0], nil
+}
+
+func loadFile(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if f.CalibrationNs <= 0 {
+		return nil, fmt.Errorf("%s: missing or invalid calibration_ns", path)
+	}
+	return &f, nil
+}
+
+// regression names one benchmark that exceeded the gate.
+type regression struct {
+	name string
+	msg  string
+}
+
+// compare returns one regression per benchmark whose calibrated ns/op (or
+// allocation count) regressed beyond tol relative to the baseline.
+// Benchmarks present on only one side are ignored (suites may grow), as are
+// allocation counts below a small absolute floor (GC bookkeeping noise).
+func compare(base, cur *File, tol float64) []regression {
+	var failures []regression
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b := base.Benchmarks[name]
+		c, ok := cur.Benchmarks[name]
+		if !ok {
+			continue
+		}
+		// Ratios are in calibration units (~180µs of dense FW work). The
+		// absolute slack only matters for microsecond-scale entries, whose
+		// relative jitter on shared runners far exceeds the tolerance; a
+		// real regression on them still shows up in the larger sizes.
+		const absSlack = 0.01
+		baseRatio := b.NsPerOp / base.CalibrationNs
+		curRatio := c.NsPerOp / cur.CalibrationNs
+		if curRatio > baseRatio*(1+tol)+absSlack {
+			failures = append(failures, regression{name, fmt.Sprintf(
+				"%s: calibrated ns/op %.3f vs baseline %.3f (+%.0f%%, tolerance %.0f%%)",
+				name, curRatio, baseRatio, (curRatio/baseRatio-1)*100, tol*100)})
+		}
+		// Allocation counts are machine-independent; allow the same relative
+		// slack plus a small absolute floor for GC/runtime bookkeeping.
+		if c.AllocsPerOp > b.AllocsPerOp*(1+tol)+8 {
+			failures = append(failures, regression{name, fmt.Sprintf(
+				"%s: allocs/op %.1f vs baseline %.1f",
+				name, c.AllocsPerOp, b.AllocsPerOp)})
+		}
+	}
+	return failures
+}

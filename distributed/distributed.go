@@ -42,6 +42,9 @@ type Config struct {
 	Retries int
 	// Centered selects centered corrections at the leader.
 	Centered bool
+	// Parallelism bounds the worker lanes of the correction computation
+	// (0 = GOMAXPROCS, 1 = serial); results are identical for every value.
+	Parallelism int
 	// Gossip selects the leaderless variant: reports are flooded to
 	// everyone and every node computes the (identical) corrections
 	// locally, skipping the result flood.
@@ -141,6 +144,7 @@ func RunScenarioJSON(data []byte, cfg Config) (*Outcome, error) {
 		ReportGrace: cfg.ReportGrace,
 		Retries:     cfg.Retries,
 		Centered:    cfg.Centered,
+		Parallelism: cfg.Parallelism,
 		Trace:       cfg.Trace,
 	}
 	runFn := dist.Run

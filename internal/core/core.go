@@ -20,7 +20,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"time"
 
 	"clocksync/internal/graph"
 	"clocksync/internal/obs"
@@ -58,6 +57,13 @@ type Options struct {
 	// SynchronizeSystem additionally reports "mls" (trace reduction).
 	// Nil — the default — adds no timing calls to the hot path.
 	Observer obs.PhaseObserver
+
+	// Parallelism bounds the worker lanes used by the graph kernels
+	// (Floyd-Warshall row shards, Karp walk-table columns, the two
+	// Bellman-Ford passes of centered mode, and disconnected sync
+	// components). 0 means GOMAXPROCS; 1 forces the serial path. Results
+	// are bit-identical for every value.
+	Parallelism int
 }
 
 // Result is the output of the synchronization pipeline.
@@ -120,6 +126,15 @@ func AMax(ms [][]float64, subset []int) (float64, []int) {
 	if len(subset) <= 1 {
 		return 0, nil
 	}
+	// Fast path: the full processor set in identity order needs no O(n^2)
+	// subset-matrix copy or index remapping.
+	if identitySubset(subset, len(ms)) {
+		mc, ok := graph.MaxMeanCycleMatrix(ms)
+		if !ok {
+			return 0, nil
+		}
+		return mc.Mean, mc.Cycle
+	}
 	w := graph.NewMatrix(len(subset), graph.Inf)
 	for a, p := range subset {
 		for b, q := range subset {
@@ -140,166 +155,37 @@ func AMax(ms [][]float64, subset []int) (float64, []int) {
 	return mc.Mean, cycle
 }
 
+// identitySubset reports whether subset is exactly 0..n-1 in order.
+func identitySubset(subset []int, n int) bool {
+	if len(subset) != n {
+		return false
+	}
+	for i, p := range subset {
+		if p != i {
+			return false
+		}
+	}
+	return true
+}
+
 // Synchronize runs the full pipeline on a matrix of estimated maximal local
 // shifts and returns optimal corrections with their precision.
+//
+// It is a convenience wrapper over a process-wide pool of Synchronizers:
+// scratch buffers are reused across calls, and the returned Result is
+// detached (shares no memory with the pool), so it may be retained
+// indefinitely. Hot loops that want the zero-allocation steady state should
+// hold their own Synchronizer and call Sync directly.
 func Synchronize(mls [][]float64, opts Options) (*Result, error) {
-	n := len(mls)
-	timed := opts.Observer != nil
-	var mark time.Time
-	if timed {
-		mark = time.Now()
-	}
-	ms, err := GlobalEstimates(mls)
+	s := synchronizerPool.Get().(*Synchronizer)
+	res, err := s.Sync(mls, opts)
 	if err != nil {
+		synchronizerPool.Put(s)
 		return nil, err
 	}
-	if timed {
-		opts.Observer.ObservePhase("estimate", time.Since(mark).Seconds())
-	}
-	if opts.Root < 0 || (n > 0 && opts.Root >= n) {
-		return nil, fmt.Errorf("core: root %d out of range [0,%d)", opts.Root, n)
-	}
-
-	res := &Result{
-		Corrections: make([]float64, n),
-		MS:          ms,
-		Components:  syncComponents(ms),
-	}
-	res.ComponentPrecision = make([]float64, len(res.Components))
-
-	var karpDur, corrDur time.Duration
-	for ci, comp := range res.Components {
-		if timed {
-			mark = time.Now()
-		}
-		aMax, cycle := AMax(ms, comp)
-		if timed {
-			karpDur += time.Since(mark)
-		}
-		res.ComponentPrecision[ci] = aMax
-		root := comp[0]
-		if containsInt(comp, opts.Root) {
-			root = opts.Root
-		}
-		if timed {
-			mark = time.Now()
-		}
-		if err := correctionsForComponent(ms, comp, root, aMax, opts.Centered, res.Corrections); err != nil {
-			return nil, err
-		}
-		if timed {
-			corrDur += time.Since(mark)
-		}
-		if len(res.Components) == 1 {
-			res.Precision = aMax
-			res.CriticalCycle = cycle
-		}
-	}
-	if timed {
-		opts.Observer.ObservePhase("karp_amax", karpDur.Seconds())
-		opts.Observer.ObservePhase("corrections", corrDur.Seconds())
-	}
-	if len(res.Components) != 1 {
-		res.Precision = math.Inf(1)
-	}
-	return res, nil
-}
-
-// correctionsForComponent implements step 2 of SHIFTS on one sync
-// component: corrections are dist_w(root, p) with w(p,q) = aMax - m~s(p,q),
-// which has no negative cycles by the definition of A_max. With centered
-// set, the symmetric variant (dist_w(root,p) - dist_w(p,root))/2 is used.
-func correctionsForComponent(ms [][]float64, comp []int, root int, aMax float64, centered bool, out []float64) error {
-	k := len(comp)
-	if k == 1 {
-		out[comp[0]] = 0
-		return nil
-	}
-	fwd := graph.NewDigraph(k)
-	rev := graph.NewDigraph(k)
-	rootLocal := -1
-	for a, p := range comp {
-		if p == root {
-			rootLocal = a
-		}
-		for b, q := range comp {
-			if a == b {
-				continue
-			}
-			w := aMax - ms[p][q]
-			if err := fwd.AddEdge(a, b, w); err != nil {
-				return fmt.Errorf("core: build correction graph: %w", err)
-			}
-			if centered {
-				rev.MustAddEdge(b, a, w)
-			}
-		}
-	}
-	if rootLocal < 0 {
-		return fmt.Errorf("core: root %d not in component %v", root, comp)
-	}
-	dist, err := rootDistances(fwd, rootLocal)
-	if err != nil {
-		return err
-	}
-	if !centered {
-		for a, p := range comp {
-			out[p] = dist[a]
-		}
-		return nil
-	}
-	distTo, err := rootDistances(rev, rootLocal) // dist_w(p, root) per p
-	if err != nil {
-		return err
-	}
-	for a, p := range comp {
-		out[p] = (dist[a] - distTo[a]) / 2
-	}
-	return nil
-}
-
-// rootDistances runs Bellman-Ford and normalizes so the root's own distance
-// is exactly zero (tiny negative cycle noise otherwise perturbs it).
-func rootDistances(g *graph.Digraph, root int) ([]float64, error) {
-	sp, err := graph.BellmanFord(g, root)
-	if err != nil {
-		if errors.Is(err, graph.ErrNegativeCycle) {
-			// A_max is by construction the maximum cycle mean, so this can
-			// only be numerical noise; treat as infeasible input.
-			return nil, fmt.Errorf("%w: correction weights have a negative cycle", ErrInfeasible)
-		}
-		return nil, err
-	}
-	if r := sp.Dist[root]; r != 0 {
-		for i := range sp.Dist {
-			sp.Dist[i] -= r
-		}
-	}
-	return sp.Dist, nil
-}
-
-// syncComponents partitions processors into maximal sets with mutually
-// finite m~s, i.e. the strongly connected components of the finite-weight
-// digraph. Within a component, pairwise corrected-clock discrepancy is
-// boundable; across components it is not.
-func syncComponents(ms [][]float64) [][]int {
-	n := len(ms)
-	g := graph.NewDigraph(n)
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			if i != j && !math.IsInf(ms[i][j], 1) {
-				g.MustAddEdge(i, j, 0)
-			}
-		}
-	}
-	comps := graph.SCC(g)
-	// Deterministic output: sort members and order components by smallest
-	// member.
-	for _, c := range comps {
-		sortInts(c)
-	}
-	sortComponents(comps)
-	return comps
+	out := res.Clone()
+	synchronizerPool.Put(s)
+	return out, nil
 }
 
 func validateMatrix(m [][]float64) error {
@@ -321,31 +207,6 @@ func validateMatrix(m [][]float64) error {
 		}
 	}
 	return nil
-}
-
-func containsInt(s []int, v int) bool {
-	for _, x := range s {
-		if x == v {
-			return true
-		}
-	}
-	return false
-}
-
-func sortInts(s []int) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
-}
-
-func sortComponents(cs [][]int) {
-	for i := 1; i < len(cs); i++ {
-		for j := i; j > 0 && cs[j][0] < cs[j-1][0]; j-- {
-			cs[j], cs[j-1] = cs[j-1], cs[j]
-		}
-	}
 }
 
 // PairBound returns the tight guaranteed bound on the corrected-clock

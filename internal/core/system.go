@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"math"
-	"time"
 
 	"clocksync/internal/delay"
 	"clocksync/internal/graph"
@@ -52,63 +51,75 @@ func DefaultMLSOptions() MLSOptions { return MLSOptions{AssumeNonnegative: true}
 // estimated-delay statistics. Entries without any applicable constraint are
 // +Inf.
 func MLSMatrix(n int, links []Link, tab *trace.Table, opts MLSOptions) ([][]float64, error) {
-	if tab != nil && tab.N() != n {
-		return nil, fmt.Errorf("core: trace table covers %d processors, want %d", tab.N(), n)
+	var d graph.Dense
+	if err := mlsMatrixInto(&d, n, links, tab, opts); err != nil {
+		return nil, err
 	}
-	mls := graph.NewMatrix(n, graph.Inf)
+	mls := graph.NewMatrix(n, 0)
 	for i := 0; i < n; i++ {
-		mls[i][i] = 0
+		copy(mls[i], d.Row(i))
 	}
+	return mls, nil
+}
+
+// mlsMatrixInto is MLSMatrix writing into a reusable dense matrix; the
+// allocation-free core used by Synchronizer.SyncSystem.
+func mlsMatrixInto(d *graph.Dense, n int, links []Link, tab *trace.Table, opts MLSOptions) error {
+	if tab != nil && tab.N() != n {
+		return fmt.Errorf("core: trace table covers %d processors, want %d", tab.N(), n)
+	}
+	d.Reset(n)
+	d.Fill(graph.Inf)
+	d.FillDiag(0)
 	empty := trace.NewDirStats()
-	statsOf := func(p, q model.ProcID) trace.DirStats {
-		if tab == nil {
-			return empty
-		}
-		return tab.Stats(p, q)
-	}
 
 	for _, l := range links {
 		if err := l.Validate(n); err != nil {
-			return nil, err
+			return err
 		}
-		pq := statsOf(l.P, l.Q)
-		qp := statsOf(l.Q, l.P)
+		pq, qp := empty, empty
+		if tab != nil {
+			pq = tab.Stats(l.P, l.Q)
+			qp = tab.Stats(l.Q, l.P)
+		}
 		mlsPQ, mlsQP := l.A.MLS(pq, qp)
 		if math.IsNaN(mlsPQ) || math.IsNaN(mlsQP) {
-			return nil, fmt.Errorf("core: assumption %v on (p%d,p%d) produced NaN local shift", l.A, l.P, l.Q)
+			return fmt.Errorf("core: assumption %v on (p%d,p%d) produced NaN local shift", l.A, l.P, l.Q)
 		}
 		// Theorem 5.6: multiple assumptions on a pair intersect.
-		mls[l.P][l.Q] = math.Min(mls[l.P][l.Q], mlsPQ)
-		mls[l.Q][l.P] = math.Min(mls[l.Q][l.P], mlsQP)
+		p, q := int(l.P), int(l.Q)
+		d.Set(p, q, math.Min(d.At(p, q), mlsPQ))
+		d.Set(q, p, math.Min(d.At(q, p), mlsQP))
 	}
 
 	if opts.AssumeNonnegative && tab != nil {
 		nb := delay.NoBounds()
 		tab.Pairs(func(p, q model.ProcID, pq, qp trace.DirStats) {
 			mlsPQ, mlsQP := nb.MLS(pq, qp)
-			mls[p][q] = math.Min(mls[p][q], mlsPQ)
-			mls[q][p] = math.Min(mls[q][p], mlsQP)
+			pi, qi := int(p), int(q)
+			d.Set(pi, qi, math.Min(d.At(pi, qi), mlsPQ))
+			d.Set(qi, pi, math.Min(d.At(qi, pi), mlsQP))
 		})
 	}
-	return mls, nil
+	return nil
 }
 
 // SynchronizeSystem is the end-to-end entry point: reduce the trace to
 // local shifts under the system's assumptions, then run GLOBAL ESTIMATES
 // and SHIFTS.
+//
+// Like Synchronize, it draws a warmed-up Synchronizer from a process-wide
+// pool and returns a detached Result that is safe to retain.
 func SynchronizeSystem(n int, links []Link, tab *trace.Table, mopts MLSOptions, opts Options) (*Result, error) {
-	var mark time.Time
-	if opts.Observer != nil {
-		mark = time.Now()
-	}
-	mls, err := MLSMatrix(n, links, tab, mopts)
+	s := synchronizerPool.Get().(*Synchronizer)
+	res, err := s.SyncSystem(n, links, tab, mopts, opts)
 	if err != nil {
+		synchronizerPool.Put(s)
 		return nil, err
 	}
-	if opts.Observer != nil {
-		opts.Observer.ObservePhase("mls", time.Since(mark).Seconds())
-	}
-	return Synchronize(mls, opts)
+	out := res.Clone()
+	synchronizerPool.Put(s)
+	return out, nil
 }
 
 // Rho evaluates the realized discrepancy rho(alpha, x) of Definition 2.1

@@ -101,6 +101,9 @@ type Config struct {
 	Retries int
 	// Centered selects centered corrections at the leader.
 	Centered bool
+	// Parallelism bounds the worker lanes of the correction computation
+	// (0 = GOMAXPROCS, 1 = serial); results are identical for every value.
+	Parallelism int
 	// Trace optionally collects sync-round spans: per-processor probe
 	// windows (simulated clock) and the leader's collect/compute phases
 	// including the SHIFTS breakdown (wall clock). Nil records nothing.
@@ -511,7 +514,7 @@ func (pr *proc) compute(env *sim.Env) {
 	mComputes.Inc()
 	res, err := core.SynchronizeSystem(pr.n, links, pr.table, core.DefaultMLSOptions(),
 		core.Options{Root: int(pr.cfg.Leader), Centered: pr.cfg.Centered,
-			Observer: pr.phaseObserver(self)})
+			Parallelism: pr.cfg.Parallelism, Observer: pr.phaseObserver(self)})
 	endCompute()
 	if err != nil {
 		pr.fail(err)

@@ -201,7 +201,7 @@ func (g *gossipProc) computeLocal(env *sim.Env) {
 	mComputes.Inc()
 	res, err := core.SynchronizeSystem(g.n, links, g.table, core.DefaultMLSOptions(),
 		core.Options{Root: int(g.cfg.Leader), Centered: g.cfg.Centered,
-			Observer: g.phaseObserver(self)})
+			Parallelism: g.cfg.Parallelism, Observer: g.phaseObserver(self)})
 	endCompute()
 	if err != nil {
 		g.fail(err)

@@ -155,6 +155,11 @@ func F4Scaling(seed int64) (*Table, error) {
 		Columns: []string{"n", "elapsed", "ns/n^3"},
 	}
 	rng := rand.New(rand.NewSource(seed))
+	// One Synchronizer across the whole sweep: after the first call per
+	// size the scratch is warm and the loop measures pure pipeline cost,
+	// not allocator traffic.
+	sync := core.NewSynchronizer()
+	defer sync.Close()
 	for _, n := range []int{8, 16, 32, 64, 96} {
 		mls := graph.NewMatrix(n, 0)
 		for i := 0; i < n; i++ {
@@ -168,7 +173,7 @@ func F4Scaling(seed int64) (*Table, error) {
 		start := time.Now()
 		const reps = 3
 		for r := 0; r < reps; r++ {
-			if _, err := core.Synchronize(mls, core.Options{}); err != nil {
+			if _, err := sync.Sync(mls, core.Options{Parallelism: 1}); err != nil {
 				return nil, fmt.Errorf("F4(n=%d): %w", n, err)
 			}
 		}

@@ -72,3 +72,91 @@ func BenchmarkSCC(b *testing.B) {
 		}
 	}
 }
+
+// Dense-kernel counterparts: same workloads on the flat matrix layout with
+// reused scratch, for direct comparison against the classic benchmarks
+// above.
+
+func BenchmarkFloydWarshallDense(b *testing.B) {
+	for _, n := range []int{16, 64, 128} {
+		g := benchGraph(n, 0.2)
+		src := denseOf(g)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			d := NewDense(n)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				d.CopyFrom(src)
+				if err := FloydWarshallDense(d, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkJohnsonDense(b *testing.B) {
+	for _, n := range []int{16, 64, 128} {
+		g := benchGraph(n, 0.2)
+		src := denseOf(g)
+		src.FillDiag(Inf)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var out Dense
+			var scratch JohnsonScratch
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := AllPairsJohnsonDense(src, &out, &scratch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkKarpMaxMeanCycleDense(b *testing.B) {
+	for _, n := range []int{16, 64, 128} {
+		g := benchGraph(n, 1.0)
+		src := denseOf(g)
+		comp := make([]int, n)
+		for i := range comp {
+			comp[i] = i
+		}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var scratch KarpScratch
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, ok := MaxMeanCycleDense(src, comp, true, &scratch, nil); !ok {
+					b.Fatal("no cycle")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkBellmanFordDense(b *testing.B) {
+	g := benchGraph(128, 0.3)
+	src := denseOf(g)
+	src.FillDiag(Inf)
+	dist := make([]float64, 128)
+	parent := make([]int, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := BellmanFordDense(src, 0, dist, parent); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSCCDense(b *testing.B) {
+	g := benchGraph(256, 0.05)
+	src := denseOf(g)
+	var scratch SCCScratch
+	SCCDense(src, &scratch) // warm the scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if nc := SCCDense(src, &scratch); nc == 0 {
+			b.Fatal("no components")
+		}
+	}
+}

@@ -1,0 +1,355 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDenseBasics(t *testing.T) {
+	d := NewDense(3)
+	if d.N() != 3 || len(d.Data()) != 9 {
+		t.Fatalf("NewDense(3): n=%d len=%d", d.N(), len(d.Data()))
+	}
+	d.Fill(Inf)
+	d.FillDiag(0)
+	d.Set(0, 2, 1.5)
+	if d.At(0, 2) != 1.5 || d.At(1, 1) != 0 || !math.IsInf(d.At(2, 0), 1) {
+		t.Fatalf("At/Set mismatch: %v", d.Data())
+	}
+	rows := d.Rows()
+	rows[2][0] = -4
+	if d.At(2, 0) != -4 {
+		t.Fatal("Rows must alias the backing array")
+	}
+	// Reset within capacity keeps the backing array.
+	backing := &d.Data()[0]
+	d.Reset(2)
+	if &d.Data()[0] != backing {
+		t.Fatal("Reset reallocated within capacity")
+	}
+	if d.N() != 2 {
+		t.Fatalf("Reset(2): n=%d", d.N())
+	}
+}
+
+func TestDenseSetRowsAndTranspose(t *testing.T) {
+	w := [][]float64{{0, 1, 2}, {3, 0, 5}, {6, 7, 0}}
+	d, err := DenseFromRows(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr Dense
+	d.TransposeInto(&tr)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if tr.At(i, j) != w[j][i] {
+				t.Fatalf("transpose (%d,%d): got %v want %v", i, j, tr.At(i, j), w[j][i])
+			}
+		}
+	}
+	if _, err := DenseFromRows([][]float64{{0, 1}, {2}}); err == nil {
+		t.Fatal("ragged matrix accepted")
+	}
+}
+
+// matrixOf returns the dense adjacency of g with 0 diagonal, both as Dense
+// and rows.
+func denseOf(g *Digraph) *Dense {
+	d, err := DenseFromRows(g.Matrix())
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+func poolsUnderTest(t *testing.T) []*Pool {
+	t.Helper()
+	p := NewPool(4)
+	t.Cleanup(p.Close)
+	return []*Pool{nil, p}
+}
+
+// TestFloydWarshallDenseMatchesClassic: the dense kernel is bit-identical
+// to FloydWarshall on the row-sliced layout, for every pool size.
+func TestFloydWarshallDenseMatchesClassic(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	pools := poolsUnderTest(t)
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(40)
+		g := RandomDigraph(rng, n, 0.4, -0.3, 1.0)
+		want := g.Matrix()
+		wantErr := FloydWarshall(want)
+		for _, pool := range pools {
+			d := denseOf(g)
+			gotErr := FloydWarshallDense(d, pool)
+			if (gotErr == nil) != (wantErr == nil) {
+				t.Fatalf("n=%d lanes=%d: err %v vs %v", n, pool.Lanes(), gotErr, wantErr)
+			}
+			if wantErr != nil {
+				continue
+			}
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					if got := d.At(i, j); got != want[i][j] && !(math.IsInf(got, 1) && math.IsInf(want[i][j], 1)) {
+						t.Fatalf("n=%d lanes=%d: d[%d][%d] = %v, want %v (bit-identical)",
+							n, pool.Lanes(), i, j, got, want[i][j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBellmanFordDenseMatchesClassic: identical dist vectors to the
+// adjacency-list Bellman-Ford built in row-major order.
+func TestBellmanFordDenseMatchesClassic(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(30)
+		g := RandomStronglyConnected(rng, n, 0.3, 0.05, 1.0)
+		d := denseOf(g)
+		d.FillDiag(Inf) // no self edges in the adjacency view
+		dist := make([]float64, n)
+		parent := make([]int, n)
+		if err := BellmanFordDense(d, 0, dist, parent); err != nil {
+			t.Fatal(err)
+		}
+		// Row-major rebuild so edge order matches the dense scan.
+		h := NewDigraph(n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i != j && !math.IsInf(d.At(i, j), 1) {
+					h.MustAddEdge(i, j, d.At(i, j))
+				}
+			}
+		}
+		sp, err := BellmanFord(h, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < n; v++ {
+			if dist[v] != sp.Dist[v] {
+				t.Fatalf("n=%d: dist[%d] = %v, want %v", n, v, dist[v], sp.Dist[v])
+			}
+			if parent[v] != sp.Parent[v] {
+				t.Fatalf("n=%d: parent[%d] = %d, want %d", n, v, parent[v], sp.Parent[v])
+			}
+		}
+	}
+	// Negative cycle detection.
+	neg := NewDense(2)
+	neg.Fill(-1)
+	neg.FillDiag(Inf)
+	dist := make([]float64, 2)
+	parent := make([]int, 2)
+	if err := BellmanFordDense(neg, 0, dist, parent); err != ErrNegativeCycle {
+		t.Fatalf("negative cycle: err = %v", err)
+	}
+	if err := BellmanFordDense(neg, 7, dist, parent); err == nil {
+		t.Fatal("out-of-range source accepted")
+	}
+}
+
+// TestSCCDenseMatchesClassic: same partition as Tarjan on the adjacency
+// list, and the same emission order.
+func TestSCCDenseMatchesClassic(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	var scratch SCCScratch
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(40)
+		g := RandomDigraph(rng, n, 0.1, 0, 1)
+		// Row-major adjacency so DFS edge order matches the dense scan.
+		d := denseOf(g)
+		d.FillDiag(Inf)
+		h := NewDigraph(n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i != j && !math.IsInf(d.At(i, j), 1) {
+					h.MustAddEdge(i, j, 0)
+				}
+			}
+		}
+		want := SCC(h)
+		got := SCCDense(d, &scratch)
+		if got != len(want) {
+			t.Fatalf("n=%d: %d components, want %d", n, got, len(want))
+		}
+		for id, comp := range want {
+			for _, v := range comp {
+				if scratch.CompOf[v] != id {
+					t.Fatalf("n=%d: CompOf[%d] = %d, want %d", n, v, scratch.CompOf[v], id)
+				}
+			}
+		}
+	}
+}
+
+// TestMaxMeanCycleDenseMatchesClassic: cycle means agree with the
+// adjacency-list Karp within float tolerance (the walk-table source
+// differs, so ulp-level deviations are allowed), and the reported cycle is
+// genuinely critical.
+func TestMaxMeanCycleDenseMatchesClassic(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	var scratch KarpScratch
+	pools := poolsUnderTest(t)
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(30)
+		// Complete matrix: the pipeline's actual workload.
+		d := NewDense(n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i != j {
+					d.Set(i, j, rng.Float64()*2-0.5)
+				}
+			}
+		}
+		comp := make([]int, n)
+		for i := range comp {
+			comp[i] = i
+		}
+		g, err := FromMatrix(d.Rows())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, ok := MaxMeanCycle(g)
+		if !ok {
+			t.Fatal("classic found no cycle")
+		}
+		for _, pool := range pools {
+			for _, maximize := range []bool{true, false} {
+				got, ok := MaxMeanCycleDense(d, comp, maximize, &scratch, pool)
+				if !ok {
+					t.Fatalf("n=%d: dense found no cycle", n)
+				}
+				if maximize {
+					if diff := math.Abs(got.Mean - want.Mean); diff > 1e-9*(1+math.Abs(want.Mean)) {
+						t.Fatalf("n=%d lanes=%d: mean %v, want %v", n, pool.Lanes(), got.Mean, want.Mean)
+					}
+				}
+				// The cycle must achieve the reported mean.
+				c := got.Cycle
+				if len(c) < 2 || c[0] != c[len(c)-1] {
+					t.Fatalf("n=%d: malformed cycle %v", n, c)
+				}
+				total := 0.0
+				for i := 0; i+1 < len(c); i++ {
+					total += d.At(c[i], c[i+1])
+				}
+				mean := total / float64(len(c)-1)
+				if diff := math.Abs(mean - got.Mean); diff > 1e-6*(1+math.Abs(got.Mean)) {
+					t.Fatalf("n=%d maximize=%v: cycle %v has mean %v, reported %v", n, maximize, c, mean, got.Mean)
+				}
+			}
+		}
+	}
+}
+
+// TestMaxMeanCycleDenseSubset: non-trivial subsets and the slow fallback
+// for subsets with absent edges.
+func TestMaxMeanCycleDenseSubset(t *testing.T) {
+	var scratch KarpScratch
+	d := NewDense(4)
+	d.Fill(Inf)
+	d.FillDiag(0)
+	// Complete on {1, 3}; node 0 and 2 disconnected.
+	d.Set(1, 3, 2)
+	d.Set(3, 1, 4)
+	mc, ok := MaxMeanCycleDense(d, []int{1, 3}, true, &scratch, nil)
+	if !ok || math.Abs(mc.Mean-3) > 1e-12 {
+		t.Fatalf("subset cycle: %+v ok=%v, want mean 3", mc, ok)
+	}
+	if len(mc.Cycle) != 3 || mc.Cycle[0] != mc.Cycle[len(mc.Cycle)-1] {
+		t.Fatalf("subset cycle nodes: %v", mc.Cycle)
+	}
+	for _, v := range mc.Cycle {
+		if v != 1 && v != 3 {
+			t.Fatalf("cycle %v leaves the subset", mc.Cycle)
+		}
+	}
+	// Fallback path: subset with a missing edge.
+	mc, ok = MaxMeanCycleDense(d, []int{0, 1, 3}, true, &scratch, nil)
+	if !ok || math.Abs(mc.Mean-3) > 1e-12 {
+		t.Fatalf("fallback cycle: %+v ok=%v, want mean 3", mc, ok)
+	}
+	// Singletons and empty subsets carry no cycle.
+	if _, ok := MaxMeanCycleDense(d, []int{2}, true, &scratch, nil); ok {
+		t.Fatal("singleton subset reported a cycle")
+	}
+	if _, ok := MaxMeanCycleDense(d, nil, true, &scratch, nil); ok {
+		t.Fatal("empty subset reported a cycle")
+	}
+}
+
+// TestAllPairsJohnsonDenseMatchesFW: distances agree with Floyd-Warshall
+// within float tolerance on random sparse graphs.
+func TestAllPairsJohnsonDenseMatchesFW(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	var scratch JohnsonScratch
+	var out Dense
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(40)
+		g := RandomStronglyConnected(rng, n, 0.15, -0.05, 1.0)
+		d := denseOf(g)
+		want, err := AllPairs(g)
+		if err != nil {
+			// Rare negative cycle: Johnson must agree it is infeasible.
+			if jerr := AllPairsJohnsonDense(d, &out, &scratch); jerr != ErrNegativeCycle {
+				t.Fatalf("n=%d: FW rejected but Johnson returned %v", n, jerr)
+			}
+			continue
+		}
+		if err := AllPairsJohnsonDense(d, &out, &scratch); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				got := out.At(i, j)
+				if math.IsInf(want[i][j], 1) != math.IsInf(got, 1) {
+					t.Fatalf("n=%d: reachability (%d,%d): %v vs %v", n, i, j, got, want[i][j])
+				}
+				if diff := math.Abs(got - want[i][j]); !math.IsInf(got, 1) && diff > 1e-9*(1+math.Abs(want[i][j])) {
+					t.Fatalf("n=%d: dist (%d,%d) = %v, want %v", n, i, j, got, want[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestPoolRunAndBarrier(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	if p.Lanes() != 4 {
+		t.Fatalf("Lanes = %d", p.Lanes())
+	}
+	var nilPool *Pool
+	if nilPool.Lanes() != 1 {
+		t.Fatalf("nil pool Lanes = %d", nilPool.Lanes())
+	}
+	nilPool.Close() // must not panic
+
+	// All parts run; barrier keeps phases aligned.
+	const parts, rounds = 4, 50
+	counts := make([]int, parts)
+	bar := NewBarrier(parts)
+	p.Run(parts, func(part int) {
+		for r := 0; r < rounds; r++ {
+			counts[part]++
+			bar.Wait()
+		}
+	})
+	for part, c := range counts {
+		if c != rounds {
+			t.Fatalf("part %d ran %d rounds, want %d", part, c, rounds)
+		}
+	}
+	// Serial inline path.
+	ran := 0
+	nilPool.Run(3, func(int) { ran++ })
+	if ran != 3 {
+		t.Fatalf("nil pool ran %d parts", ran)
+	}
+	if NewPool(1) != nil {
+		t.Fatal("single-lane pool should be nil")
+	}
+}

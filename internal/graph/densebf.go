@@ -1,0 +1,68 @@
+package graph
+
+import (
+	"errors"
+	"math"
+)
+
+// BellmanFordDense computes single-source shortest paths from src over the
+// dense weight matrix w (w[u][v] is the u->v edge weight, +Inf absent,
+// diagonal ignored — set it to +Inf). dist and parent are caller-owned
+// scratch of length w.N(); on success dist[v] is the shortest distance
+// (+Inf unreachable) and parent[v] the predecessor (-1 for the source and
+// unreachable nodes).
+//
+// The relaxation order — passes; source row u ascending; target column v
+// ascending — matches BellmanFord on a Digraph whose adjacency was built
+// in row-major order, so the dist vector is bit-identical to that path.
+// It returns ErrNegativeCycle under the same relative tolerance.
+func BellmanFordDense(w *Dense, src int, dist []float64, parent []int) error {
+	n := w.n
+	if src < 0 || src >= n {
+		return errors.New("graph: source out of range")
+	}
+	if len(dist) != n || len(parent) != n {
+		return errors.New("graph: scratch length mismatch")
+	}
+	for i := 0; i < n; i++ {
+		dist[i] = Inf
+		parent[i] = -1
+	}
+	dist[src] = 0
+
+	for pass := 0; pass < n-1; pass++ {
+		changed := false
+		for u := 0; u < n; u++ {
+			du := dist[u]
+			if math.IsInf(du, 1) {
+				continue
+			}
+			row := w.data[u*n : u*n+n]
+			for v, wv := range row {
+				if nd := du + wv; nd < dist[v] {
+					dist[v] = nd
+					parent[v] = u
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	// One more pass: any relaxation now implies a reachable negative cycle,
+	// with the same generous relative tolerance as BellmanFord.
+	for u := 0; u < n; u++ {
+		du := dist[u]
+		if math.IsInf(du, 1) {
+			continue
+		}
+		row := w.data[u*n : u*n+n]
+		for v, wv := range row {
+			if du+wv < dist[v]-1e-9*(1+math.Abs(dist[v])) {
+				return ErrNegativeCycle
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,164 @@
+package graph
+
+import "math"
+
+// JohnsonScratch holds the reusable state of AllPairsJohnsonDense: a CSR
+// view of the finite entries, Bellman-Ford potentials, and the Dijkstra
+// heap. The zero value is ready.
+type JohnsonScratch struct {
+	rowStart []int
+	to       []int
+	wgt      []float64
+	pot      []float64
+	dist     []float64
+	heap     []distItem
+}
+
+// AllPairsJohnsonDense is Johnson's algorithm reading edges from the dense
+// matrix w (+Inf absent, diagonal ignored) and writing all-pairs shortest
+// distances into out (resized; +Inf unreachable, 0 diagonal). It compacts
+// the finite entries into a reusable CSR form first, so sparse matrices
+// keep Johnson's O(nm + n^2 log n) advantage over Floyd-Warshall while
+// steady-state calls allocate nothing. Returns ErrNegativeCycle exactly as
+// AllPairsJohnson does.
+func AllPairsJohnsonDense(w *Dense, out *Dense, s *JohnsonScratch) error {
+	n := w.n
+	// CSR compaction of finite off-diagonal entries.
+	if cap(s.rowStart) < n+1 {
+		s.rowStart = make([]int, n+1)
+		s.pot = make([]float64, n)
+		s.dist = make([]float64, n)
+	}
+	s.rowStart = s.rowStart[:n+1]
+	s.pot = s.pot[:n]
+	s.dist = s.dist[:n]
+	s.to = s.to[:0]
+	s.wgt = s.wgt[:0]
+	for u := 0; u < n; u++ {
+		s.rowStart[u] = len(s.to)
+		row := w.data[u*n : u*n+n]
+		for v, x := range row {
+			if v == u || math.IsInf(x, 1) {
+				continue
+			}
+			s.to = append(s.to, v)
+			s.wgt = append(s.wgt, x)
+		}
+	}
+	s.rowStart[n] = len(s.to)
+
+	// Potentials via Bellman-Ford from an implicit super-source.
+	pot := s.pot
+	for i := range pot {
+		pot[i] = 0
+	}
+	for pass := 0; pass < n; pass++ {
+		changed := false
+		for u := 0; u < n; u++ {
+			pu := pot[u]
+			for e := s.rowStart[u]; e < s.rowStart[u+1]; e++ {
+				if nd := pu + s.wgt[e]; nd < pot[s.to[e]] {
+					pot[s.to[e]] = nd
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	for u := 0; u < n; u++ {
+		pu := pot[u]
+		for e := s.rowStart[u]; e < s.rowStart[u+1]; e++ {
+			v := s.to[e]
+			if pu+s.wgt[e] < pot[v]-1e-9*(1+math.Abs(pot[v])) {
+				return ErrNegativeCycle
+			}
+		}
+	}
+
+	// Reweight edges non-negatively in place: w'(u,v) = w + pot[u] - pot[v],
+	// clamping float noise.
+	for u := 0; u < n; u++ {
+		pu := pot[u]
+		for e := s.rowStart[u]; e < s.rowStart[u+1]; e++ {
+			x := s.wgt[e] + pu - pot[s.to[e]]
+			if x < 0 {
+				x = 0
+			}
+			s.wgt[e] = x
+		}
+	}
+
+	// Dijkstra per source on the reweighted CSR graph.
+	out.Reset(n)
+	out.Fill(Inf)
+	dist := s.dist
+	for src := 0; src < n; src++ {
+		for i := range dist {
+			dist[i] = math.Inf(1)
+		}
+		dist[src] = 0
+		h := s.heap[:0]
+		h = append(h, distItem{node: src, dist: 0})
+		for len(h) > 0 {
+			item := h[0]
+			last := len(h) - 1
+			h[0] = h[last]
+			h = h[:last]
+			siftDown(h, 0)
+			if item.dist > dist[item.node] {
+				continue // stale entry
+			}
+			u := item.node
+			for e := s.rowStart[u]; e < s.rowStart[u+1]; e++ {
+				v := s.to[e]
+				if nd := item.dist + s.wgt[e]; nd < dist[v] {
+					dist[v] = nd
+					h = append(h, distItem{node: v, dist: nd})
+					siftUp(h, len(h)-1)
+				}
+			}
+		}
+		s.heap = h[:0]
+		outRow := out.Row(src)
+		psrc := pot[src]
+		for v := 0; v < n; v++ {
+			if !math.IsInf(dist[v], 1) {
+				outRow[v] = dist[v] - psrc + pot[v]
+			}
+		}
+		outRow[src] = 0
+	}
+	return nil
+}
+
+func siftUp(h []distItem, i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p].dist <= h[i].dist {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+}
+
+func siftDown(h []distItem, i int) {
+	n := len(h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && h[l].dist < h[small].dist {
+			small = l
+		}
+		if r < n && h[r].dist < h[small].dist {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+}

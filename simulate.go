@@ -43,6 +43,9 @@ type SimOptions struct {
 	Centered bool
 	// Root fixes the zero-correction processor.
 	Root ProcID
+	// Parallelism bounds the worker lanes of the synchronization kernels
+	// (0 = GOMAXPROCS, 1 = serial); results are identical for every value.
+	Parallelism int
 }
 
 // RunScenarioJSON builds a scenario from its JSON description, simulates
@@ -71,7 +74,7 @@ func RunScenarioJSON(data []byte, opts SimOptions) (*Report, error) {
 		return nil, err
 	}
 	res, err := core.SynchronizeSystem(len(built.Starts), built.Links, tab, core.DefaultMLSOptions(),
-		core.Options{Root: int(opts.Root), Centered: opts.Centered})
+		core.Options{Root: int(opts.Root), Centered: opts.Centered, Parallelism: opts.Parallelism})
 	if err != nil {
 		return nil, err
 	}
