@@ -116,6 +116,98 @@ func BenchmarkSynchronizerReuse(b *testing.B) {
 	}
 }
 
+// streamWorkload builds the converged steady-state instance the streaming
+// benchmarks share: a tight n-ring plus one very slack chord, with initial
+// traffic on every link and one solve already cached.
+func streamWorkload(b *testing.B, n int) *Stream {
+	b.Helper()
+	sys, err := NewSystem(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := sys.AddLink(ProcID(i), ProcID((i+1)%n), MustSymmetricBounds(1, 3)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := sys.AddLink(0, ProcID(n/2), MustSymmetricBounds(0, 1e6)); err != nil {
+		b.Fatal(err)
+	}
+	st, err := sys.NewStream(WithParallelism(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		if err := st.Observe(ProcID(i), ProcID(j), 0, 2); err != nil {
+			b.Fatal(err)
+		}
+		if err := st.Observe(ProcID(j), ProcID(i), 0, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := st.Observe(0, ProcID(n/2), 0, 5e5); err != nil {
+		b.Fatal(err)
+	}
+	if err := st.Observe(ProcID(n/2), 0, 0, 5e5); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := st.Corrections(); err != nil {
+		b.Fatal(err)
+	}
+	return st
+}
+
+// BenchmarkStreamUpdate measures the steady-state incremental path: one
+// genuinely tightening (but provably inert) observation plus Corrections
+// served from the certified cache. Allocs/op must read 0; the acceptance
+// gate requires >= 5x below BenchmarkStreamBatchResolve at n=128.
+func BenchmarkStreamUpdate(b *testing.B) {
+	for _, n := range []int{8, 32, 128} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			st := streamWorkload(b, n)
+			defer st.Close()
+			est := 5e5 - 1.0
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				est -= 1e-6
+				if err := st.Observe(0, ProcID(n/2), 0, est); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := st.Corrections(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStreamBatchResolve runs the identical workload with the
+// fallback threshold forcing a full batch re-solve on every call — the
+// denominator of the incremental speedup.
+func BenchmarkStreamBatchResolve(b *testing.B) {
+	for _, n := range []int{8, 32, 128} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			st := streamWorkload(b, n)
+			defer st.Close()
+			st.SetFallbackFraction(0)
+			est := 5e5 - 1.0
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				est -= 1e-6
+				if err := st.Observe(0, ProcID(n/2), 0, est); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := st.Corrections(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkObserve measures the per-message cost of feeding the recorder.
 func BenchmarkObserve(b *testing.B) {
 	rec := NewRecorder(16)

@@ -30,8 +30,10 @@ import (
 	"time"
 
 	"clocksync/internal/core"
+	"clocksync/internal/delay"
 	"clocksync/internal/experiments"
 	"clocksync/internal/graph"
+	"clocksync/internal/model"
 )
 
 // Entry is one benchmark measurement.
@@ -207,6 +209,28 @@ func suite(quick bool) []bench {
 		})
 	}
 
+	// Streaming steady state: one new (genuinely tightening, but inert)
+	// observation folded into a converged n-node instance, then
+	// Corrections. StreamUpdate serves from the certified cache;
+	// StreamBatch runs the identical workload with the fallback threshold
+	// forcing a full re-solve per call, so the pair measures exactly the
+	// speedup the incremental engine buys.
+	streamN := 128
+	if quick {
+		streamN = 16
+	}
+	for _, forceBatch := range []bool{false, true} {
+		name := fmt.Sprintf("StreamUpdate/n=%d", streamN)
+		if forceBatch {
+			name = fmt.Sprintf("StreamBatch/n=%d", streamN)
+		}
+		fn, err := streamSteadyState(streamN, forceBatch)
+		if err != nil {
+			panic(fmt.Sprintf("benchjson: stream setup: %v", err))
+		}
+		bs = append(bs, bench{name: name, fn: fn})
+	}
+
 	for _, id := range expIDs {
 		exp, ok := experiments.ByID(id)
 		if !ok {
@@ -222,6 +246,61 @@ func suite(quick bool) []bench {
 		})
 	}
 	return bs
+}
+
+// streamSteadyState builds the converged ring-plus-slack-chord workload of
+// the streaming steady-state tests and returns one update step: observe a
+// slightly tighter chord estimate, then ask for Corrections. With
+// forceBatch the fallback threshold is zero, so every step re-solves from
+// scratch instead of certifying the cached result.
+func streamSteadyState(n int, forceBatch bool) (func() error, error) {
+	ring, err := delay.SymmetricBounds(1, 3)
+	if err != nil {
+		return nil, err
+	}
+	slack, err := delay.SymmetricBounds(0, 1e6)
+	if err != nil {
+		return nil, err
+	}
+	links := make([]core.Link, 0, n+1)
+	for i := 0; i < n; i++ {
+		links = append(links, core.Link{P: model.ProcID(i), Q: model.ProcID((i + 1) % n), A: ring})
+	}
+	links = append(links, core.Link{P: 0, Q: model.ProcID(n / 2), A: slack})
+	st, err := core.NewStream(n, links, core.DefaultMLSOptions(), core.Options{Parallelism: 1})
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		if err := st.Observe(model.ProcID(i), model.ProcID(j), 0, 2); err != nil {
+			return nil, err
+		}
+		if err := st.Observe(model.ProcID(j), model.ProcID(i), 0, 2); err != nil {
+			return nil, err
+		}
+	}
+	if err := st.Observe(0, model.ProcID(n/2), 0, 5e5); err != nil {
+		return nil, err
+	}
+	if err := st.Observe(model.ProcID(n/2), 0, 0, 5e5); err != nil {
+		return nil, err
+	}
+	if forceBatch {
+		st.SetFallbackFraction(0)
+	}
+	if _, err := st.Corrections(); err != nil {
+		return nil, err
+	}
+	est := 5e5 - 1.0
+	return func() error {
+		est -= 1e-6
+		if err := st.Observe(0, model.ProcID(n/2), 0, est); err != nil {
+			return err
+		}
+		_, err := st.Corrections()
+		return err
+	}, nil
 }
 
 func randomCompleteMLS(n int) [][]float64 {
@@ -381,6 +460,21 @@ func compare(base, cur *File, tol float64) []regression {
 			failures = append(failures, regression{name, fmt.Sprintf(
 				"%s: allocs/op %.1f vs baseline %.1f",
 				name, c.AllocsPerOp, b.AllocsPerOp)})
+		}
+	}
+	// The streaming acceptance criterion is absolute, not baseline-relative:
+	// the steady-state update path must stay allocation-free and at least
+	// 5x cheaper than a forced batch re-solve of the same instance. Both
+	// entries come from the current run, so host speed cancels exactly.
+	if up, ok := cur.Benchmarks["StreamUpdate/n=128"]; ok {
+		if batch, ok := cur.Benchmarks["StreamBatch/n=128"]; ok && batch.NsPerOp < 5*up.NsPerOp {
+			failures = append(failures, regression{"StreamUpdate/n=128", fmt.Sprintf(
+				"StreamUpdate/n=128: %.0f ns/op is only %.1fx cheaper than StreamBatch/n=128 (%.0f ns/op), want >= 5x",
+				up.NsPerOp, batch.NsPerOp/up.NsPerOp, batch.NsPerOp)})
+		}
+		if up.AllocsPerOp > 0.1 {
+			failures = append(failures, regression{"StreamUpdate/n=128", fmt.Sprintf(
+				"StreamUpdate/n=128: %.2f allocs/op, want 0", up.AllocsPerOp)})
 		}
 	}
 	return failures

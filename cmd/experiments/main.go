@@ -9,9 +9,11 @@
 //	experiments -csv out/        # additionally write CSV series per experiment
 //	experiments -seed 7          # change the experiment seed
 //	experiments -metrics m.json  # dump the process metrics snapshot after the runs
+//	experiments -golden DIR      # exit non-zero if any table differs from DIR/<id>.golden
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -37,6 +39,7 @@ func run(args []string) error {
 		mdPath  = fs.String("md", "", "write a combined markdown report to this file")
 		seed    = fs.Int64("seed", 12345, "experiment seed")
 		metrics = fs.String("metrics", "", "write the process metrics snapshot as JSON to this file")
+		golden  = fs.String("golden", "", "directory of <id>.golden snapshots to gate against (they are generated at the default seed)")
 		logLvl  = fs.String("log", "off", "structured log level: off, debug, info, warn or error")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -83,8 +86,23 @@ func run(args []string) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", exp.ID, err)
 		}
-		if err := tab.Render(os.Stdout); err != nil {
+		var rendered bytes.Buffer
+		if err := tab.Render(&rendered); err != nil {
 			return err
+		}
+		if _, err := os.Stdout.Write(rendered.Bytes()); err != nil {
+			return err
+		}
+		if *golden != "" && !experiments.TimingDependent(exp.ID) {
+			path := filepath.Join(*golden, strings.ToLower(exp.ID)+".golden")
+			want, err := os.ReadFile(path)
+			if err != nil {
+				return fmt.Errorf("%s: read golden: %w", exp.ID, err)
+			}
+			if !bytes.Equal(rendered.Bytes(), want) {
+				fmt.Fprintf(os.Stderr, "experiments: %s output differs from %s\n", exp.ID, path)
+				failures++
+			}
 		}
 		for _, row := range tab.Rows {
 			for _, cell := range row {
@@ -119,7 +137,7 @@ func run(args []string) error {
 		}
 	}
 	if failures > 0 {
-		return fmt.Errorf("%d FAIL verdicts; see tables above", failures)
+		return fmt.Errorf("%d FAIL verdicts or golden mismatches; see output above", failures)
 	}
 	return nil
 }

@@ -140,6 +140,14 @@ func All() []Experiment {
 	return exps
 }
 
+// TimingDependent reports whether an experiment's table embeds wall-clock
+// measurements, making its output machine-dependent: those tables cannot
+// be compared against golden snapshots (neither by the golden tests here
+// nor by cmd/experiments -golden).
+func TimingDependent(id string) bool { return timingIDs[strings.ToUpper(id)] }
+
+var timingIDs = map[string]bool{"F4": true, "F6": true, "A3": true}
+
 // ByID returns the experiment with the given id.
 func ByID(id string) (Experiment, bool) {
 	for _, e := range All() {

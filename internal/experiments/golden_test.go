@@ -11,17 +11,13 @@ import (
 
 var updateGolden = flag.Bool("update", false, "rewrite golden experiment outputs")
 
-// timingIDs are experiments whose output contains wall-clock measurements
-// and therefore cannot be snapshot.
-var timingIDs = map[string]bool{"F4": true, "F6": true, "A3": true}
-
 // TestGoldenOutputs snapshots the deterministic experiments: any change to
 // an algorithm, a seed path, or a formatting rule shows up as a diff
 // against testdata/<id>.golden. Regenerate intentionally with
 // `go test ./internal/experiments -run Golden -update`.
 func TestGoldenOutputs(t *testing.T) {
 	for _, exp := range All() {
-		if timingIDs[exp.ID] {
+		if TimingDependent(exp.ID) {
 			continue
 		}
 		exp := exp

@@ -1,0 +1,129 @@
+package graph
+
+import "math"
+
+// Incremental repair kernels for decrease-only closure maintenance.
+//
+// Setting: ms is an all-pairs shortest-path closure (as produced by
+// FloydWarshallDense, zero diagonal, no negative cycles) of some weight
+// matrix, and one direct edge u -> v has been TIGHTENED to a new weight w
+// (streaming observations only ever shrink the local-shift weights, so
+// increases never occur on this path). A tightened edge can only lower
+// path weights, and any newly improved pair (i, j) must route
+// i ~> u -> v ~> j through old-closure segments, so the whole repair
+// reduces to one pass of
+//
+//	ms[i][j] = min(ms[i][j], ms[i][u] + w + ms[v][j]).
+//
+// Two facts bound the affected region. By the triangle inequality of the
+// old closure, entry (i, j) can improve only if the candidate already
+// improves at (i, v):
+//
+//	ms[i][u] + w + ms[v][j] < ms[i][j] <= ms[i][v] + ms[v][j]
+//	  =>  ms[i][u] + w < ms[i][v]
+//
+// and symmetrically only if w + ms[v][j] < ms[u][j]. The improved region
+// is therefore (rows that improve into v) x (columns that improve out of
+// u) — the wavefront reachable through the dirty edge — and membership of
+// each side is decidable in O(n) against the OLD closure.
+
+// inertTol is the relative certification margin of ClosureEdgeInert: a
+// candidate must clear the incumbent entry by this margin before the edge
+// is certified inert. It matches the repository's shortest-path tolerance
+// scale (see negCycleTol) and sits orders of magnitude above accumulated
+// rounding noise (~n ulps), so the bitwise-preservation argument below
+// survives floating point.
+const inertTol = 1e-9
+
+// ClosureEdgeInert reports whether tightening edge u -> v to weight w
+// provably leaves the closure ms unchanged BIT FOR BIT, i.e. whether a
+// fresh batch Floyd-Warshall on the tightened weights would reproduce ms
+// exactly. The certificate is the row test above with a safety margin:
+//
+//	for all i:  ms[i][u] + w >= ms[i][v] + tol
+//
+// With the margin, every path sum routed through the tightened edge —
+// under ANY summation order a shortest-path kernel might use — exceeds the
+// incumbent closure values throughout the recomputation, so no candidate
+// involving the edge can win a min and every entry keeps its old bits.
+// A false return means some entry may genuinely improve (or sits within
+// the margin, where rounding could flip a bit): callers must re-solve or
+// repair. O(n), allocation-free.
+func ClosureEdgeInert(ms *Dense, u, v int, w float64) bool {
+	if u == v || math.IsInf(w, 1) {
+		return true // self-loops and +Inf edges constrain nothing
+	}
+	n := ms.n
+	for i := 0; i < n; i++ {
+		iu := ms.data[i*n+u]
+		if math.IsInf(iu, 1) {
+			continue // no path into u: candidates through the edge stay +Inf
+		}
+		iv := ms.data[i*n+v]
+		if iu+w < iv+inertTol*(1+math.Abs(iv)) {
+			return false
+		}
+	}
+	return true
+}
+
+// ClosureDecreaseEdge applies the decrease-only closure update for the
+// tightened edge u -> v with new weight w, restricted to the improved
+// wavefront: rows R = {i : ms[i][u] + w < ms[i][v]} crossed with columns
+// C = {j : w + ms[v][j] < ms[u][j]}. Both sets are computed from the old
+// closure BEFORE any entry mutates — R x C covers every entry the
+// single-pass rule can improve, and freezing the membership tests keeps
+// row u's own updates from perturbing the column test. Every strictly
+// improved entry is appended to touched as a packed index i*n + j; the
+// (possibly grown) slice is returned. rows and cols are caller scratch of
+// capacity >= n (contents overwritten).
+//
+// Preconditions: ms has a zero diagonal and the tightened edge closes no
+// negative cycle, i.e. ms[v][u] + w >= 0 (callers check and fall back to a
+// batch solve otherwise, which surfaces the negative cycle through the
+// usual A_max machinery). Under that precondition neither column u nor
+// row v can improve, so base and vRow below read stable old-closure
+// values and each entry receives exactly min(old, ms0[i][u] + w +
+// ms0[v][j]).
+//
+// The result is the exact closure of the tightened weights (in exact
+// arithmetic); under floating point it is correct to summation-order
+// rounding, which is why the strict bit-identical path certifies with
+// ClosureEdgeInert instead and falls back to a batch solve when that
+// fails.
+func ClosureDecreaseEdge(ms *Dense, u, v int, w float64, rows, cols []int, touched []int32) []int32 {
+	n := ms.n
+	if u == v || math.IsInf(w, 1) {
+		return touched
+	}
+	rows = rows[:0]
+	for i := 0; i < n; i++ {
+		iu := ms.data[i*n+u]
+		if !math.IsInf(iu, 1) && iu+w < ms.data[i*n+v] {
+			rows = append(rows, i)
+		}
+	}
+	if len(rows) == 0 {
+		return touched
+	}
+	uRow := ms.data[u*n : u*n+n]
+	vRow := ms.data[v*n : v*n+n]
+	cols = cols[:0]
+	for j := 0; j < n; j++ {
+		vj := vRow[j]
+		if !math.IsInf(vj, 1) && w+vj < uRow[j] {
+			cols = append(cols, j)
+		}
+	}
+	for _, i := range rows {
+		base := ms.data[i*n+u] + w
+		row := ms.data[i*n : i*n+n]
+		for _, j := range cols {
+			if cand := base + vRow[j]; cand < row[j] {
+				row[j] = cand
+				touched = append(touched, int32(i*n+j))
+			}
+		}
+	}
+	return touched
+}

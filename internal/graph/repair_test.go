@@ -1,0 +1,186 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomFeasibleDense builds a random n x n local-shift-like weight matrix
+// with density p: weights are x_q - x_p + noise for hidden offsets x, so
+// every cycle has non-negative total weight (feasible, as estimates from a
+// real execution always are). Absent edges are +Inf; the diagonal is 0.
+func randomFeasibleDense(rng *rand.Rand, n int, p float64) *Dense {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	d := NewDense(n)
+	d.Fill(Inf)
+	d.FillDiag(0)
+	for i := 0; i < n; i++ {
+		// A Hamiltonian-ish ring keeps most instances connected.
+		j := (i + 1) % n
+		d.Set(i, j, x[j]-x[i]+rng.Float64())
+		d.Set(j, i, x[i]-x[j]+rng.Float64())
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j || rng.Float64() >= p {
+				continue
+			}
+			d.Set(i, j, x[j]-x[i]+rng.Float64())
+		}
+	}
+	return d
+}
+
+// closureOf returns the Floyd-Warshall closure of a copy of w.
+func closureOf(t *testing.T, w *Dense) *Dense {
+	t.Helper()
+	ms := &Dense{}
+	ms.CopyFrom(w)
+	if err := FloydWarshallDense(ms, nil); err != nil {
+		t.Fatalf("closure: %v", err)
+	}
+	return ms
+}
+
+// TestClosureEdgeInertPreservesBits tightens random edges and checks the
+// certification contract: whenever ClosureEdgeInert accepts, a fresh batch
+// closure of the tightened weights is bit-identical to the cached one.
+func TestClosureEdgeInertPreservesBits(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	inertSeen := 0
+	for trial := 0; trial < 300; trial++ {
+		n := 3 + rng.Intn(10)
+		w := randomFeasibleDense(rng, n, 0.4)
+		ms := closureOf(t, w)
+
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v || math.IsInf(w.At(u, v), 1) {
+			continue
+		}
+		// Tighten by a random amount, keeping the edge pair feasible.
+		slack := w.At(u, v) + ms.At(v, u) // >= 0 by feasibility
+		nw := w.At(u, v) - rng.Float64()*slack*0.999
+		if !ClosureEdgeInert(ms, u, v, nw) {
+			continue
+		}
+		inertSeen++
+		w.Set(u, v, nw)
+		fresh := closureOf(t, w)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a, b := ms.At(i, j), fresh.At(i, j)
+				if math.Float64bits(a) != math.Float64bits(b) {
+					t.Fatalf("trial %d: certified inert edge (%d->%d, %v) changed closure at (%d,%d): %v -> %v",
+						trial, u, v, nw, i, j, a, b)
+				}
+			}
+		}
+	}
+	if inertSeen == 0 {
+		t.Fatal("no inert tightenings generated; test is vacuous")
+	}
+}
+
+// TestClosureDecreaseEdge tightens random edges and checks the wavefront
+// repair against a fresh closure, entry by entry within tolerance, and
+// that the touched list covers exactly the changed entries.
+func TestClosureDecreaseEdge(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	changedSeen := 0
+	rows := make([]int, 0, 16)
+	cols := make([]int, 0, 16)
+	for trial := 0; trial < 300; trial++ {
+		n := 3 + rng.Intn(10)
+		w := randomFeasibleDense(rng, n, 0.4)
+		ms := closureOf(t, w)
+
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v || math.IsInf(w.At(u, v), 1) {
+			continue
+		}
+		slack := w.At(u, v) + ms.At(v, u)
+		nw := w.At(u, v) - rng.Float64()*slack*0.999
+		if ms.At(v, u)+nw < 0 {
+			continue // precondition: no negative cycle through the edge
+		}
+		before := &Dense{}
+		before.CopyFrom(ms)
+		touched := ClosureDecreaseEdge(ms, u, v, nw, rows, cols, nil)
+		if len(touched) > 0 {
+			changedSeen++
+		}
+
+		w.Set(u, v, nw)
+		fresh := closureOf(t, w)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				got, want := ms.At(i, j), fresh.At(i, j)
+				if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+					t.Fatalf("trial %d: repaired (%d,%d) = %v, fresh closure %v (edge %d->%d to %v)",
+						trial, i, j, got, want, u, v, nw)
+				}
+			}
+		}
+		// touched must list exactly the entries that moved.
+		moved := make(map[int32]bool)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if ms.At(i, j) != before.At(i, j) {
+					moved[int32(i*n+j)] = true
+				}
+			}
+		}
+		if len(moved) != len(touched) {
+			t.Fatalf("trial %d: %d entries moved, %d reported touched", trial, len(moved), len(touched))
+		}
+		for _, idx := range touched {
+			if !moved[idx] {
+				t.Fatalf("trial %d: touched index %d did not move", trial, idx)
+			}
+		}
+	}
+	if changedSeen == 0 {
+		t.Fatal("no effective tightenings generated; test is vacuous")
+	}
+}
+
+// TestClosureDecreaseEdgeNoOps covers the degenerate inputs: self edges,
+// +Inf weights, and non-improving tightenings must leave the closure and
+// the touched list untouched.
+func TestClosureDecreaseEdgeNoOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	w := randomFeasibleDense(rng, 6, 0.5)
+	ms := closureOf(t, w)
+	before := &Dense{}
+	before.CopyFrom(ms)
+	rows := make([]int, 0, 6)
+	cols := make([]int, 0, 6)
+
+	for _, tc := range []struct {
+		name string
+		u, v int
+		w    float64
+	}{
+		{"self", 2, 2, -1},
+		{"inf", 0, 1, Inf},
+		{"loose", 0, 1, ms.At(0, 1) + 1},
+	} {
+		if touched := ClosureDecreaseEdge(ms, tc.u, tc.v, tc.w, rows, cols, nil); len(touched) != 0 {
+			t.Fatalf("%s: %d entries touched, want 0", tc.name, len(touched))
+		}
+		for i := 0; i < ms.N(); i++ {
+			for j := 0; j < ms.N(); j++ {
+				if ms.At(i, j) != before.At(i, j) {
+					t.Fatalf("%s: closure moved at (%d,%d)", tc.name, i, j)
+				}
+			}
+		}
+		if !ClosureEdgeInert(ms, tc.u, tc.v, tc.w) && tc.name != "loose" {
+			t.Fatalf("%s: expected inert certification", tc.name)
+		}
+	}
+}
