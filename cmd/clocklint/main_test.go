@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// capture runs fn with os.Stdout redirected and returns what it printed.
+func capture(t *testing.T, fn func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatalf("pipe: %v", err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	fn()
+	w.Close()
+	var buf bytes.Buffer
+	if _, err := io.Copy(&buf, r); err != nil {
+		t.Fatalf("reading captured stdout: %v", err)
+	}
+	return buf.String()
+}
+
+func TestListPrintsAllAnalyzers(t *testing.T) {
+	var code int
+	out := capture(t, func() { code = run([]string{"-list"}) })
+	if code != 0 {
+		t.Fatalf("run(-list) = %d, want 0", code)
+	}
+	for _, name := range []string{"wallclock", "floateq", "scratchretain", "globalrand", "baregoroutine"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", name, out)
+		}
+	}
+}
+
+func TestUnknownAnalyzerIsOperationalError(t *testing.T) {
+	if code := run([]string{"-run", "nope", "./..."}); code != 2 {
+		t.Fatalf("run(-run nope) = %d, want 2", code)
+	}
+}
+
+func TestVersionProbe(t *testing.T) {
+	// go vet probes vettools with -V=full before anything else.
+	var code int
+	out := capture(t, func() { code = run([]string{"-V=full"}) })
+	if code != 0 || !strings.Contains(out, "clocklint version devel") || !strings.Contains(out, "buildID=") {
+		t.Fatalf("run(-V=full) = %d, %q; want 0 and a version line with a buildID", code, out)
+	}
+
+	out = capture(t, func() { code = run([]string{"-flags"}) })
+	if code != 0 || strings.TrimSpace(out) != "[]" {
+		t.Fatalf("run(-flags) = %d, %q; want 0 and an empty JSON flag list", code, out)
+	}
+}
+
+// TestStandaloneCleanPackage runs the real loader over one small
+// in-repo package; it must come back clean (exit 0, no findings).
+// The pattern is module-qualified because the test's cwd is this
+// package's directory, not the module root.
+func TestStandaloneCleanPackage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list")
+	}
+	var code int
+	out := capture(t, func() { code = run([]string{"clocksync/internal/delay"}) })
+	if code != 0 {
+		t.Fatalf("run(clocksync/internal/delay) = %d, want 0; output:\n%s", code, out)
+	}
+	if out != "" {
+		t.Fatalf("unexpected findings on clean package:\n%s", out)
+	}
+}
+
+// TestStandaloneSubset exercises -run with a valid subset end to end.
+func TestStandaloneSubset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list")
+	}
+	if code := run([]string{"-run", "wallclock,globalrand", "clocksync/internal/sim"}); code != 0 {
+		t.Fatalf("run(-run wallclock,globalrand clocksync/internal/sim) = %d, want 0", code)
+	}
+}

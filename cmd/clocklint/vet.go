@@ -1,0 +1,90 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+
+	"clocksync/internal/analysis"
+)
+
+// vetConfig is the per-package JSON configuration the go vet driver hands
+// to -vettool binaries (the unitchecker protocol, trimmed to the fields
+// clocklint needs).
+type vetConfig struct {
+	ImportPath                string
+	Dir                       string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runVet analyzes one package described by a vet config file. Facts are
+// not exchanged (no clocklint analyzer needs them), but the driver still
+// expects the vetx output file to exist.
+func runVet(cfgFile string, analyzers []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clocklint:", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "clocklint: parsing %s: %v\n", cfgFile, err)
+		return 2
+	}
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "clocklint:", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	// The compiler resolves source import paths through ImportMap before
+	// looking up export data in PackageFile; mirror that.
+	exports := make(map[string]string, len(cfg.PackageFile))
+	for path, file := range cfg.PackageFile {
+		exports[path] = file
+	}
+	for src, canonical := range cfg.ImportMap {
+		if file, ok := cfg.PackageFile[canonical]; ok {
+			exports[src] = file
+		}
+	}
+	filenames := make([]string, len(cfg.GoFiles))
+	for i, g := range cfg.GoFiles {
+		if filepath.IsAbs(g) {
+			filenames[i] = g
+		} else {
+			filenames[i] = filepath.Join(cfg.Dir, g)
+		}
+	}
+	fset := token.NewFileSet()
+	pkg, err := analysis.CheckFiles(fset, cfg.ImportPath, filenames, exports)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "clocklint:", err)
+		return 2
+	}
+	diags, err := analysis.RunPackage(pkg, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clocklint: %s: %v\n", cfg.ImportPath, err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}

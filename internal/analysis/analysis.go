@@ -1,0 +1,181 @@
+// Package analysis implements clocklint: a suite of static analyzers that
+// machine-check the invariants the compiler cannot see but the paper's
+// guarantees rest on — deterministic (replayable) simulated executions, no
+// retention of pooled pipeline scratch, no naked float equality on shift
+// quantities, seeded randomness, and panic-safe goroutines in the network
+// layers.
+//
+// The API is shaped like golang.org/x/tools/go/analysis but built on the
+// standard library only (go/ast, go/types, go/importer), because the
+// module is dependency-free. Packages are loaded through the go command:
+// `go list -deps -export -json` supplies file lists plus compiled export
+// data for every dependency, and a gc importer turns that export data
+// into types (see load.go).
+//
+// Diagnostics can be suppressed with a //clocklint:allow <analyzer>
+// directive; see directives.go and docs/static-analysis.md.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named static check.
+type Analyzer struct {
+	// Name is the short lower-case identifier, used in diagnostics and in
+	// //clocklint:allow directives.
+	Name string
+
+	// Doc is a one-paragraph description of what the analyzer enforces
+	// and why.
+	Doc string
+
+	// Run inspects one type-checked package and reports diagnostics
+	// through the pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one finding: a position, the analyzer that produced it,
+// and a human-readable message.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzers returns the full clocklint suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{WallClock, FloatEq, ScratchRetain, GlobalRand, BareGoroutine}
+}
+
+// ByName resolves a comma-separated analyzer selection against the suite.
+func ByName(names string) ([]*Analyzer, error) {
+	if names == "" {
+		return Analyzers(), nil
+	}
+	var out []*Analyzer
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		found := false
+		for _, a := range Analyzers() {
+			if a.Name == name {
+				out = append(out, a)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown analyzer %q (have %s)", name, suiteNames())
+		}
+	}
+	return out, nil
+}
+
+func suiteNames() string {
+	var names []string
+	for _, a := range Analyzers() {
+		names = append(names, a.Name)
+	}
+	return strings.Join(names, ", ")
+}
+
+// RunPackage runs the given analyzers over one loaded package, processes
+// //clocklint:allow directives (dropping suppressed diagnostics, adding
+// malformed-directive ones), and returns the surviving diagnostics in
+// position order. This is the single entry point shared by the clocklint
+// driver and the antest harness, so suppression behaves identically in
+// production and in tests.
+func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			diags:     &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	diags = applyDirectives(pkg.Fset, pkg.Files, diags)
+	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, nil
+}
+
+// pkgMatches reports whether a package path equals one of the suffixes or
+// ends with "/"+suffix — how the analyzers scope themselves to the
+// restricted package sets named in docs/static-analysis.md.
+func pkgMatches(path string, suffixes []string) bool {
+	for _, s := range suffixes {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// usedPkgName resolves an identifier to the package it names, or nil.
+func usedPkgName(info *types.Info, id *ast.Ident) *types.PkgName {
+	pn, _ := info.Uses[id].(*types.PkgName)
+	return pn
+}
+
+// pkgSelector returns the selected name when expr is pkg.Name for the
+// given import path, or "".
+func pkgSelector(info *types.Info, expr ast.Expr, importPath string) string {
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn := usedPkgName(info, id)
+	if pn == nil || pn.Imported().Path() != importPath {
+		return ""
+	}
+	return sel.Sel.Name
+}
+
+// namedIn reports whether t (possibly behind a pointer) is the named type
+// pkgSuffix.name.
+func namedIn(t types.Type, pkgSuffix, name string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && pkgMatches(obj.Pkg().Path(), []string{pkgSuffix})
+}

@@ -1,0 +1,191 @@
+// Package antest is a small analysistest analogue for the clocklint
+// suite, built on the standard library only. It loads a testdata
+// directory as a single package under a caller-chosen import path
+// (so path-scoped analyzers see the package they expect), runs one
+// analyzer through the same RunPackage pipeline the clocklint driver
+// uses — directives included — and compares the diagnostics against
+// `// want "regexp"` comments in the sources.
+//
+// Annotation syntax, per line:
+//
+//	x := time.Now() // want `time\.Now reads the wall clock`
+//	y := evil()     // want "first finding" "second finding"
+//
+// Each quoted string is a regexp that must match one diagnostic reported
+// on that line; the number of diagnostics on a line must equal the
+// number of patterns.
+package antest
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"clocksync/internal/analysis"
+)
+
+// Run analyzes the Go files in dir as package pkgPath with analyzer a
+// and checks the diagnostics against the // want annotations.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPath string) {
+	t.Helper()
+	pkg, err := loadDir(dir, pkgPath)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	diags, err := analysis.RunPackage(pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+	check(t, pkg, diags)
+}
+
+// loadDir parses and type-checks one testdata directory, resolving its
+// imports through `go list -export` run at the module root.
+func loadDir(dir, pkgPath string) (*analysis.Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var filenames []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			filenames = append(filenames, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(filenames)
+	if len(filenames) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	imports, err := collectImports(filenames)
+	if err != nil {
+		return nil, err
+	}
+	root, err := moduleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	exports, err := analysis.ExportMap(root, imports)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return analysis.CheckFiles(fset, pkgPath, filenames, exports)
+}
+
+// collectImports parses just the import clauses of the files.
+func collectImports(filenames []string) ([]string, error) {
+	fset := token.NewFileSet()
+	seen := map[string]bool{}
+	var out []string
+	for _, fn := range filenames {
+		f, err := parser.ParseFile(fset, fn, nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, err
+		}
+		for _, spec := range f.Imports {
+			path, err := strconv.Unquote(spec.Path.Value)
+			if err != nil {
+				return nil, err
+			}
+			if path != "unsafe" && !seen[path] {
+				seen[path] = true
+				out = append(out, path)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// moduleRoot walks up from dir to the enclosing go.mod.
+func moduleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(abs, "go.mod")); err == nil {
+			return abs, nil
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		abs = parent
+	}
+}
+
+// wantRe extracts the quoted regexps after a want marker.
+var wantRe = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+// check compares reported diagnostics against // want annotations.
+func check(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	type lineKey struct {
+		file string
+		line int
+	}
+	got := map[lineKey][]string{}
+	for _, d := range diags {
+		p := pkg.Fset.Position(d.Pos)
+		k := lineKey{p.Filename, p.Line}
+		got[k] = append(got[k], d.Message)
+	}
+	want := map[lineKey][]*regexp.Regexp{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "want ")
+				if idx < 0 {
+					continue
+				}
+				p := pkg.Fset.Position(c.Slash)
+				k := lineKey{p.Filename, p.Line}
+				for _, q := range wantRe.FindAllString(c.Text[idx+len("want "):], -1) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Errorf("%s: bad want pattern %s: %v", p, q, err)
+						continue
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", p, pat, err)
+						continue
+					}
+					want[k] = append(want[k], re)
+				}
+			}
+		}
+	}
+	for k, res := range want {
+		msgs := got[k]
+		if len(msgs) != len(res) {
+			t.Errorf("%s:%d: got %d diagnostic(s) %q, want %d", k.file, k.line, len(msgs), msgs, len(res))
+			continue
+		}
+		for _, re := range res {
+			matched := false
+			for _, m := range msgs {
+				if re.MatchString(m) {
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				t.Errorf("%s:%d: no diagnostic matching %q among %q", k.file, k.line, re, msgs)
+			}
+		}
+	}
+	for k, msgs := range got {
+		if _, ok := want[k]; !ok {
+			t.Errorf("%s:%d: unexpected diagnostic(s): %q", k.file, k.line, msgs)
+		}
+	}
+}

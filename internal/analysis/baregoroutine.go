@@ -1,0 +1,159 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// baregoroutinePkgs are the network layers, where a panicking goroutine
+// takes down a whole node process and a silently-dying one wedges the
+// protocol.
+var baregoroutinePkgs = []string{
+	"internal/netsync",
+	"internal/dist",
+	"distributed",
+}
+
+// BareGoroutine flags go statements whose function cannot be shown to
+// recover panics or propagate errors.
+var BareGoroutine = &Analyzer{
+	Name: "baregoroutine",
+	Doc: "flag go statements in the network packages (internal/netsync, internal/dist, " +
+		"distributed) whose body has neither a deferred recover nor an error-channel send; " +
+		"launch through a recover-guarded helper (e.g. Node.goSafe) instead",
+	Run: runBareGoroutine,
+}
+
+func runBareGoroutine(p *Pass) error {
+	if !pkgMatches(p.Pkg.Path(), baregoroutinePkgs) {
+		return nil
+	}
+	decls := funcDeclIndex(p)
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body := goBody(p, decls, g.Call.Fun)
+			if body == nil {
+				p.Reportf(g.Pos(),
+					"cannot verify panic recovery of this goroutine (callee is outside the package); wrap it in a recover-guarded helper or annotate //clocklint:allow baregoroutine")
+				return true
+			}
+			if !bodyRecovers(p, decls, body) && !bodyPropagates(p, body) {
+				p.Reportf(g.Pos(),
+					"goroutine has neither a deferred recover nor an error-channel send; a panic here kills the whole node process — launch through a recover-guarded helper (e.g. Node.goSafe)")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// funcDeclIndex maps this package's function objects to their
+// declarations so goroutine callees can be resolved.
+func funcDeclIndex(p *Pass) map[*types.Func]*ast.FuncDecl {
+	idx := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				if fn, ok := p.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					idx[fn] = fd
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// goBody resolves the body a go statement will run: a literal's body, or
+// the declaration of a same-package function/method.
+func goBody(p *Pass, decls map[*types.Func]*ast.FuncDecl, fun ast.Expr) *ast.BlockStmt {
+	switch fun := fun.(type) {
+	case *ast.FuncLit:
+		return fun.Body
+	case *ast.ParenExpr:
+		return goBody(p, decls, fun.X)
+	case *ast.Ident:
+		if fn, ok := p.TypesInfo.Uses[fun].(*types.Func); ok {
+			if fd := decls[fn]; fd != nil {
+				return fd.Body
+			}
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := p.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			if fd := decls[fn]; fd != nil {
+				return fd.Body
+			}
+		}
+	}
+	return nil
+}
+
+// bodyRecovers reports whether the body defers a recover: either a
+// deferred function literal containing a recover call, or a deferred
+// same-package function whose own body recovers.
+func bodyRecovers(p *Pass, decls map[*types.Func]*ast.FuncDecl, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		d, ok := n.(*ast.DeferStmt)
+		if !ok || found {
+			return !found
+		}
+		switch fun := d.Call.Fun.(type) {
+		case *ast.FuncLit:
+			if callsRecover(p, fun.Body) {
+				found = true
+			}
+		case *ast.Ident, *ast.SelectorExpr:
+			if inner := goBody(p, decls, fun); inner != nil && callsRecover(p, inner) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// callsRecover reports whether the block contains a call to the recover
+// builtin.
+func callsRecover(p *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok {
+				if b, ok := p.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "recover" {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// bodyPropagates reports whether the body sends on an error channel —
+// the other accepted way for a goroutine to surface its failures.
+func bodyPropagates(p *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		send, ok := n.(*ast.SendStmt)
+		if !ok || found {
+			return !found
+		}
+		if tv, ok := p.TypesInfo.Types[send.Chan]; ok && tv.Type != nil {
+			if ch, ok := tv.Type.Underlying().(*types.Chan); ok && isErrorType(ch.Elem()) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, errorType) || types.Implements(t, errorType.Underlying().(*types.Interface))
+}

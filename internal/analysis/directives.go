@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression directives.
+//
+// A comment of the form
+//
+//	//clocklint:allow <analyzer> [rationale...]
+//
+// suppresses diagnostics from that analyzer on the directive's own line.
+// When the directive stands alone on its line (no code before it), it
+// covers the immediately following line instead, so both styles work:
+//
+//	mark = time.Now() //clocklint:allow wallclock benchmarks want real time
+//
+//	//clocklint:allow wallclock benchmarks want real time
+//	mark = time.Now()
+//
+// Malformed directives — a verb other than "allow", a missing analyzer
+// name, or an unknown analyzer name — are themselves reported, so a typo
+// can never silently suppress nothing. Those diagnostics carry the
+// analyzer name "directive" and cannot be suppressed.
+const directivePrefix = "//clocklint:"
+
+// DirectiveAnalyzerName labels malformed-directive diagnostics.
+const DirectiveAnalyzerName = "directive"
+
+type suppressKey struct {
+	file string
+	line int
+	name string
+}
+
+// applyDirectives scans the files for clocklint directives, drops
+// suppressed diagnostics, and appends diagnostics for malformed
+// directives.
+func applyDirectives(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
+	known := make(map[string]bool)
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	suppressed := make(map[suppressKey]bool)
+	var malformed []Diagnostic
+	for _, f := range files {
+		codeLines := codeLineSet(fset, f)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, directivePrefix)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Slash)
+				verb, args, _ := strings.Cut(rest, " ")
+				if verb != "allow" {
+					malformed = append(malformed, Diagnostic{
+						Pos:      c.Slash,
+						Analyzer: DirectiveAnalyzerName,
+						Message:  fmt.Sprintf("malformed clocklint directive: unknown verb %q (want \"allow\")", verb),
+					})
+					continue
+				}
+				name := ""
+				if fields := strings.Fields(args); len(fields) > 0 {
+					name = fields[0]
+				}
+				if name == "" {
+					malformed = append(malformed, Diagnostic{
+						Pos:      c.Slash,
+						Analyzer: DirectiveAnalyzerName,
+						Message:  "malformed clocklint directive: missing analyzer name after \"allow\"",
+					})
+					continue
+				}
+				if !known[name] {
+					malformed = append(malformed, Diagnostic{
+						Pos:      c.Slash,
+						Analyzer: DirectiveAnalyzerName,
+						Message:  fmt.Sprintf("clocklint directive allows unknown analyzer %q (have %s)", name, suiteNames()),
+					})
+					continue
+				}
+				line := pos.Line
+				if !codeLines[line] {
+					// Standalone directive: it governs the next line.
+					line++
+				}
+				suppressed[suppressKey{pos.Filename, line, name}] = true
+			}
+		}
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		if suppressed[suppressKey{p.Filename, p.Line, d.Analyzer}] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return append(out, malformed...)
+}
+
+// codeLineSet records which lines of f carry code tokens (as opposed to
+// comments and blanks), by walking every node's start position.
+func codeLineSet(fset *token.FileSet, f *ast.File) map[int]bool {
+	lines := make(map[int]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if _, isComment := n.(*ast.Comment); isComment {
+			return false
+		}
+		if _, isGroup := n.(*ast.CommentGroup); isGroup {
+			return false
+		}
+		lines[fset.Position(n.Pos()).Line] = true
+		return true
+	})
+	return lines
+}

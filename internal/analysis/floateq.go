@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// approvedEqFuncs are the epsilon/bitwise comparison helpers allowed to
+// use naked float equality internally.
+var approvedEqFuncs = map[string]bool{
+	"floatEq":     true,
+	"approxEq":    true,
+	"approxEqual": true,
+	"almostEqual": true,
+	"eqWithin":    true,
+	"EqualWithin": true,
+}
+
+// infSentinels are package-level variables that hold exact infinities by
+// construction (e.g. graph.Inf, the dense matrices' no-edge marker), so
+// comparing against them is a sentinel test, not an epsilon mistake.
+var infSentinels = map[string]bool{
+	"Inf":    true,
+	"NegInf": true,
+	"posInf": true,
+	"negInf": true,
+}
+
+// FloatEq flags == and != between floating-point values. Shift estimates,
+// corrections, and A_max are chains of float64 sums, so exact equality is
+// meaningless outside the approved epsilon helpers; comparisons against
+// constants, infinity sentinels, and the x != x NaN idiom stay legal.
+// Test files are exempt: the determinism suites assert *bit-identical*
+// outputs on purpose (replays, parallel-lane equivalence, golden
+// streams), so there exact comparison is the assertion.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc: "flag ==/!= on floating-point operands (shift/correction/A_max values) outside " +
+		"the approved epsilon helpers; compare via floatEq-style helpers, constants, or " +
+		"infinity sentinels instead (test files exempt: bit-identity is what they assert)",
+	Run: runFloatEq,
+}
+
+func runFloatEq(p *Pass) error {
+	for _, f := range p.Files {
+		if strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if approvedEqFuncs[fd.Name.Name] {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+					return true
+				}
+				if !isFloat(p.TypesInfo, be.X) || !isFloat(p.TypesInfo, be.Y) {
+					return true
+				}
+				if floatEqAllowed(p.TypesInfo, be) {
+					return true
+				}
+				p.Reportf(be.OpPos,
+					"floating-point %s compares shift-valued float64s exactly; use an epsilon helper (e.g. floatEq), a constant/sentinel comparison, or //clocklint:allow floateq",
+					be.Op)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func isFloat(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// floatEqAllowed whitelists the equality shapes that are exact by
+// construction.
+func floatEqAllowed(info *types.Info, be *ast.BinaryExpr) bool {
+	// x != x / x == x: the NaN self-test idiom.
+	if xi, ok := be.X.(*ast.Ident); ok {
+		if yi, ok := be.Y.(*ast.Ident); ok && info.Uses[xi] != nil && info.Uses[xi] == info.Uses[yi] {
+			return true
+		}
+	}
+	return floatOperandAllowed(info, be.X) || floatOperandAllowed(info, be.Y)
+}
+
+func floatOperandAllowed(info *types.Info, e ast.Expr) bool {
+	// Compile-time constants (0, literals, named consts) are exact.
+	if tv, ok := info.Types[e]; ok && tv.Value != nil {
+		return true
+	}
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		// math.Inf(±1) sentinels.
+		return pkgSelector(info, e.Fun, "math") == "Inf"
+	case *ast.Ident:
+		return isInfSentinel(info.Uses[e])
+	case *ast.SelectorExpr:
+		return isInfSentinel(info.Uses[e.Sel])
+	case *ast.ParenExpr:
+		return floatOperandAllowed(info, e.X)
+	}
+	return false
+}
+
+// isInfSentinel reports whether obj is a package-level variable with one
+// of the conventional infinity-sentinel names.
+func isInfSentinel(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok || v.Parent() == nil || v.Pkg() == nil {
+		return false
+	}
+	return v.Parent() == v.Pkg().Scope() && infSentinels[v.Name()]
+}

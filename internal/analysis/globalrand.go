@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// globalrandPkgs are the simulation/experiment packages where every draw
+// must come from an injected seeded *rand.Rand so that a scenario's seed
+// fully determines its replay.
+var globalrandPkgs = []string{
+	"internal/sim",
+	"internal/experiments",
+	"internal/scenario",
+	"internal/verify",
+}
+
+// globalrandAllowed are the constructors: building a local seeded
+// generator is exactly the sanctioned pattern.
+var globalrandAllowed = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+// GlobalRand forbids the process-global math/rand source in simulation
+// and experiment code.
+var GlobalRand = &Analyzer{
+	Name: "globalrand",
+	Doc: "forbid top-level math/rand functions (the process-global source) in sim/experiment " +
+		"packages; draws must come from an injected seeded *rand.Rand so replays reproduce",
+	Run: runGlobalRand,
+}
+
+func runGlobalRand(p *Pass) error {
+	if !pkgMatches(p.Pkg.Path(), globalrandPkgs) {
+		return nil
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			for _, randPath := range []string{"math/rand", "math/rand/v2"} {
+				name := pkgSelector(p.TypesInfo, sel, randPath)
+				if name == "" || globalrandAllowed[name] {
+					continue
+				}
+				// Only flag function references: rand.Rand, rand.Source
+				// and friends are type names, and methods on an injected
+				// generator are the sanctioned pattern.
+				if _, isFunc := p.TypesInfo.Uses[sel.Sel].(*types.Func); !isFunc {
+					continue
+				}
+				p.Reportf(sel.Pos(),
+					"rand.%s draws from the process-global source, so replays of package %s are not seed-reproducible; thread a seeded *rand.Rand through (rand.New(rand.NewSource(seed)))",
+					name, p.Pkg.Path())
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"clocksync/internal/analysis"
+	"clocksync/internal/analysis/antest"
+)
+
+func TestWallClock(t *testing.T) {
+	antest.Run(t, filepath.Join("testdata", "wallclock"), analysis.WallClock, "clocksync/internal/sim")
+}
+
+func TestWallClockUnrestrictedPackage(t *testing.T) {
+	// The identical calls are legal outside the deterministic packages.
+	antest.Run(t, filepath.Join("testdata", "wallclock_out"), analysis.WallClock, "clocksync/internal/obs")
+}
+
+func TestFloatEq(t *testing.T) {
+	antest.Run(t, filepath.Join("testdata", "floateq"), analysis.FloatEq, "clocksync/floateqtest")
+}
+
+func TestGlobalRand(t *testing.T) {
+	antest.Run(t, filepath.Join("testdata", "globalrand"), analysis.GlobalRand, "clocksync/internal/sim")
+}
+
+func TestGlobalRandUnrestrictedPackage(t *testing.T) {
+	// Global rand is tolerated outside sim/experiment code (tools may
+	// legitimately want ambient entropy); the suite stays scoped.
+	antest.Run(t, filepath.Join("testdata", "wallclock_out"), analysis.GlobalRand, "clocksync/internal/obs")
+}
+
+func TestBareGoroutine(t *testing.T) {
+	antest.Run(t, filepath.Join("testdata", "baregoroutine"), analysis.BareGoroutine, "clocksync/internal/netsync")
+}
+
+func TestScratchRetain(t *testing.T) {
+	antest.Run(t, filepath.Join("testdata", "scratchretain"), analysis.ScratchRetain, "clocksync/scratchtest")
+}
+
+func TestSuppressionDirectives(t *testing.T) {
+	antest.Run(t, filepath.Join("testdata", "directives"), analysis.WallClock, "clocksync/internal/sim")
+}
+
+func TestByName(t *testing.T) {
+	all, err := analysis.ByName("")
+	if err != nil || len(all) != 5 {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want the full suite of 5", len(all), err)
+	}
+	two, err := analysis.ByName("wallclock,floateq")
+	if err != nil || len(two) != 2 || two[0].Name != "wallclock" || two[1].Name != "floateq" {
+		t.Fatalf("ByName(wallclock,floateq) = %v, err %v", two, err)
+	}
+	if _, err := analysis.ByName("nope"); err == nil || !strings.Contains(err.Error(), "unknown analyzer") {
+		t.Fatalf("ByName(nope) error = %v; want unknown-analyzer error", err)
+	}
+}
+
+func TestAnalyzerMetadata(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range analysis.Analyzers() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v is missing metadata", a)
+		}
+		if a.Name != strings.ToLower(a.Name) {
+			t.Errorf("analyzer name %q must be lower-case (it is typed in directives)", a.Name)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+}
+
+// TestRepoIsClean is the self-gate: the repository must stay free of
+// clocklint findings, the same invariant CI enforces via cmd/clocklint.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	pkgs, err := analysis.Load("../..", []string{"./..."})
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages; pattern resolution looks broken", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		diags, err := analysis.RunPackage(pkg, analysis.Analyzers())
+		if err != nil {
+			t.Fatalf("%s: %v", pkg.Path, err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s: %s (%s)", pkg.Fset.Position(d.Pos), d.Message, d.Analyzer)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+// Package netsync is baregoroutine-analyzer testdata, loaded under the
+// restricted package path clocksync/internal/netsync: every goroutine
+// must recover panics or propagate errors.
+package netsync
+
+import "fmt"
+
+func bad() {
+	go func() { // want `goroutine has neither a deferred recover nor an error-channel send`
+		fmt.Println("boom")
+	}()
+}
+
+func okRecover() {
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				fmt.Println("recovered:", r)
+			}
+		}()
+		fmt.Println("work")
+	}()
+}
+
+func okErrChan(errs chan error) {
+	go func() {
+		errs <- fmt.Errorf("late failure")
+	}()
+}
+
+func work() { fmt.Println("work") }
+
+func badNamed() {
+	go work() // want `goroutine has neither a deferred recover nor an error-channel send`
+}
+
+// guarded recovers via its own deferred closure, so launching it
+// directly is fine.
+func guarded() {
+	defer func() { _ = recover() }()
+	fmt.Println("work")
+}
+
+func okNamed() {
+	go guarded()
+}
+
+func badUnknownCallee() {
+	go fmt.Println("x") // want `cannot verify panic recovery`
+}
+
+func suppressed() {
+	go work() //clocklint:allow baregoroutine supervised by the test harness
+}

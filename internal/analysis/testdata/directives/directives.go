@@ -1,0 +1,32 @@
+// Package sim exercises the clocklint suppression directives themselves:
+// valid directives suppress, malformed ones are reported and never
+// silently swallow findings. Loaded under clocksync/internal/sim with
+// the wallclock analyzer.
+package sim
+
+import "time"
+
+func suppressedInline() time.Time {
+	return time.Now() //clocklint:allow wallclock with a rationale
+}
+
+func suppressedStandalone() time.Time {
+	//clocklint:allow wallclock with a rationale
+	return time.Now()
+}
+
+func wrongAnalyzerDoesNotSuppress() time.Time {
+	return time.Now() /* want `time\.Now reads the wall clock` */ //clocklint:allow floateq
+}
+
+func malformedDirectives() {
+	/* want `unknown verb "deny"` */ //clocklint:deny wallclock
+	/* want `missing analyzer name` */ //clocklint:allow
+	/* want `unknown analyzer "sloweq"` */ //clocklint:allow sloweq
+}
+
+// malformedNeverSuppresses: the typo'd directive is reported AND the
+// wallclock finding still fires.
+func malformedNeverSuppresses() time.Time {
+	return time.Now() /* want `time\.Now reads the wall clock` `unknown verb "allowwallclock"` */ //clocklint:allowwallclock
+}

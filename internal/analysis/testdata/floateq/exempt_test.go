@@ -1,0 +1,12 @@
+package floateqtest
+
+// Test files are exempt from floateq: determinism suites assert
+// bit-identical outputs on purpose. No want annotations here — none of
+// these exact comparisons may be reported.
+
+func exactIsTheAssertion(a, b float64) bool {
+	if a == b {
+		return a != b
+	}
+	return a == b
+}

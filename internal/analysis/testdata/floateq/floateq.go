@@ -1,0 +1,47 @@
+// Package floateqtest is floateq-analyzer testdata: exact equality on
+// computed floats is flagged; constants, sentinels, NaN self-tests, and
+// the approved epsilon helpers are not.
+package floateqtest
+
+import "math"
+
+// Inf mirrors graph.Inf: a package-level infinity sentinel, exact by
+// construction.
+var Inf = math.Inf(1)
+
+func bad(a, b float64) bool {
+	if a == b { // want `floating-point == compares shift-valued float64s exactly`
+		return true
+	}
+	return a != b // want `floating-point != compares shift-valued float64s exactly`
+}
+
+func badFloat32(a, b float32) bool {
+	return a == b // want `floating-point == compares`
+}
+
+func okConst(a float64) bool {
+	return a == 0 || a != 1.5
+}
+
+func okSentinel(a float64) bool {
+	return a == Inf || a == math.Inf(1)
+}
+
+func okNaNIdiom(a float64) bool {
+	return a != a
+}
+
+func okInts(a, b int) bool {
+	return a == b
+}
+
+// floatEq is an approved epsilon helper name: its body may compare
+// exactly (e.g. for a bitwise mode).
+func floatEq(a, b float64) bool {
+	return a == b
+}
+
+func suppressed(a, b float64) bool {
+	return a == b //clocklint:allow floateq deliberate bit-exact agreement check
+}

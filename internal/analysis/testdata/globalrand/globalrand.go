@@ -1,0 +1,28 @@
+// Package sim is globalrand-analyzer testdata, loaded under the
+// restricted package path clocksync/internal/sim: draws must come from an
+// injected seeded generator, never the process-global source.
+package sim
+
+import "math/rand"
+
+func bad() float64 {
+	return rand.Float64() // want `rand\.Float64 draws from the process-global source`
+}
+
+func badShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { // want `rand\.Shuffle draws from the process-global source`
+		xs[i], xs[j] = xs[j], xs[i]
+	})
+}
+
+func okInjected(rng *rand.Rand) float64 {
+	return rng.Float64() + rng.NormFloat64()
+}
+
+func okConstructors(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func suppressed() int {
+	return rand.Int() //clocklint:allow globalrand one-off tool entropy
+}

@@ -1,0 +1,33 @@
+// Package sim is wallclock-analyzer testdata, loaded under the
+// restricted package path clocksync/internal/sim.
+package sim
+
+import "time"
+
+func bad() time.Time {
+	t := time.Now()              // want `time\.Now reads the wall clock`
+	time.Sleep(time.Millisecond) // want `time\.Sleep reads the wall clock`
+	_ = time.Since(t)            // want `time\.Since reads the wall clock`
+	select {
+	case <-time.After(time.Second): // want `time\.After reads the wall clock`
+	default:
+	}
+	tick := time.NewTicker(time.Second) // want `time\.NewTicker reads the wall clock`
+	tick.Stop()
+	return t
+}
+
+// okArithmetic: pure time.Time/Duration arithmetic never reads the
+// clock and stays legal.
+func okArithmetic(t time.Time, d time.Duration) time.Time {
+	return t.Add(d - time.Millisecond)
+}
+
+func suppressedSameLine() time.Time {
+	return time.Now() //clocklint:allow wallclock injected-clock default implementation
+}
+
+func suppressedNextLine() time.Time {
+	//clocklint:allow wallclock injected-clock default implementation
+	return time.Now()
+}

@@ -1,0 +1,11 @@
+// Package obs is wallclock-analyzer testdata loaded under an
+// unrestricted package path: the same calls that are findings inside the
+// deterministic packages are legal here.
+package obs
+
+import "time"
+
+func fine() time.Time {
+	time.Sleep(time.Microsecond)
+	return time.Now()
+}

@@ -58,12 +58,28 @@ type Options struct {
 	// Nil — the default — adds no timing calls to the hot path.
 	Observer obs.PhaseObserver
 
+	// Clock supplies the timestamps behind Observer phase durations. Nil
+	// defaults to obs.SystemClock(). It exists so this package never
+	// reads the wall clock directly — simulated executions must stay
+	// replayable, and the wallclock analyzer (internal/analysis) rejects
+	// direct time.Now calls here. Tests can inject an obs.ManualClock.
+	Clock obs.Clock
+
 	// Parallelism bounds the worker lanes used by the graph kernels
 	// (Floyd-Warshall row shards, Karp walk-table columns, the two
 	// Bellman-Ford passes of centered mode, and disconnected sync
 	// components). 0 means GOMAXPROCS; 1 forces the serial path. Results
 	// are bit-identical for every value.
 	Parallelism int
+}
+
+// clock resolves the observer timing source: the injected Clock, or the
+// system clock when unset.
+func (o *Options) clock() obs.Clock {
+	if o.Clock != nil {
+		return o.Clock
+	}
+	return obs.SystemClock()
 }
 
 // Result is the output of the synchronization pipeline.

@@ -532,7 +532,7 @@ func (s *Stream) witnessTouched() bool {
 func (s *Stream) batchSolve() (*Result, error) {
 	var mark time.Time
 	if s.opts.Observer != nil {
-		mark = time.Now()
+		mark = s.opts.clock().Now()
 	}
 	if err := validateDense(&s.mls); err != nil {
 		s.haveSolve = false

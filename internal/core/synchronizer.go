@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"clocksync/internal/graph"
+	"clocksync/internal/obs"
 	"clocksync/internal/trace"
 )
 
@@ -112,7 +113,7 @@ func (s *Synchronizer) Sync(mls [][]float64, opts Options) (*Result, error) {
 	timed := opts.Observer != nil
 	var mark time.Time
 	if timed {
-		mark = time.Now()
+		mark = opts.clock().Now()
 	}
 	if err := validateMatrix(mls); err != nil {
 		return nil, err
@@ -133,15 +134,16 @@ func (s *Synchronizer) SyncSystem(n int, links []Link, tab *trace.Table, mopts M
 	timed := opts.Observer != nil
 	var mark time.Time
 	if timed {
-		mark = time.Now()
+		mark = opts.clock().Now()
 	}
 	a := s.nextArena(n)
 	if err := mlsMatrixInto(&a.ms, n, links, tab, mopts); err != nil {
 		return nil, err
 	}
 	if timed {
-		opts.Observer.ObservePhase("mls", time.Since(mark).Seconds())
-		mark = time.Now()
+		clk := opts.clock()
+		opts.Observer.ObservePhase("mls", clk.Now().Sub(mark).Seconds())
+		mark = clk.Now()
 	}
 	if err := validateDense(&a.ms); err != nil {
 		return nil, err
@@ -166,6 +168,10 @@ func (s *Synchronizer) nextArena(n int) *resultArena {
 // on a prepared arena. mark is the start of the "estimate" phase.
 func (s *Synchronizer) run(a *resultArena, n int, opts Options, mark time.Time) (*Result, error) {
 	timed := opts.Observer != nil
+	var clk obs.Clock
+	if timed {
+		clk = opts.clock()
+	}
 	pool := s.ensurePool(opts.Parallelism)
 
 	// GLOBAL ESTIMATES (Theorem 5.5): shortest-path closure of m~ls.
@@ -176,7 +182,7 @@ func (s *Synchronizer) run(a *resultArena, n int, opts Options, mark time.Time) 
 		return nil, err
 	}
 	if timed {
-		opts.Observer.ObservePhase("estimate", time.Since(mark).Seconds())
+		opts.Observer.ObservePhase("estimate", clk.Now().Sub(mark).Seconds())
 	}
 	if opts.Root < 0 || (n > 0 && opts.Root >= n) {
 		return nil, fmt.Errorf("core: root %d out of range [0,%d)", opts.Root, n)
@@ -203,21 +209,21 @@ func (s *Synchronizer) run(a *resultArena, n int, opts Options, mark time.Time) 
 		kit := s.kit(0)
 		for ci, comp := range a.comps {
 			if timed {
-				mark = time.Now()
+				mark = clk.Now()
 			}
 			aMax, cycle := s.componentAMax(kit, &a.ms, comp, pool)
 			if timed {
-				karpDur += time.Since(mark)
+				karpDur += clk.Now().Sub(mark)
 			}
 			a.prec[ci] = aMax
 			if timed {
-				mark = time.Now()
+				mark = clk.Now()
 			}
 			if err := s.componentCorrections(kit, &a.ms, comp, aMax, opts, a.corr, pool); err != nil {
 				return nil, err
 			}
 			if timed {
-				corrDur += time.Since(mark)
+				corrDur += clk.Now().Sub(mark)
 			}
 			if single {
 				res.Precision = aMax

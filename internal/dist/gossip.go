@@ -67,9 +67,12 @@ func GossipRun(net *sim.Network, cfg Config, runCfg sim.RunConfig) (*Outcome, *m
 			}
 			out.Corrections[p] = perNode[p][p]
 			out.Applied[p] = true
-			// Agreement check: every node's full vector must match node 0's.
+			// Agreement check: every node's full vector must match node
+			// 0's bit-for-bit — gossiped re-floods replay the identical
+			// deterministic computation, so exact equality is required.
 			for q := 0; q < n; q++ {
-				if perNode[p][q] != perNode[0][q] {
+				if perNode[p][q] != perNode[0][q] { //clocklint:allow floateq
+
 					return out, exec, fmt.Errorf("dist: p%d disagrees with p0 on p%d's correction", p, q)
 				}
 			}

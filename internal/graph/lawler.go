@@ -43,7 +43,10 @@ func MaxMeanCycleBinary(g *Digraph, tol float64) (float64, bool) {
 		// The maximum mean is hi itself only if a cycle of all-max edges
 		// exists; bisect handles it below, but guard the degenerate
 		// single-value range first.
-		if lo == hi {
+		// lo and hi are copies of edge weights, not sums: equality is
+		// exact when every edge weight coincides.
+		if lo == hi { //clocklint:allow floateq
+
 			return hi, true
 		}
 	}

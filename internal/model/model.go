@@ -329,7 +329,10 @@ func (e *Execution) ValidateTimers() error {
 					return fmt.Errorf("model: p%d receives an unset timer for clock %v", h.Proc, st.Event.At)
 				}
 				pending[st.Event.At]--
-				if st.Clock != st.Event.At {
+				// Timers fire at bit-exact scheduled clocks in the model;
+				// inequality here means a malformed history, not roundoff.
+				if st.Clock != st.Event.At { //clocklint:allow floateq
+
 					return fmt.Errorf("model: p%d timer for clock %v fires at clock %v", h.Proc, st.Event.At, st.Clock)
 				}
 			}

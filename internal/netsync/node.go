@@ -264,9 +264,24 @@ func Start(cfg Config) (*Node, error) {
 		errs:     make(chan error, 8),
 	}
 	n.wg.Add(2)
-	go n.acceptLoop()
-	go n.run()
+	n.goSafe(n.acceptLoop)
+	n.goSafe(n.run)
 	return n, nil
+}
+
+// goSafe runs fn on its own goroutine, converting a panic into a node
+// failure surfaced on the errs channel instead of crashing the whole
+// process. All node goroutines must launch through it: the baregoroutine
+// analyzer (internal/analysis) flags naked go statements in this package.
+func (n *Node) goSafe(fn func()) {
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				n.fail(fmt.Errorf("netsync: node %d: goroutine panic: %v", n.cfg.ID, r))
+			}
+		}()
+		fn()
+	}()
 }
 
 // Addr returns the bound listen address (resolves ":0" ports).
@@ -343,10 +358,10 @@ func (n *Node) acceptLoop() {
 			return
 		}
 		handlers.Add(1)
-		go func() {
+		n.goSafe(func() {
 			defer handlers.Done()
 			n.serve(newConn(raw))
-		}()
+		})
 	}
 }
 

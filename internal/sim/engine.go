@@ -207,7 +207,10 @@ type eventQueue []event
 
 func (q eventQueue) Len() int { return len(q) }
 func (q eventQueue) Less(i, j int) bool {
-	if q[i].time != q[j].time {
+	// Exact tie detection is the point: equal-time events must fall
+	// through to the deterministic seq order, never epsilon-merge.
+	if q[i].time != q[j].time { //clocklint:allow floateq
+
 		return q[i].time < q[j].time
 	}
 	return q[i].seq < q[j].seq
