@@ -55,6 +55,7 @@ func run(args []string) error {
 		grace    = fs.Duration("report-grace", 0, "coordinator wait for missing reports before a degraded compute (0 = timeout)")
 		centered = fs.Bool("centered", true, "use centered corrections")
 		seed     = fs.Int64("seed", 1, "jitter randomness seed")
+		authSeed = fs.Int64("auth-seed", 0, "derive per-node HMAC report keys from this shared seed (0 = unauthenticated; every node must pass the same value)")
 		logLevel = fs.String("log", "off", "structured log level: off, debug, info, warn or error")
 		logJSON  = fs.Bool("log-json", false, "emit structured logs as JSON instead of text")
 		metrics  = fs.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address")
@@ -101,6 +102,9 @@ func run(args []string) error {
 		ReportGrace:     *grace,
 		Centered:        *centered,
 	}
+	if *authSeed != 0 {
+		cfg.Keys = netsync.DeriveKeys(*n, *authSeed)
+	}
 	node, err := netsync.Start(cfg)
 	if err != nil {
 		return err
@@ -123,6 +127,9 @@ func run(args []string) error {
 	st := node.Stats()
 	fmt.Printf("network: %d dials (%d retries, %d failures), %d probes sent, %d received\n",
 		st.Dials, st.DialRetries, st.DialFailures, st.ProbesSent, st.ProbesReceived)
+	if st.AuthFailures > 0 {
+		fmt.Printf("auth: %d report(s) rejected by MAC verification\n", st.AuthFailures)
+	}
 	return nil
 }
 

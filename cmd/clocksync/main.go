@@ -56,6 +56,8 @@ func run(args []string) error {
 		distMode     = fs.String("dist", "", "run the distributed protocol instead: 'leader' or 'gossip'")
 		reportGrace  = fs.Float64("report-grace", 0, "distributed: leader wait for missing reports before a degraded compute (0 = window)")
 		retries      = fs.Int("retries", 0, "distributed: report/result re-floods for lossy networks")
+		excision     = fs.Bool("excision", false, "distributed: excise reports that fail the coordinator's consistency checks (Byzantine defense)")
+		auth         = fs.Bool("auth", false, "distributed: HMAC-authenticate report floods (rejects forged origins)")
 		showPairs    = fs.Bool("pairs", false, "print the per-pair precision bound matrix")
 		logLevel     = fs.String("log", "off", "structured log level: off, debug, info, warn or error")
 		logJSON      = fs.Bool("log-json", false, "emit structured logs as JSON instead of text")
@@ -93,10 +95,12 @@ func run(args []string) error {
 	}
 	if *distMode != "" {
 		return runDistributed(data, *distMode, *tracePath, distributed.Config{
-			Leader:      clocksync.ProcID(*root),
-			Centered:    *centered,
-			ReportGrace: *reportGrace,
-			Retries:     *retries,
+			Leader:       clocksync.ProcID(*root),
+			Centered:     *centered,
+			ReportGrace:  *reportGrace,
+			Retries:      *retries,
+			Excision:     *excision,
+			Authenticate: *auth,
 		})
 	}
 	rep, err := clocksync.RunScenarioJSON(data, clocksync.SimOptions{
@@ -148,8 +152,18 @@ func runDistributed(data []byte, mode, tracePath string, cfg distributed.Config)
 	fmt.Printf("messages on the wire: %d\n", out.Messages)
 	fmt.Printf("optimal precision:    %.6g\n", out.Precision)
 	fmt.Printf("realized discrepancy: %.6g\n", out.Realized)
-	if out.Degraded {
+	if out.Degraded && len(out.Missing) > 0 {
 		fmt.Printf("DEGRADED: missing reports from %v\n", out.Missing)
+	}
+	if len(out.Excised) > 0 {
+		fmt.Printf("EXCISED: reports from %v failed the consistency checks (equivocators: %v)\n",
+			out.Excised, out.Equivocators)
+	}
+	if len(out.ExcisedLinks) > 0 {
+		fmt.Printf("EXCISED LINKS: statistics dropped for %v (blame unattributable)\n", out.ExcisedLinks)
+	}
+	if out.AuthFailures > 0 {
+		fmt.Printf("AUTH: %d report origin(s) rejected by MAC verification\n", out.AuthFailures)
 	}
 	fmt.Println("corrections:")
 	for p, c := range out.Corrections {
@@ -162,6 +176,10 @@ func runDistributed(data []byte, mode, tracePath string, cfg distributed.Config)
 		fmt.Printf("  p%-3d %+.6g%s\n", p, c, status)
 	}
 	if out.Degraded {
+		if len(out.Excised) > 0 || len(out.ExcisedLinks) > 0 {
+			return fmt.Errorf("%w: excised %v, links %v, missing reports from %v",
+				errDegraded, out.Excised, out.ExcisedLinks, out.Missing)
+		}
 		return fmt.Errorf("%w: missing reports from %v", errDegraded, out.Missing)
 	}
 	return nil

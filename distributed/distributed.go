@@ -53,6 +53,18 @@ type Config struct {
 	// collect, compute, and the compute sub-phases) for the run; export
 	// it with its WriteJSON method.
 	Trace *obs.Trace
+	// Excision enables the coordinator's Byzantine defenses (leader
+	// variant only): equivocating reporters and reports violating the
+	// Lemma 6.1 round-trip envelope are excised, and the quorum path
+	// recomputes without them. See the scenario `faults.byzantine`
+	// section for injecting liars.
+	Excision bool
+	// Authenticate signs report floods with per-processor HMAC-SHA256
+	// keys (derived deterministically from the scenario seed) and drops
+	// reports whose MAC does not verify, so a forged report cannot
+	// impersonate an honest processor. Lies a processor signs about its
+	// own measurements still require Excision to catch.
+	Authenticate bool
 }
 
 func (c *Config) fill() {
@@ -115,6 +127,17 @@ type Outcome struct {
 	// Precision covers exactly these processors. Nil on clean runs of the
 	// leader variant when every processor synchronized.
 	Synced []bool
+	// Excised lists reporters removed by the consistency checks
+	// (Config.Excision); Equivocators is the subset caught reporting
+	// conflicting versions to different peers.
+	Excised      []clocksync.ProcID
+	Equivocators []clocksync.ProcID
+	// ExcisedLinks lists links whose statistics were dropped because the
+	// round-trip check failed without an attributable liar.
+	ExcisedLinks [][2]clocksync.ProcID
+	// AuthFailures counts report origins rejected by MAC verification
+	// (Config.Authenticate).
+	AuthFailures int
 }
 
 // RunScenarioJSON simulates the scenario (see the clocksync package and
@@ -146,6 +169,10 @@ func RunScenarioJSON(data []byte, cfg Config) (*Outcome, error) {
 		Centered:    cfg.Centered,
 		Parallelism: cfg.Parallelism,
 		Trace:       cfg.Trace,
+		Excision:    cfg.Excision,
+	}
+	if cfg.Authenticate {
+		dcfg.AuthKeys = dist.DeriveKeys(sc.Processors, sc.Seed)
 	}
 	runFn := dist.Run
 	if cfg.Gossip {
@@ -160,14 +187,18 @@ func RunScenarioJSON(data []byte, cfg Config) (*Outcome, error) {
 		return nil, err
 	}
 	res := &Outcome{
-		Corrections: out.Corrections,
-		Precision:   out.Precision,
-		Messages:    len(msgs),
-		Starts:      built.Starts,
-		Degraded:    out.Degraded,
-		Missing:     out.Missing,
-		Applied:     out.Applied,
-		Synced:      out.Synced,
+		Corrections:  out.Corrections,
+		Precision:    out.Precision,
+		Messages:     len(msgs),
+		Starts:       built.Starts,
+		Degraded:     out.Degraded,
+		Missing:      out.Missing,
+		Applied:      out.Applied,
+		Synced:       out.Synced,
+		Excised:      out.Excised,
+		Equivocators: out.Equivocators,
+		ExcisedLinks: out.ExcisedLinks,
+		AuthFailures: out.AuthFailures,
 	}
 	if out.Degraded {
 		// Ground truth restricted to the processors the precision covers

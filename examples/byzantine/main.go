@@ -1,0 +1,92 @@
+// byzantine: a lying reporter versus the coordinator's defenses.
+//
+// A 6-node complete graph measures its links; processor 5 is Byzantine
+// and skews the statistics it reports (alternating per-link signs, so
+// the lie corrupts constraints between honest processors instead of
+// merely relocating its own start time).
+//
+// The same scenario runs twice. Without defenses, the lie contradicts
+// the declared delay bounds — the constraint system goes infeasible and
+// the leader fails closed: nobody gets a correction. With Excision the
+// leader checks every report against the Lemma 6.1 round-trip envelope,
+// removes the liar, and the honest processors synchronize with a sound
+// (merely degraded) precision.
+//
+//	go run ./examples/byzantine
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"clocksync/distributed"
+)
+
+const scenarioJSON = `{
+  "processors": 6,
+  "seed": 42,
+  "startSpread": 1,
+  "topology": {"kind": "complete"},
+  "defaultLink": {
+    "assumption": {"kind": "symmetricBounds", "lb": 0.05, "ub": 0.2},
+    "delays": {"kind": "symmetric", "sampler": {"kind": "uniform", "lo": 0.05, "hi": 0.2}}
+  },
+  "protocol": {"kind": "burst", "k": 3, "warmup": -1},
+  "faults": {
+    "byzantine": [{"proc": 5, "strategy": "skew", "magnitude": 0.25}]
+  }
+}`
+
+func main() {
+	fmt.Println("byzantine: 6-node complete graph, p5 skews its reported statistics by 0.25 s")
+	fmt.Println()
+
+	// Run 1: no defenses. A lie this size leaves the admissible delay
+	// envelope, which is a negative cycle in the solver's constraint
+	// graph — the optimal algorithm cannot be silently mis-synchronized,
+	// so it collapses instead.
+	_, err := distributed.RunScenarioJSON([]byte(scenarioJSON), distributed.Config{
+		ReportGrace: 2,
+	})
+	if err == nil {
+		log.Fatal("undefended run unexpectedly succeeded")
+	}
+	fmt.Println("without defenses the leader fails closed:")
+	fmt.Printf("  %v\n\n", err)
+
+	// Run 2: same scenario, Excision on. The leader checks every report
+	// pair against the round-trip envelope, excises the liar, and
+	// recomputes from the honest remainder.
+	out, err := distributed.RunScenarioJSON([]byte(scenarioJSON), distributed.Config{
+		ReportGrace: 2,
+		Excision:    true,
+		Centered:    true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("with excision the liar is removed and the honest nodes synchronize:")
+	fmt.Printf("  excised reporters:     %v\n", out.Excised)
+	fmt.Printf("  equivocators:          %v\n", out.Equivocators)
+	fmt.Printf("  degraded:              %v\n", out.Degraded)
+	fmt.Printf("  degraded precision:    %.4f s (covers the synchronized component)\n", out.Precision)
+	fmt.Printf("  realized error:        %.4f s (ground truth over that component)\n", out.Realized)
+	fmt.Println("  per-node outcome:")
+	for p, c := range out.Corrections {
+		switch {
+		case !out.Applied[p]:
+			fmt.Printf("    p%d — no correction applied\n", p)
+		case out.Synced != nil && !out.Synced[p]:
+			fmt.Printf("    p%d %+.4f s (outside the synchronized component)\n", p, c)
+		default:
+			fmt.Printf("    p%d %+.4f s\n", p, c)
+		}
+	}
+	fmt.Println()
+	fmt.Println("A detectable lie is an infeasible constraint system: the undefended leader")
+	fmt.Println("can only be denied, never silently misled. Excision converts that denial")
+	fmt.Println("into degraded service — the liar's report is discarded (whatever correction")
+	fmt.Println("it still gets rests only on what honest reporters measured about its links),")
+	fmt.Println("and the honest component keeps a guarantee that is optimal for the")
+	fmt.Println("statistics that survived.")
+}

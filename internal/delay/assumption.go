@@ -247,6 +247,32 @@ func (in Intersect) String() string {
 	return "and(" + strings.Join(parts, ", ") + ")"
 }
 
+// RoundTrip returns the assumption's bounds on d(m1) + d(m2) for any pair
+// of opposite-direction messages on the link. Because the start-time
+// offsets cancel in a round trip (Lemma 6.1: d~ = d + S_from - S_to), the
+// same interval bounds the sum of *estimated* minimum delays reported for
+// the two directions — the consistency check Byzantine excision relies on.
+// Assumptions that bound only the difference of opposite delays (RTTBias)
+// or nothing at all still pin the sum to [0, +Inf) by non-negativity.
+func RoundTrip(a Assumption) Range {
+	switch v := a.(type) {
+	case Bounds:
+		return Range{LB: v.PQ.LB + v.QP.LB, UB: v.PQ.UB + v.QP.UB}
+	case Intersect:
+		r := Range{LB: 0, UB: math.Inf(1)}
+		for _, p := range v.Parts {
+			pr := RoundTrip(p)
+			r.LB = math.Max(r.LB, pr.LB)
+			r.UB = math.Min(r.UB, pr.UB)
+		}
+		return r
+	case flipped:
+		return RoundTrip(v.inner) // a round trip has no orientation
+	default: // RTTBias and unknown assumptions: only non-negativity
+		return Range{LB: 0, UB: math.Inf(1)}
+	}
+}
+
 // Flip returns an assumption identical to a but with the link orientation
 // reversed (PQ and QP exchanged). Useful when registering the same
 // assumption value on links stored with the opposite orientation.

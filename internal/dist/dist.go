@@ -37,8 +37,10 @@
 package dist
 
 import (
+	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"clocksync/internal/core"
 	"clocksync/internal/model"
@@ -60,6 +62,11 @@ var (
 	mReportsAbsorb  = obs.Default.Counter("dist.reports.absorbed")
 	mReportsLate    = obs.Default.Counter("dist.reports.late")
 	mReportsMissing = obs.Default.Counter("dist.reports.missing")
+	mReportsAuth    = obs.Default.Counter("dist.reports.authfail")
+	mReportsFlagged = obs.Default.Counter("dist.reports.flagged")
+	mReportsExcised = obs.Default.Counter("dist.reports.excised")
+	mLinksExcised   = obs.Default.Counter("dist.links.excised")
+	mEquivocations  = obs.Default.Counter("dist.reports.equivocations")
 	mReportRefloods = obs.Default.Counter("dist.reports.refloods")
 	mResultRefloods = obs.Default.Counter("dist.results.refloods")
 	mDeadlineFires  = obs.Default.Counter("dist.deadline.fires")
@@ -108,12 +115,33 @@ type Config struct {
 	// windows (simulated clock) and the leader's collect/compute phases
 	// including the SHIFTS breakdown (wall clock). Nil records nothing.
 	Trace *obs.Trace
+	// Excision enables the coordinator's consistency-check outlier
+	// excision (leader variant only): equivocating reporters and reports
+	// violating the Lemma 6.1 round-trip envelope are removed before the
+	// table is assembled, and the quorum path recomputes without them.
+	// With excision on, the leader always computes at the grace deadline
+	// (never early on the n-th report) so conflicting report versions
+	// have time to surface.
+	Excision bool
+	// ExcisionSlack widens the round-trip consistency interval on both
+	// sides, absorbing float rounding in honest reports. Zero selects the
+	// default 1e-9; negative is invalid.
+	ExcisionSlack float64
+	// AuthKeys is the per-processor HMAC-SHA256 keyring (length n). When
+	// set, emitted reports carry a MAC over their frozen content and
+	// computing nodes drop reports whose MAC does not verify under the
+	// claimed origin's key (counted in dist.reports.authfail and treated
+	// like loss). Nil preserves the unauthenticated protocol.
+	AuthKeys [][]byte
 }
 
 // withDefaults fills derived defaults.
 func (c Config) withDefaults() Config {
 	if c.ReportGrace == 0 {
 		c.ReportGrace = c.Window
+	}
+	if c.ExcisionSlack == 0 {
+		c.ExcisionSlack = 1e-9
 	}
 	return c
 }
@@ -143,6 +171,19 @@ func (c Config) validate(n int) error {
 	if c.Retries < 0 {
 		return fmt.Errorf("dist: retries = %d, want >= 0", c.Retries)
 	}
+	if math.IsNaN(c.ExcisionSlack) || math.IsInf(c.ExcisionSlack, 0) || c.ExcisionSlack < 0 {
+		return fmt.Errorf("dist: excision slack = %v, want finite >= 0", c.ExcisionSlack)
+	}
+	if c.AuthKeys != nil {
+		if len(c.AuthKeys) != n {
+			return fmt.Errorf("dist: %d auth keys for %d processors", len(c.AuthKeys), n)
+		}
+		for p, key := range c.AuthKeys {
+			if len(key) == 0 {
+				return fmt.Errorf("dist: empty auth key for p%d", p)
+			}
+		}
+	}
 	return nil
 }
 
@@ -170,6 +211,9 @@ type Report struct {
 	Origin model.ProcID `json:"origin"`
 	Round  int          `json:"round,omitempty"`
 	Links  []DirReport  `json:"links"`
+	// MAC authenticates (Origin, Links) under the origin's key when the
+	// run is configured with AuthKeys; empty otherwise.
+	MAC []byte `json:"mac,omitempty"`
 }
 
 // ResultMsg is the leader's flooded outcome. Precision covers exactly the
@@ -180,6 +224,7 @@ type ResultMsg struct {
 	Round       int            `json:"round,omitempty"`
 	Degraded    bool           `json:"degraded,omitempty"`
 	Missing     []model.ProcID `json:"missing,omitempty"`
+	Excised     []model.ProcID `json:"excised,omitempty"`
 	Synced      []bool         `json:"synced,omitempty"`
 }
 
@@ -213,9 +258,25 @@ type Outcome struct {
 	LeaderTable *trace.Table
 	// Err records a leader-side computation failure.
 	Err error
-	// ReportsSeen counts distinct report origins received by the leader
-	// at compute time.
+	// ReportsSeen counts distinct report origins the leader had stored at
+	// compute time (before excision).
 	ReportsSeen int
+	// Excised lists reporters whose reports the consistency checks threw
+	// out (equivocation or attributable round-trip violations); their
+	// links keep only the honest endpoints' statistics, like Missing
+	// reporters. Requires Config.Excision.
+	Excised []model.ProcID
+	// ExcisedLinks lists links whose reported statistics were dropped
+	// because the round-trip check failed without an attributable liar:
+	// neither side can be trusted, so the link degrades to the no-data
+	// case.
+	ExcisedLinks [][2]model.ProcID
+	// Equivocators is the subset of Excised caught reporting conflicting
+	// versions to different peers.
+	Equivocators []model.ProcID
+	// AuthFailures counts report origins with at least one version
+	// rejected by MAC verification. Requires Config.AuthKeys.
+	AuthFailures int
 }
 
 // NewFactory returns a protocol factory implementing the leader protocol
@@ -232,12 +293,15 @@ func NewFactory(n int, cfg Config) (sim.ProtocolFactory, *Outcome, error) {
 	}
 	factory := func(p model.ProcID) sim.Protocol {
 		return &proc{
-			cfg:       cfg,
-			n:         n,
-			out:       out,
-			incoming:  make(map[model.ProcID]trace.DirStats),
-			seen:      make(map[model.ProcID]bool),
-			forwarded: make(map[floodKey]bool),
+			cfg:          cfg,
+			n:            n,
+			out:          out,
+			incoming:     make(map[model.ProcID]trace.DirStats),
+			seen:         make(map[model.ProcID]bool),
+			forwarded:    make(map[floodKey]bool),
+			reportLinks:  make(map[model.ProcID][]DirReport),
+			equivocators: make(map[model.ProcID]bool),
+			rejected:     make(map[model.ProcID]bool),
 		}
 	}
 	return factory, out, nil
@@ -277,11 +341,17 @@ type proc struct {
 	// variant); otherwise only the leader does.
 	deadlineAll bool
 
-	// leader state
-	table    *trace.Table
-	reports  int
-	computed bool
-	result   ResultMsg
+	// leader state. Reports are retained link-by-link (not merged into a
+	// table on arrival) so excision can drop whole reports at compute
+	// time; the table is assembled then. DirStats merging is commutative,
+	// so the assembled table is bit-identical to the old incremental one.
+	table        *trace.Table
+	reportLinks  map[model.ProcID][]DirReport // first valid version per origin
+	equivocators map[model.ProcID]bool        // origins seen with conflicting versions
+	rejected     map[model.ProcID]bool        // origins with a MAC-rejected version
+	reports      int
+	computed     bool
+	result       ResultMsg
 }
 
 var _ sim.Protocol = (*proc)(nil)
@@ -376,6 +446,9 @@ func (pr *proc) emitReport(env *sim.Env) {
 			rep.Links[j], rep.Links[j-1] = rep.Links[j-1], rep.Links[j]
 		}
 	}
+	if pr.cfg.AuthKeys != nil {
+		rep.MAC = reportMAC(pr.cfg.AuthKeys[env.Self()], rep.Origin, rep.Links)
+	}
 	pr.reportMsg = rep
 	mReportsEmitted.Inc()
 	// The probe span runs from the first burst to the report instant on
@@ -413,12 +486,11 @@ func (pr *proc) refloodResult(env *sim.Env) {
 	pr.handleResult(env, from(-1), msg)
 }
 
-// handleReport absorbs a first-seen origin and forwards each (origin,
-// round) wave once.
+// handleReport absorbs every wave (later waves matter: conflicting
+// versions of an already-stored origin are the equivocation signal) and
+// forwards each (origin, round) wave once.
 func (pr *proc) handleReport(env *sim.Env, via model.ProcID, rep Report) {
-	if !pr.seen[rep.Origin] {
-		pr.acceptReport(env, rep)
-	}
+	pr.acceptReport(env, rep)
 	key := floodKey{origin: rep.Origin, round: rep.Round}
 	if pr.forwarded[key] {
 		return
@@ -427,36 +499,79 @@ func (pr *proc) handleReport(env *sim.Env, via model.ProcID, rep Report) {
 	pr.flood(env, via, rep)
 }
 
-// acceptReport marks the origin seen and, at the leader, merges the stats
-// and triggers the computation when complete.
+// acceptReport marks the origin seen and, at the leader, authenticates
+// the wave (when keyed), checks it against any previously stored version
+// (equivocation), and stores the first valid version. The statistics
+// table is assembled at compute time so excision can drop stored reports
+// wholesale.
 func (pr *proc) acceptReport(env *sim.Env, rep Report) {
+	first := !pr.seen[rep.Origin]
 	pr.seen[rep.Origin] = true
 	if !pr.isLeader(env) {
 		return
 	}
 	if pr.computed {
-		mReportsLate.Inc()
-		dLog.Debug("report arrived after compute", "leader", env.Self(), "origin", rep.Origin, "clock", env.Clock())
+		if first {
+			mReportsLate.Inc()
+			dLog.Debug("report arrived after compute", "leader", env.Self(), "origin", rep.Origin, "clock", env.Clock())
+		}
 		return
 	}
-	mReportsAbsorb.Inc()
-	if pr.table == nil {
-		pr.table = trace.NewTable(pr.n, false)
+	if int(rep.Origin) < 0 || int(rep.Origin) >= pr.n {
+		pr.fail(fmt.Errorf("dist: report origin p%d out of range [0,%d)", rep.Origin, pr.n))
+		return
+	}
+	if pr.cfg.AuthKeys != nil && !verifyReportMAC(pr.cfg.AuthKeys[rep.Origin], rep) {
+		if !pr.rejected[rep.Origin] {
+			pr.rejected[rep.Origin] = true
+			mReportsAuth.Inc()
+			dLog.Debug("report MAC rejected", "leader", env.Self(), "origin", rep.Origin, "clock", env.Clock())
+		}
+		return // treated like loss: the origin stays unreported unless a valid version arrives
+	}
+	if prev, stored := pr.reportLinks[rep.Origin]; stored {
+		if pr.cfg.Excision && !pr.equivocators[rep.Origin] && !sameLinks(prev, rep.Links) {
+			pr.equivocators[rep.Origin] = true
+			mEquivocations.Inc()
+			dLog.Debug("conflicting report versions: equivocation flagged",
+				"leader", env.Self(), "origin", rep.Origin, "clock", env.Clock())
+		}
+		return
 	}
 	for _, dr := range rep.Links {
 		if dr.To != rep.Origin {
 			pr.fail(fmt.Errorf("dist: report from p%d claims stats for p%d", rep.Origin, dr.To))
 			return
 		}
-		if err := pr.table.MergeStats(dr.From, dr.To, dr.Stats); err != nil {
-			pr.fail(err)
-			return
-		}
 	}
+	mReportsAbsorb.Inc()
+	pr.reportLinks[rep.Origin] = rep.Links
 	pr.reports++
-	if pr.reports == pr.n {
+	// With excision on, hold the computation to the grace deadline even
+	// once all n reports are in: early completion would trust the first
+	// version of every report before conflicting waves can surface.
+	if pr.reports == pr.n && !pr.cfg.Excision {
 		pr.compute(env)
 	}
+}
+
+// sameLinks reports whether two report versions carry identical link
+// statistics. Exact float comparison is deliberate: honest re-floods are
+// byte-identical copies of the frozen report, so any difference at all
+// is a lie, never rounding.
+func sameLinks(a, b []DirReport) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].From != b[i].From || a[i].To != b[i].To || a[i].Stats.Count != b[i].Stats.Count {
+			return false
+		}
+		if a[i].Stats.Min != b[i].Stats.Min || a[i].Stats.Max != b[i].Stats.Max { //clocklint:allow floateq
+			return false
+		}
+	}
+	return true
 }
 
 // restrictLinks keeps the links with statistics from at least one
@@ -487,54 +602,123 @@ func leaderComponent(res *core.Result, leader int) ([]int, float64) {
 }
 
 // compute runs the centralized pipeline at the leader on whichever
-// reports arrived and floods the result. Missing reporters degrade the
-// computation: their links keep only the surviving endpoint's statistics
-// (Lemma 6.1's worst case under the configured assumption bounds), and
-// the precision covers only the leader's sync component.
+// reports arrived (and, with Excision on, survived the consistency
+// checks) and floods the result. Missing and excised reporters degrade
+// the computation: their links keep only the surviving endpoint's
+// statistics (Lemma 6.1's worst case under the configured assumption
+// bounds), and the precision covers only the leader's sync component.
 func (pr *proc) compute(env *sim.Env) {
 	if pr.computed {
 		return
 	}
 	pr.computed = true
-	pr.out.ReportsSeen = pr.reports
-	if pr.table == nil {
-		pr.table = trace.NewTable(pr.n, false)
-	}
+	pr.out.ReportsSeen = len(pr.reportLinks)
+	pr.out.AuthFailures = len(pr.rejected)
 	self := int(env.Self())
 	// Collect phase: report instant to compute instant, on this clock.
 	reportAt := pr.cfg.Warmup + pr.cfg.Window
 	pr.cfg.Trace.AddSim("collect", self, 0, reportAt, env.Clock()-reportAt)
 	endCompute := pr.cfg.Trace.Start("compute", self, 0)
-	links := pr.cfg.Links
-	missing := missingProcs(pr.n, pr.seen)
-	if len(missing) > 0 {
-		links = restrictLinks(links, pr.seen)
-		mReportsMissing.Add(int64(len(missing)))
+
+	var excised, equivocators []model.ProcID
+	var excisedLinks [][2]model.ProcID
+	if pr.cfg.Excision {
+		excised, equivocators, excisedLinks = pr.excise()
+	}
+	excisedSet := make(map[model.ProcID]bool, len(excised))
+	for _, p := range excised {
+		excisedSet[p] = true
+	}
+	cutLink := make(map[trace.LinkKey]bool, len(excisedLinks))
+	for _, lk := range excisedLinks {
+		cutLink[trace.Canon(lk[0], lk[1])] = true
 	}
 	mComputes.Inc()
-	res, err := core.SynchronizeSystem(pr.n, links, pr.table, core.DefaultMLSOptions(),
-		core.Options{Root: int(pr.cfg.Leader), Centered: pr.cfg.Centered,
-			Parallelism: pr.cfg.Parallelism, Observer: pr.phaseObserver(self)})
+
+	// Assemble the table from the surviving reports in processor order
+	// (DirStats merging is commutative, so this is bit-identical to the
+	// old merge-on-arrival table when nothing was excised) and solve.
+	// The per-link checks above cannot catch a lie that keeps every
+	// individual link inside its envelope but sums to a negative cycle
+	// around a longer loop, so under Excision an infeasible solve falls
+	// back to excising the most-suspect remaining reporter and retrying;
+	// without Excision the infeasibility is a hard failure.
+	var res *core.Result
+	var missing []model.ProcID
+	for {
+		reported := make(map[model.ProcID]bool, len(pr.reportLinks))
+		for origin := range pr.reportLinks {
+			reported[origin] = true
+		}
+		missing = nil
+		for p := 0; p < pr.n; p++ {
+			if pid := model.ProcID(p); !reported[pid] && !excisedSet[pid] {
+				missing = append(missing, pid)
+			}
+		}
+		pr.table = trace.NewTable(pr.n, false)
+		for p := 0; p < pr.n; p++ {
+			for _, dr := range pr.reportLinks[model.ProcID(p)] {
+				if cutLink[trace.Canon(dr.From, dr.To)] {
+					continue
+				}
+				if err := pr.table.MergeStats(dr.From, dr.To, dr.Stats); err != nil {
+					endCompute()
+					pr.fail(err)
+					return
+				}
+			}
+		}
+		links := pr.cfg.Links
+		if len(missing) > 0 || len(excised) > 0 {
+			links = restrictLinks(links, reported)
+		}
+		var err error
+		res, err = core.SynchronizeSystem(pr.n, links, pr.table, core.DefaultMLSOptions(),
+			core.Options{Root: int(pr.cfg.Leader), Centered: pr.cfg.Centered,
+				Parallelism: pr.cfg.Parallelism, Observer: pr.phaseObserver(self)})
+		if err == nil {
+			break
+		}
+		victim, ok := model.ProcID(0), false
+		if pr.cfg.Excision && errors.Is(err, core.ErrInfeasible) {
+			victim, ok = pr.feasibilityVictim()
+		}
+		if !ok {
+			endCompute()
+			pr.fail(err)
+			return
+		}
+		dLog.Debug("infeasible despite per-link checks; excising worst reporter", "victim", victim)
+		delete(pr.reportLinks, victim)
+		excised = append(excised, victim)
+		excisedSet[victim] = true
+		mReportsFlagged.Inc()
+		mReportsExcised.Inc()
+	}
 	endCompute()
-	if err != nil {
-		pr.fail(err)
-		return
+	sort.Slice(excised, func(i, j int) bool { return excised[i] < excised[j] })
+	if len(missing) > 0 {
+		mReportsMissing.Add(int64(len(missing)))
 	}
 	comp, prec := leaderComponent(res, int(pr.cfg.Leader))
 	synced := make([]bool, pr.n)
 	for _, p := range comp {
 		synced[p] = true
 	}
-	degraded := len(missing) > 0 || len(comp) < pr.n
+	degraded := len(missing) > 0 || len(excised) > 0 || len(excisedLinks) > 0 || len(comp) < pr.n
 	if degraded {
 		mComputesDegr.Inc()
 	}
-	dLog.Info("leader computed", "leader", self, "reports", pr.reports,
-		"missing", len(missing), "degraded", degraded, "precision", prec)
+	dLog.Info("leader computed", "leader", self, "reports", pr.out.ReportsSeen,
+		"missing", len(missing), "excised", len(excised), "degraded", degraded, "precision", prec)
 
 	pr.out.LeaderTable = pr.table
 	pr.out.Precision = prec
 	pr.out.Missing = missing
+	pr.out.Excised = excised
+	pr.out.ExcisedLinks = excisedLinks
+	pr.out.Equivocators = equivocators
 	pr.out.Degraded = degraded
 	pr.out.Synced = synced
 
@@ -543,6 +727,7 @@ func (pr *proc) compute(env *sim.Env) {
 		Precision:   prec,
 		Degraded:    degraded,
 		Missing:     missing,
+		Excised:     excised,
 		Synced:      synced,
 	}
 	pr.result = msg
@@ -627,6 +812,7 @@ func Run(net *sim.Network, cfg Config, runCfg sim.RunConfig) (*Outcome, *model.E
 	if err != nil {
 		return nil, nil, err
 	}
+	runCfg.Faults = withReportMutator(runCfg.Faults, cfg.AuthKeys)
 	exec, err := sim.Run(net, factory, runCfg)
 	if err != nil {
 		return nil, nil, err

@@ -32,6 +32,10 @@ func GossipRun(net *sim.Network, cfg Config, runCfg sim.RunConfig) (*Outcome, *m
 	if err := cfg.validate(n); err != nil {
 		return nil, nil, err
 	}
+	if cfg.Excision || cfg.AuthKeys != nil {
+		return nil, nil, fmt.Errorf("dist: excision/authentication is a coordinator feature; the gossip variant does not support it")
+	}
+	runCfg.Faults = withReportMutator(runCfg.Faults, nil)
 	out := &Outcome{
 		Corrections: make([]float64, n),
 		Applied:     make([]bool, n),
@@ -41,13 +45,16 @@ func GossipRun(net *sim.Network, cfg Config, runCfg sim.RunConfig) (*Outcome, *m
 	factory := func(p model.ProcID) sim.Protocol {
 		return &gossipProc{
 			proc: proc{
-				cfg:         cfg,
-				n:           n,
-				out:         out,
-				incoming:    make(map[model.ProcID]trace.DirStats),
-				seen:        make(map[model.ProcID]bool),
-				forwarded:   make(map[floodKey]bool),
-				deadlineAll: true,
+				cfg:          cfg,
+				n:            n,
+				out:          out,
+				incoming:     make(map[model.ProcID]trace.DirStats),
+				seen:         make(map[model.ProcID]bool),
+				forwarded:    make(map[floodKey]bool),
+				reportLinks:  make(map[model.ProcID][]DirReport),
+				equivocators: make(map[model.ProcID]bool),
+				rejected:     make(map[model.ProcID]bool),
+				deadlineAll:  true,
 			},
 			perNode: perNode,
 		}

@@ -127,6 +127,7 @@ func All() []Experiment {
 		{"F6", "View reduction throughput", F6TraceReduction},
 		{"D1", "Bounded clock drift", D1Drift},
 		{"D2", "Fault tolerance: degraded quorum", D2FaultTolerance},
+		{"D3", "Byzantine resilience: excision and authentication", D3ByzantineResilience},
 		{"P1", "Probabilistic delays", P1Probabilistic},
 		{"X1", "Distributed leader protocol", X1Distributed},
 		{"A1", "Ablation: correction style", A1CorrectionStyle},

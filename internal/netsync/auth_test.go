@@ -1,0 +1,137 @@
+package netsync
+
+import (
+	"math"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"clocksync/internal/core"
+	"clocksync/internal/model"
+)
+
+// TestClusterAuthenticated: a fully keyed cluster synchronizes end to end
+// exactly like an unauthenticated one — every report verifies, nothing is
+// rejected, and the corrections recover the offsets.
+func TestClusterAuthenticated(t *testing.T) {
+	offsets := []time.Duration{0, 90 * time.Millisecond, -50 * time.Millisecond}
+	keys := DeriveKeys(len(offsets), 424242)
+	nodes := startCluster(t, offsets, time.Millisecond, 0.5, func(c *Config) {
+		c.Keys = keys
+	})
+	outs := make([]*Outcome, len(nodes))
+	for i, node := range nodes {
+		out, err := node.Wait(8 * time.Second)
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+		outs[i] = out
+	}
+	if af := nodes[0].Stats().AuthFailures; af != 0 {
+		t.Fatalf("honest keyed cluster rejected %d reports", af)
+	}
+	starts := make([]float64, len(offsets))
+	for p, off := range offsets {
+		starts[p] = -off.Seconds()
+	}
+	rho, err := core.Rho(starts, outs[0].Corrections)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(outs[0].Precision, 1) {
+		t.Fatal("infinite precision")
+	}
+	if rho > outs[0].Precision+1e-9 {
+		t.Fatalf("realized %v exceeds precision %v", rho, outs[0].Precision)
+	}
+}
+
+// TestForgedReportRejected: a network-level attacker who owns no key
+// injects a report in an honest node's name. The coordinator rejects the
+// frame (counted as an auth failure), treats it as loss, and the genuine
+// cluster still completes with sound corrections.
+func TestForgedReportRejected(t *testing.T) {
+	offsets := []time.Duration{0, 70 * time.Millisecond, -40 * time.Millisecond}
+	keys := DeriveKeys(len(offsets), 99)
+	nodes := startCluster(t, offsets, time.Millisecond, 0.5, func(c *Config) {
+		c.Keys = keys
+	})
+
+	// The forgery claims impossibly fast statistics for node 1's links,
+	// signed with no key at all — the MAC cannot verify.
+	raw, err := net.Dial("tcp", nodes[0].Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newConn(raw)
+	forged := &Message{
+		Type:   "report",
+		Origin: 1,
+		Links: []LinkStats{
+			{From: 0, To: 1, Count: 4, Min: 0.0001, Max: 0.0002},
+			{From: 2, To: 1, Count: 4, Min: 0.0001, Max: 0.0002},
+		},
+		MAC: []byte("not a real mac"),
+	}
+	if err := c.send(forged, 2*time.Second); err != nil {
+		t.Fatalf("send forged report: %v", err)
+	}
+	// The coordinator drops the frame and closes the connection; the
+	// close is our acknowledgment that the frame was processed.
+	if _, err := c.recv(4 * time.Second); err == nil {
+		t.Fatal("forged report was answered instead of dropped")
+	}
+	_ = c.close()
+
+	outs := make([]*Outcome, len(nodes))
+	for i, node := range nodes {
+		out, err := node.Wait(8 * time.Second)
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+		outs[i] = out
+	}
+	if af := nodes[0].Stats().AuthFailures; af != 1 {
+		t.Fatalf("AuthFailures = %d, want 1", af)
+	}
+	starts := make([]float64, len(offsets))
+	for p, off := range offsets {
+		starts[p] = -off.Seconds()
+	}
+	rho, err := core.Rho(starts, outs[0].Corrections)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rho > outs[0].Precision+1e-9 {
+		t.Fatalf("realized %v exceeds precision %v", rho, outs[0].Precision)
+	}
+}
+
+// TestKeyringValidation: malformed keyrings are rejected at Start.
+func TestKeyringValidation(t *testing.T) {
+	base := func() Config {
+		return Config{
+			ID: 0, N: 2, Listen: "127.0.0.1:0", Coordinator: 0,
+			Probes: 1, Interval: time.Millisecond, Timeout: time.Second,
+		}
+	}
+	tests := []struct {
+		name string
+		keys map[model.ProcID][]byte
+		want string
+	}{
+		{"missing own key", map[model.ProcID][]byte{1: []byte("k")}, "no key for own id"},
+		{"out of range id", map[model.ProcID][]byte{0: []byte("k"), 7: []byte("k")}, "out of range"},
+		{"empty key", map[model.ProcID][]byte{0: []byte("k"), 1: nil}, "empty key"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := base()
+			cfg.Keys = tt.keys
+			if _, err := Start(cfg); err == nil || !strings.Contains(err.Error(), tt.want) {
+				t.Fatalf("Start error = %v, want substring %q", err, tt.want)
+			}
+		})
+	}
+}

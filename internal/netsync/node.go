@@ -33,6 +33,7 @@ var (
 	gLateReports   = obs.Default.Counter("netsync.reports.late")
 	gDeadlines     = obs.Default.Counter("netsync.deadline.expirations")
 	gGraceFires    = obs.Default.Counter("netsync.grace.fires")
+	gAuthFailures  = obs.Default.Counter("netsync.auth.failures")
 )
 
 // netCounters tracks one node's connection-lifecycle events (atomic:
@@ -42,6 +43,7 @@ type netCounters struct {
 	probesSent, probeSendErrors, probesReceived    atomic.Int64
 	reportsReceived, duplicateReports, lateReports atomic.Int64
 	deadlineExpirations, graceFires                atomic.Int64
+	authFailures                                   atomic.Int64
 }
 
 // NetStats is a point-in-time snapshot of a node's connection-lifecycle
@@ -63,6 +65,10 @@ type NetStats struct {
 	// GraceFires counts report-grace deadlines that forced a degraded
 	// compute.
 	DeadlineExpirations, GraceFires int64
+	// AuthFailures counts report frames the coordinator rejected because
+	// their MAC did not verify (keyed clusters only); rejected reports
+	// are treated as loss.
+	AuthFailures int64
 }
 
 // Stats snapshots the node's lifecycle counters.
@@ -80,6 +86,7 @@ func (n *Node) Stats() NetStats {
 		LateReports:         n.stats.lateReports.Load(),
 		DeadlineExpirations: n.stats.deadlineExpirations.Load(),
 		GraceFires:          n.stats.graceFires.Load(),
+		AuthFailures:        n.stats.authFailures.Load(),
 	}
 }
 
@@ -147,6 +154,16 @@ type Config struct {
 	ReportDelay time.Duration
 	// Centered selects centered corrections at the coordinator.
 	Centered bool
+	// Keys is the cluster's HMAC-SHA256 keyring, mapping node ids to
+	// their signing keys. When non-nil, this node signs its report frame
+	// with Keys[ID] and the coordinator rejects report frames whose MAC
+	// does not verify under the claimed origin's key — counted in
+	// netsync.auth.failures and treated as loss, so a forged report
+	// degrades the outcome instead of corrupting it. Nil preserves the
+	// unauthenticated wire format (back-compat). Distribute the keyring
+	// out of band; nodes missing from it cannot report in a keyed
+	// cluster.
+	Keys map[model.ProcID][]byte
 }
 
 func (c *Config) fill() {
@@ -189,6 +206,19 @@ func (c *Config) validate() error {
 	for id := range c.Peers {
 		if int(id) < 0 || int(id) >= c.N || id == c.ID {
 			return fmt.Errorf("netsync: invalid peer id %d", id)
+		}
+	}
+	if c.Keys != nil {
+		if len(c.Keys[c.ID]) == 0 {
+			return fmt.Errorf("netsync: keyed cluster but no key for own id %d", c.ID)
+		}
+		for id, key := range c.Keys {
+			if int(id) < 0 || int(id) >= c.N {
+				return fmt.Errorf("netsync: key for id %d out of range [0,%d)", id, c.N)
+			}
+			if len(key) == 0 {
+				return fmt.Errorf("netsync: empty key for id %d", id)
+			}
 		}
 	}
 	return nil
@@ -397,6 +427,17 @@ func (n *Node) serve(c *conn) {
 				n.fail(fmt.Errorf("netsync: non-coordinator %d received a report", n.cfg.ID))
 				return
 			}
+			if n.cfg.Keys != nil && !verifyMessage(n.cfg.Keys[m.Origin], m) {
+				// Forged or tampered report: count it and treat it as loss.
+				// The origin's links stay constrained by the honest
+				// endpoints' statistics, exactly like a report that never
+				// arrived.
+				n.stats.authFailures.Add(1)
+				gAuthFailures.Inc()
+				nLog.Debug("report MAC rejected", "node", n.cfg.ID, "origin", m.Origin,
+					"remote", c.raw.RemoteAddr().String())
+				return
+			}
 			n.stats.reportsReceived.Add(1)
 			gReports.Inc()
 			nLog.Debug("report received", "node", n.cfg.ID, "origin", m.Origin,
@@ -438,6 +479,12 @@ func (n *Node) run() {
 		})
 	}
 	n.mu.Unlock()
+	if n.cfg.Keys != nil {
+		if err := signMessage(n.cfg.Keys[n.cfg.ID], &report); err != nil {
+			n.fail(err)
+			return
+		}
+	}
 
 	if n.cfg.ID == n.cfg.Coordinator {
 		// Register our own readiness; the links are re-snapshotted live at

@@ -12,7 +12,9 @@ import (
 
 // startCluster spins up n in-process nodes on loopback with the given
 // clock offsets, complete topology, symmetric [0, maxDelay] assumptions.
-func startCluster(t *testing.T, offsets []time.Duration, jitter time.Duration, maxDelay float64) []*Node {
+// Optional mutators adjust every node's config before start (e.g. to
+// install a keyring).
+func startCluster(t *testing.T, offsets []time.Duration, jitter time.Duration, maxDelay float64, mutate ...func(*Config)) []*Node {
 	t.Helper()
 	n := len(offsets)
 
@@ -43,6 +45,9 @@ func startCluster(t *testing.T, offsets []time.Duration, jitter time.Duration, m
 			Seed:        int64(1000 + i),
 			Timeout:     5 * time.Second,
 			Centered:    true,
+		}
+		for _, f := range mutate {
+			f(&cfgs[i])
 		}
 	}
 	// Start the coordinator first to learn its address.

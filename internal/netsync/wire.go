@@ -16,6 +16,8 @@ package netsync
 
 import (
 	"bufio"
+	"crypto/hmac"
+	"crypto/sha256"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -24,6 +26,12 @@ import (
 	"clocksync/internal/model"
 	"clocksync/internal/trace"
 )
+
+// maxFrame bounds one wire frame. Frames are per-link statistics, result
+// vectors or probes — kilobytes at realistic cluster sizes — so a
+// megabyte is generous headroom while keeping a hostile peer from
+// growing the read buffer without bound.
+const maxFrame = 1 << 20
 
 // Message is the wire envelope; exactly one payload field is set,
 // selected by Type.
@@ -45,6 +53,54 @@ type Message struct {
 	Missing     []model.ProcID `json:"missing,omitempty"`
 	Synced      []bool         `json:"synced,omitempty"`
 	Err         string         `json:"err,omitempty"`
+
+	// MAC authenticates report frames under the origin's key when the
+	// cluster is configured with a keyring (Config.Keys); empty otherwise.
+	MAC []byte `json:"mac,omitempty"`
+}
+
+// messageMAC computes the HMAC-SHA256 of the message's canonical JSON
+// encoding with the MAC field emptied. Struct-driven marshaling emits
+// fields in declaration order, so signer and verifier agree on the bytes
+// without a bespoke canonical form.
+func messageMAC(key []byte, m *Message) ([]byte, error) {
+	cp := *m
+	cp.MAC = nil
+	body, err := json.Marshal(&cp)
+	if err != nil {
+		return nil, fmt.Errorf("netsync: encode for MAC: %w", err)
+	}
+	h := hmac.New(sha256.New, key)
+	h.Write(body)
+	return h.Sum(nil), nil
+}
+
+// signMessage stamps the message's MAC under key.
+func signMessage(key []byte, m *Message) error {
+	mac, err := messageMAC(key, m)
+	if err != nil {
+		return err
+	}
+	m.MAC = mac
+	return nil
+}
+
+// verifyMessage checks the message's MAC under key in constant time.
+func verifyMessage(key []byte, m *Message) bool {
+	want, err := messageMAC(key, m)
+	return err == nil && hmac.Equal(want, m.MAC)
+}
+
+// DeriveKeys returns a deterministic keyring for tests and examples: key
+// p is SHA-256 of the seed and the node id. Real deployments provision
+// keys out of band; only distinctness and reproducibility matter here.
+func DeriveKeys(n int, seed int64) map[model.ProcID][]byte {
+	keys := make(map[model.ProcID][]byte, n)
+	for p := 0; p < n; p++ {
+		sum := sha256.Sum256([]byte(fmt.Sprintf("clocksync-netsync-key:%d:%d", seed, p)))
+		keys[model.ProcID(p)] = sum[:]
+	}
+	return keys
 }
 
 // LinkStats carries the reporter's incoming-direction summary of one link.
@@ -93,13 +149,51 @@ func (c *conn) recv(timeout time.Duration) (*Message, error) {
 			return nil, err
 		}
 	}
-	line, err := c.r.ReadBytes('\n')
+	line, err := readFrame(c.r)
 	if err != nil {
 		return nil, err
+	}
+	return decodeMessage(line)
+}
+
+// readFrame reads one newline-terminated frame of at most maxFrame
+// bytes. The cap is enforced chunk by chunk, so a peer streaming an
+// endless line costs a bounded buffer, not unbounded memory.
+func readFrame(r *bufio.Reader) ([]byte, error) {
+	var line []byte
+	for {
+		chunk, err := r.ReadSlice('\n')
+		if len(line)+len(chunk) > maxFrame {
+			return nil, fmt.Errorf("netsync: frame exceeds %d bytes", maxFrame)
+		}
+		line = append(line, chunk...)
+		switch err {
+		case nil:
+			return line, nil
+		case bufio.ErrBufferFull:
+			continue // newline not in the buffer yet: keep accumulating
+		default:
+			return nil, err
+		}
+	}
+}
+
+// decodeMessage parses one frame. It is the single entry point for
+// untrusted bytes (FuzzWireDecode drives it): malformed input must yield
+// an error — never a panic, and never allocation beyond the frame's own
+// size times a small constant.
+func decodeMessage(line []byte) (*Message, error) {
+	if len(line) > maxFrame {
+		return nil, fmt.Errorf("netsync: frame exceeds %d bytes", maxFrame)
 	}
 	var m Message
 	if err := json.Unmarshal(line, &m); err != nil {
 		return nil, fmt.Errorf("netsync: decode message: %w", err)
+	}
+	switch m.Type {
+	case "probe", "report", "result":
+	default:
+		return nil, fmt.Errorf("netsync: unknown message type %q", m.Type)
 	}
 	return &m, nil
 }

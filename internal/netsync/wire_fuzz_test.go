@@ -1,0 +1,44 @@
+package netsync
+
+import (
+	"bufio"
+	"bytes"
+	"testing"
+)
+
+// FuzzWireDecode drives the two entry points for untrusted wire bytes:
+// frame reading (the maxFrame cap) and message decoding. Malformed input
+// must produce an error — never a panic — and an accepted message must
+// carry one of the three known types. The frame reader must never hand
+// back more than maxFrame bytes no matter how the input is chunked.
+func FuzzWireDecode(f *testing.F) {
+	f.Add([]byte(`{"type":"probe","from":1,"sendClock":2.5}`))
+	f.Add([]byte(`{"type":"report","origin":3,"links":[{"from":0,"to":3,"count":2,"min":0.1,"max":0.2}],"mac":"c2ln"}`))
+	f.Add([]byte(`{"type":"result","corrections":[0.1,-0.2],"precision":0.05,"synced":[true,false]}`))
+	f.Add([]byte(`{"type":"gossip"}`))
+	f.Add([]byte(`{"type":42}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte{})
+	f.Add([]byte("{\"type\":\"probe\"}\n{\"type\":\"probe\"}"))
+	f.Add(bytes.Repeat([]byte("a"), 1<<16))
+	f.Fuzz(func(t *testing.T, line []byte) {
+		m, err := decodeMessage(line)
+		if err == nil {
+			switch m.Type {
+			case "probe", "report", "result":
+			default:
+				t.Fatalf("decoded unknown type %q without error", m.Type)
+			}
+		} else if m != nil {
+			t.Fatal("decodeMessage returned both a message and an error")
+		}
+
+		// A small read buffer forces the chunk-by-chunk accumulation
+		// path; the cap must hold regardless.
+		r := bufio.NewReaderSize(bytes.NewReader(append(line, '\n')), 16)
+		frame, err := readFrame(r)
+		if err == nil && len(frame) > maxFrame {
+			t.Fatalf("readFrame returned %d bytes, cap is %d", len(frame), maxFrame)
+		}
+	})
+}

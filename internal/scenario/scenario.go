@@ -50,6 +50,27 @@ type FaultsSpec struct {
 	// Loss drops each message independently with this probability, on top
 	// of any per-link loss models. Must be in [0, 1).
 	Loss float64 `json:"loss,omitempty"`
+	// Byzantine marks adversarial reporters. Entries take effect in
+	// protocols that install a payload mutator (the distributed runners
+	// do); the plain measurement protocols ignore them.
+	Byzantine []ByzantineSpec `json:"byzantine,omitempty"`
+}
+
+// ByzantineSpec marks one adversarial reporter — or, via fraction, the
+// ⌊fraction·n⌋ highest-numbered processors — with a lying strategy.
+type ByzantineSpec struct {
+	// Proc is the lying processor. Exactly one of Proc and Fraction must
+	// be set (Proc is a pointer so processor 0 is expressible).
+	Proc *int `json:"proc,omitempty"`
+	// Fraction in (0, 1] expands to the ⌊fraction·n⌋ highest-numbered
+	// processors, a convenient sweep axis for resilience experiments.
+	Fraction float64 `json:"fraction,omitempty"`
+	// Strategy is one of inflate|deflate|skew|equivocate|forge.
+	Strategy string `json:"strategy"`
+	// Magnitude scales the lie, in clock-time units.
+	Magnitude float64 `json:"magnitude,omitempty"`
+	// Seed drives per-destination perturbations (equivocation).
+	Seed int64 `json:"seed,omitempty"`
 }
 
 // CrashSpec crash-stops one processor.
@@ -67,8 +88,9 @@ type PartitionSpec struct {
 	Until float64 `json:"until,omitempty"`
 }
 
-// Build converts the spec into a simulator fault schedule.
-func (f *FaultsSpec) Build() (*sim.Faults, error) {
+// Build converts the spec into a simulator fault schedule for a system
+// of n processors (n resolves fraction-form byzantine entries).
+func (f *FaultsSpec) Build(n int) (*sim.Faults, error) {
 	if f == nil {
 		return nil, nil
 	}
@@ -83,7 +105,49 @@ func (f *FaultsSpec) Build() (*sim.Faults, error) {
 		}
 		faults.Partitions = append(faults.Partitions, sim.Partition{P: p.P, Q: p.Q, From: p.From, Until: until})
 	}
+	for i, b := range f.Byzantine {
+		procs, err := b.procs(n)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: byzantine[%d]: %w", i, err)
+		}
+		if !sim.KnownByzantineStrategy(sim.ByzantineStrategy(b.Strategy)) {
+			return nil, fmt.Errorf("scenario: byzantine[%d]: unknown strategy %q (want inflate|deflate|skew|equivocate|forge)", i, b.Strategy)
+		}
+		if math.IsNaN(b.Magnitude) || math.IsInf(b.Magnitude, 0) || b.Magnitude < 0 {
+			return nil, fmt.Errorf("scenario: byzantine[%d]: magnitude %v, want finite >= 0", i, b.Magnitude)
+		}
+		for _, p := range procs {
+			faults.Byzantine = append(faults.Byzantine, sim.Byzantine{
+				Proc: p, Strategy: sim.ByzantineStrategy(b.Strategy), Magnitude: b.Magnitude, Seed: b.Seed,
+			})
+		}
+	}
 	return faults, nil
+}
+
+// procs resolves a byzantine entry to concrete processor ids.
+func (b ByzantineSpec) procs(n int) ([]int, error) {
+	switch {
+	case b.Proc != nil && b.Fraction != 0:
+		return nil, fmt.Errorf("proc and fraction are mutually exclusive")
+	case b.Proc != nil:
+		if *b.Proc < 0 || *b.Proc >= n {
+			return nil, fmt.Errorf("proc %d out of range [0,%d)", *b.Proc, n)
+		}
+		return []int{*b.Proc}, nil
+	case b.Fraction != 0:
+		if math.IsNaN(b.Fraction) || b.Fraction < 0 || b.Fraction > 1 {
+			return nil, fmt.Errorf("fraction %v outside [0,1]", b.Fraction)
+		}
+		k := int(b.Fraction * float64(n))
+		procs := make([]int, 0, k)
+		for p := n - k; p < n; p++ {
+			procs = append(procs, p)
+		}
+		return procs, nil
+	default:
+		return nil, fmt.Errorf("one of proc or fraction is required")
+	}
 }
 
 // Topology selects one of the built-in topologies.
@@ -436,7 +500,7 @@ func (s *Scenario) Build() (*Built, error) {
 	if err != nil {
 		return nil, err
 	}
-	faults, err := s.Faults.Build()
+	faults, err := s.Faults.Build(s.Processors)
 	if err != nil {
 		return nil, err
 	}

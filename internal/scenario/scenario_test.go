@@ -324,3 +324,74 @@ func TestLinkLoss(t *testing.T) {
 		t.Error("negative loss accepted")
 	}
 }
+
+// TestByzantineJSONRoundTrip: the byzantine faults section survives
+// encode/parse and builds the expected simulator entries.
+func TestByzantineJSONRoundTrip(t *testing.T) {
+	liar := 2
+	s := validScenario()
+	s.Faults = &FaultsSpec{Byzantine: []ByzantineSpec{
+		{Proc: &liar, Strategy: "skew", Magnitude: 0.25, Seed: 11},
+		{Fraction: 0.5, Strategy: "deflate", Magnitude: 0.1},
+	}}
+	data, err := s.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Faults == nil || len(back.Faults.Byzantine) != 2 {
+		t.Fatalf("byzantine entries did not round-trip: %+v", back.Faults)
+	}
+	got := back.Faults.Byzantine
+	if got[0].Proc == nil || *got[0].Proc != liar || got[0].Strategy != "skew" ||
+		got[0].Magnitude != 0.25 || got[0].Seed != 11 {
+		t.Errorf("entry 0 round-tripped to %+v", got[0])
+	}
+	if got[1].Proc != nil || got[1].Fraction != 0.5 || got[1].Strategy != "deflate" {
+		t.Errorf("entry 1 round-tripped to %+v", got[1])
+	}
+
+	faults, err := back.Faults.Build(s.Processors)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	// One explicit liar plus floor(0.5*4)=2 highest-numbered processors.
+	want := []sim.Byzantine{
+		{Proc: 2, Strategy: sim.ByzSkew, Magnitude: 0.25, Seed: 11},
+		{Proc: 2, Strategy: sim.ByzDeflate, Magnitude: 0.1},
+		{Proc: 3, Strategy: sim.ByzDeflate, Magnitude: 0.1},
+	}
+	if len(faults.Byzantine) != len(want) {
+		t.Fatalf("built %d byzantine entries, want %d: %+v", len(faults.Byzantine), len(want), faults.Byzantine)
+	}
+	for i := range want {
+		if faults.Byzantine[i] != want[i] {
+			t.Errorf("entry %d = %+v, want %+v", i, faults.Byzantine[i], want[i])
+		}
+	}
+}
+
+// TestByzantineSpecValidation: malformed byzantine entries are rejected
+// with descriptive errors.
+func TestByzantineSpecValidation(t *testing.T) {
+	neg, high, ok := -1, 9, 1
+	for name, f := range map[string]*FaultsSpec{
+		"unknown strategy":          {Byzantine: []ByzantineSpec{{Proc: &ok, Strategy: "liar"}}},
+		"proc negative":             {Byzantine: []ByzantineSpec{{Proc: &neg, Strategy: "inflate"}}},
+		"proc out of range":         {Byzantine: []ByzantineSpec{{Proc: &high, Strategy: "inflate"}}},
+		"fraction above one":        {Byzantine: []ByzantineSpec{{Fraction: 1.5, Strategy: "inflate"}}},
+		"fraction negative":         {Byzantine: []ByzantineSpec{{Fraction: -0.5, Strategy: "inflate"}}},
+		"neither proc nor fraction": {Byzantine: []ByzantineSpec{{Strategy: "inflate"}}},
+		"both proc and fraction":    {Byzantine: []ByzantineSpec{{Proc: &ok, Fraction: 0.5, Strategy: "inflate"}}},
+		"negative magnitude":        {Byzantine: []ByzantineSpec{{Proc: &ok, Strategy: "inflate", Magnitude: -1}}},
+	} {
+		s := validScenario()
+		s.Faults = f
+		if _, err := s.Build(); err == nil {
+			t.Errorf("%s: Build accepted %+v", name, f.Byzantine)
+		}
+	}
+}

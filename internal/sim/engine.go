@@ -26,6 +26,7 @@ var (
 	mDropPartition = obs.Default.Counter("sim.messages.dropped.partition")
 	mDropInjected  = obs.Default.Counter("sim.messages.dropped.loss")
 	mDropLink      = obs.Default.Counter("sim.messages.dropped.linkloss")
+	mMutated       = obs.Default.Counter("sim.messages.mutated")
 	mTimersFired   = obs.Default.Counter("sim.timers.fired")
 	mRuns          = obs.Default.Counter("sim.runs")
 )
@@ -237,7 +238,8 @@ type engine struct {
 	err     error
 
 	faults  *Faults
-	crashAt []float64 // per-processor crash time, +Inf when never
+	crashAt []float64    // per-processor crash time, +Inf when never
+	byz     []*Byzantine // per-processor Byzantine entry, nil when honest
 
 	recordTimers bool
 	timers       []timerTrack
@@ -260,6 +262,14 @@ func (en *engine) push(ev event) {
 func (en *engine) send(from, to int, payload any, now float64) error {
 	c := orderPair(from, to)
 	mSent.Inc()
+	// Byzantine senders lie in their payloads before any loss model sees
+	// the message, so loss filters act on what actually travels.
+	if b := en.byz[from]; b != nil && en.faults.Mutator != nil {
+		if mutated, changed := en.faults.Mutator(*b, from, to, payload); changed {
+			payload = mutated
+			mMutated.Inc()
+		}
+	}
 	if en.faults.linkDown(from, to, now) {
 		en.sent++
 		mDropPartition.Inc()
@@ -345,6 +355,7 @@ func Run(net *Network, factory ProtocolFactory, cfg RunConfig) (*model.Execution
 		recordTimers: cfg.RecordTimers,
 		faults:       cfg.Faults,
 		crashAt:      cfg.Faults.crashTimes(net.N()),
+		byz:          cfg.Faults.byzantineOf(net.N()),
 	}
 	en.procs = make([]Protocol, net.N())
 	for p := range en.procs {

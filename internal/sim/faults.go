@@ -5,6 +5,67 @@ import (
 	"math"
 )
 
+// ByzantineStrategy names a report-corruption behavior of a lying
+// processor. Strategies are interpreted by the protocol's PayloadMutator
+// (the engine never inspects payloads); the names below are the ones the
+// dist protocol implements.
+type ByzantineStrategy string
+
+const (
+	// ByzInflate uniformly raises the node's reported delay statistics:
+	// the node claims its links are slower than they are.
+	ByzInflate ByzantineStrategy = "inflate"
+	// ByzDeflate uniformly lowers the reported statistics: the node
+	// claims impossibly fast links, tightening constraints it should not.
+	ByzDeflate ByzantineStrategy = "deflate"
+	// ByzSkew applies alternating per-link offsets (+magnitude on the
+	// node's first link in neighbor order, -magnitude on the next, ...):
+	// a directional lie that corrupts constraints between honest nodes.
+	ByzSkew ByzantineStrategy = "skew"
+	// ByzEquivocate reports different statistics to different peers: each
+	// destination receives a version offset by a deterministic value in
+	// [-magnitude, +magnitude] derived from the strategy seed.
+	ByzEquivocate ByzantineStrategy = "equivocate"
+	// ByzForge replaces the node's own report with one that impersonates
+	// a peer, claiming fabricated statistics in the peer's name. Without
+	// wire authentication the forgery is indistinguishable from a genuine
+	// report.
+	ByzForge ByzantineStrategy = "forge"
+)
+
+// byzantineStrategies is the closed set of known strategies.
+var byzantineStrategies = map[ByzantineStrategy]bool{
+	ByzInflate: true, ByzDeflate: true, ByzSkew: true,
+	ByzEquivocate: true, ByzForge: true,
+}
+
+// KnownByzantineStrategy reports whether s names a defined strategy.
+func KnownByzantineStrategy(s ByzantineStrategy) bool { return byzantineStrategies[s] }
+
+// Byzantine marks one processor as an adversarial reporter. The processor
+// follows the protocol's timing faithfully but lies in the payloads it
+// originates, per the configured strategy.
+type Byzantine struct {
+	// Proc is the lying processor.
+	Proc int
+	// Strategy selects the corruption behavior.
+	Strategy ByzantineStrategy
+	// Magnitude scales the lie, in clock-time units (e.g. seconds added
+	// to or subtracted from reported delay statistics).
+	Magnitude float64
+	// Seed drives per-destination perturbations (equivocation). Mutators
+	// must use it through pure hashing so runs stay deterministic.
+	Seed int64
+}
+
+// PayloadMutator rewrites the payloads a Byzantine processor sends. It is
+// called on every send by a processor with a Byzantine entry, with the
+// entry, the directed hop and the original payload; it returns the payload
+// to transmit and whether it changed. Mutators must be pure functions of
+// their arguments (no ambient randomness or time) so runs stay
+// deterministic and re-floods of the same payload lie consistently.
+type PayloadMutator func(b Byzantine, from, to int, payload any) (any, bool)
+
 // Crash stops a processor at a real time: from At on (inclusive) the
 // processor neither receives messages, sends, nor fires timers. Messages
 // already in flight toward it are dropped on arrival; messages it sent
@@ -43,6 +104,14 @@ type Faults struct {
 	// applies Loss to every message. Filters must be pure functions so runs
 	// stay deterministic.
 	LossFilter func(payload any) bool
+	// Byzantine lists adversarial reporters. Entries take effect only when
+	// Mutator is set (protocols that understand the payloads supply it);
+	// the first entry for a processor wins.
+	Byzantine []Byzantine
+	// Mutator interprets the Byzantine entries for the protocol's payload
+	// types. Protocol packages install their own (e.g. dist's report
+	// mutator); it is not part of the serializable schedule.
+	Mutator PayloadMutator
 }
 
 // Validate checks the schedule against a system of n processors.
@@ -69,7 +138,34 @@ func (f *Faults) Validate(n int) error {
 	if math.IsNaN(f.Loss) || f.Loss < 0 || f.Loss >= 1 {
 		return fmt.Errorf("sim: flood loss probability %v outside [0,1)", f.Loss)
 	}
+	for _, b := range f.Byzantine {
+		if b.Proc < 0 || b.Proc >= n {
+			return fmt.Errorf("sim: byzantine p%d out of range [0,%d)", b.Proc, n)
+		}
+		if !byzantineStrategies[b.Strategy] {
+			return fmt.Errorf("sim: byzantine p%d has unknown strategy %q", b.Proc, b.Strategy)
+		}
+		if math.IsNaN(b.Magnitude) || math.IsInf(b.Magnitude, 0) || b.Magnitude < 0 {
+			return fmt.Errorf("sim: byzantine p%d magnitude %v, want finite >= 0", b.Proc, b.Magnitude)
+		}
+	}
 	return nil
+}
+
+// byzantineOf returns the per-processor Byzantine entry (nil for honest
+// processors), keeping the first entry when a processor is listed twice.
+func (f *Faults) byzantineOf(n int) []*Byzantine {
+	if f == nil || len(f.Byzantine) == 0 {
+		return make([]*Byzantine, n)
+	}
+	by := make([]*Byzantine, n)
+	for i := range f.Byzantine {
+		b := &f.Byzantine[i]
+		if by[b.Proc] == nil {
+			by[b.Proc] = b
+		}
+	}
+	return by
 }
 
 // crashTimes returns per-processor crash times (+Inf when never crashing),
