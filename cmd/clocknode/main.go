@@ -16,6 +16,7 @@
 package main
 
 import (
+	"encoding/hex"
 	"flag"
 	"fmt"
 	"os"
@@ -55,7 +56,8 @@ func run(args []string) error {
 		grace    = fs.Duration("report-grace", 0, "coordinator wait for missing reports before a degraded compute (0 = timeout)")
 		centered = fs.Bool("centered", true, "use centered corrections")
 		seed     = fs.Int64("seed", 1, "jitter randomness seed")
-		authSeed = fs.Int64("auth-seed", 0, "derive per-node HMAC report keys from this shared seed (0 = unauthenticated; every node must pass the same value)")
+		authSeed = fs.Int64("auth-seed", 0, "derive per-node HMAC keys from this shared seed (0 = unauthenticated; every node must pass the same value). DEMO-GRADE ONLY: the seed is visible in process listings and brute-forceable; deployments should use -auth-keys")
+		authKeys = fs.String("auth-keys", "", "load the HMAC keyring from this file: one id=hex line per node, covering every id in [0, n)")
 		logLevel = fs.String("log", "off", "structured log level: off, debug, info, warn or error")
 		logJSON  = fs.Bool("log-json", false, "emit structured logs as JSON instead of text")
 		metrics  = fs.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address")
@@ -102,7 +104,16 @@ func run(args []string) error {
 		ReportGrace:     *grace,
 		Centered:        *centered,
 	}
-	if *authSeed != 0 {
+	switch {
+	case *authKeys != "" && *authSeed != 0:
+		return fmt.Errorf("-auth-seed and -auth-keys are mutually exclusive")
+	case *authKeys != "":
+		keys, err := loadKeyring(*authKeys)
+		if err != nil {
+			return err
+		}
+		cfg.Keys = keys
+	case *authSeed != 0:
 		cfg.Keys = netsync.DeriveKeys(*n, *authSeed)
 	}
 	node, err := netsync.Start(cfg)
@@ -128,7 +139,10 @@ func run(args []string) error {
 	fmt.Printf("network: %d dials (%d retries, %d failures), %d probes sent, %d received\n",
 		st.Dials, st.DialRetries, st.DialFailures, st.ProbesSent, st.ProbesReceived)
 	if st.AuthFailures > 0 {
-		fmt.Printf("auth: %d report(s) rejected by MAC verification\n", st.AuthFailures)
+		fmt.Printf("auth: %d frame(s) rejected by MAC verification\n", st.AuthFailures)
+	}
+	if st.ProtocolErrors > 0 {
+		fmt.Printf("protocol: %d invalid frame(s) dropped\n", st.ProtocolErrors)
 	}
 	return nil
 }
@@ -146,6 +160,43 @@ func publishHealth(out *netsync.Outcome) {
 	}
 	h.Applied = h.Synced
 	obs.SetHealth(h)
+}
+
+// loadKeyring reads an HMAC keyring file: one "id=hex" line per node,
+// blank lines and #-comments ignored. netsync.Config validation enforces
+// that the result covers every id in [0, n).
+func loadKeyring(path string) (map[model.ProcID][]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("-auth-keys: %w", err)
+	}
+	keys := make(map[model.ProcID][]byte)
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		kv := strings.SplitN(line, "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("-auth-keys %s:%d: malformed line %q (want id=hex)", path, i+1, line)
+		}
+		id, err := strconv.Atoi(strings.TrimSpace(kv[0]))
+		if err != nil {
+			return nil, fmt.Errorf("-auth-keys %s:%d: bad node id %q: %v", path, i+1, kv[0], err)
+		}
+		key, err := hex.DecodeString(strings.TrimSpace(kv[1]))
+		if err != nil {
+			return nil, fmt.Errorf("-auth-keys %s:%d: bad hex key for id %d: %v", path, i+1, id, err)
+		}
+		if _, dup := keys[model.ProcID(id)]; dup {
+			return nil, fmt.Errorf("-auth-keys %s:%d: duplicate key for id %d", path, i+1, id)
+		}
+		keys[model.ProcID(id)] = key
+	}
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("-auth-keys %s: no keys found", path)
+	}
+	return keys, nil
 }
 
 // parsePeers parses "id=addr,id=addr".

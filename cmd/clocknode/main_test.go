@@ -3,6 +3,8 @@ package main
 import (
 	"fmt"
 	"net"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
@@ -23,6 +25,37 @@ func TestParsePeers(t *testing.T) {
 		if _, err := parsePeers(bad); err == nil {
 			t.Errorf("parsePeers(%q) accepted", bad)
 		}
+	}
+}
+
+func TestLoadKeyring(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "keys")
+	if err := os.WriteFile(path, []byte("# cluster keyring\n0=aabb\n\n1 = ccdd\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	keys, err := loadKeyring(path)
+	if err != nil {
+		t.Fatalf("loadKeyring: %v", err)
+	}
+	if len(keys) != 2 || string(keys[0]) != "\xaa\xbb" || string(keys[1]) != "\xcc\xdd" {
+		t.Errorf("keys = %x", keys)
+	}
+	for name, body := range map[string]string{
+		"malformed line": "0aabb\n",
+		"bad id":         "x=aabb\n",
+		"bad hex":        "0=zz\n",
+		"duplicate id":   "0=aa\n0=bb\n",
+		"empty file":     "# nothing\n",
+	} {
+		if err := os.WriteFile(path, []byte(body), 0o600); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := loadKeyring(path); err == nil {
+			t.Errorf("%s: accepted %q", name, body)
+		}
+	}
+	if _, err := loadKeyring(filepath.Join(t.TempDir(), "absent")); err == nil {
+		t.Error("missing file accepted")
 	}
 }
 

@@ -108,6 +108,138 @@ func TestForgedReportRejected(t *testing.T) {
 	}
 }
 
+// TestForgedReportEmptyKeyMAC: the classic bypass — a keyless attacker
+// MACs a forged report under the empty key, hoping the receiver looks up
+// a missing origin and verifies under nil. The keyring is complete and
+// the origin's real key is used, so the forgery is rejected and the
+// cluster completes.
+func TestForgedReportEmptyKeyMAC(t *testing.T) {
+	offsets := []time.Duration{0, 60 * time.Millisecond, -30 * time.Millisecond}
+	keys := DeriveKeys(len(offsets), 7)
+	nodes := startCluster(t, offsets, time.Millisecond, 0.5, func(c *Config) {
+		c.Keys = keys
+	})
+
+	raw, err := net.Dial("tcp", nodes[0].Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newConn(raw)
+	forged := &Message{
+		Type:   "report",
+		Origin: 1,
+		Links:  []LinkStats{{From: 0, To: 1, Count: 4, Min: 0.0001, Max: 0.0002}},
+	}
+	if err := signMessage(nil, forged); err != nil { // what any keyless attacker can compute
+		t.Fatal(err)
+	}
+	if err := c.send(forged, 2*time.Second); err != nil {
+		t.Fatalf("send forged report: %v", err)
+	}
+	if _, err := c.recv(4 * time.Second); err == nil {
+		t.Fatal("empty-key forgery was answered instead of dropped")
+	}
+	_ = c.close()
+
+	waitClusterSound(t, nodes, offsets)
+	if af := nodes[0].Stats().AuthFailures; af != 1 {
+		t.Fatalf("AuthFailures = %d, want 1", af)
+	}
+}
+
+// TestForgedReportOutOfRangeOrigin: a report claiming a nonexistent
+// origin can never be legitimate; it is a protocol error — the quorum
+// count must not inflate and the round must not fail.
+func TestForgedReportOutOfRangeOrigin(t *testing.T) {
+	offsets := []time.Duration{0, 60 * time.Millisecond, -30 * time.Millisecond}
+	keys := DeriveKeys(len(offsets), 8)
+	nodes := startCluster(t, offsets, time.Millisecond, 0.5, func(c *Config) {
+		c.Keys = keys
+	})
+
+	raw, err := net.Dial("tcp", nodes[0].Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newConn(raw)
+	forged := &Message{Type: "report", Origin: 99}
+	if err := signMessage(nil, forged); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.send(forged, 2*time.Second); err != nil {
+		t.Fatalf("send forged report: %v", err)
+	}
+	if _, err := c.recv(4 * time.Second); err == nil {
+		t.Fatal("out-of-range origin was answered instead of dropped")
+	}
+	_ = c.close()
+
+	waitClusterSound(t, nodes, offsets)
+	if pe := nodes[0].Stats().ProtocolErrors; pe != 1 {
+		t.Fatalf("ProtocolErrors = %d, want 1", pe)
+	}
+}
+
+// TestForgedProbeRejected: in a keyed cluster an injected probe with an
+// absurd timestamp is dropped before it can poison the coordinator's own
+// incoming statistics, and the run stays sound.
+func TestForgedProbeRejected(t *testing.T) {
+	offsets := []time.Duration{0, 60 * time.Millisecond, -30 * time.Millisecond}
+	keys := DeriveKeys(len(offsets), 9)
+	nodes := startCluster(t, offsets, time.Millisecond, 0.5, func(c *Config) {
+		c.Keys = keys
+	})
+
+	raw, err := net.Dial("tcp", nodes[0].Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newConn(raw)
+	// SendClock far in the past inflates the measured delay way past the
+	// declared 0.5s bound; accepted, it would wreck the constraint system.
+	forged := &Message{Type: "probe", From: 1, SendClock: -1000}
+	if err := signMessage(nil, forged); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.send(forged, 2*time.Second); err != nil {
+		t.Fatalf("send forged probe: %v", err)
+	}
+	_ = c.close()
+
+	waitClusterSound(t, nodes, offsets)
+	if af := nodes[0].Stats().AuthFailures; af != 1 {
+		t.Fatalf("AuthFailures = %d, want 1", af)
+	}
+}
+
+// waitClusterSound waits out every node and checks the corrections
+// recover the offsets within the advertised precision.
+func waitClusterSound(t *testing.T, nodes []*Node, offsets []time.Duration) {
+	t.Helper()
+	outs := make([]*Outcome, len(nodes))
+	for i, node := range nodes {
+		out, err := node.Wait(8 * time.Second)
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+		outs[i] = out
+	}
+	starts := make([]float64, len(offsets))
+	for p, off := range offsets {
+		starts[p] = -off.Seconds()
+	}
+	rho, err := core.Rho(starts, outs[0].Corrections)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(outs[0].Precision, 1) {
+		t.Fatal("infinite precision")
+	}
+	if rho > outs[0].Precision+1e-9 {
+		t.Fatalf("realized %v exceeds precision %v", rho, outs[0].Precision)
+	}
+}
+
 // TestKeyringValidation: malformed keyrings are rejected at Start.
 func TestKeyringValidation(t *testing.T) {
 	base := func() Config {
@@ -124,6 +256,7 @@ func TestKeyringValidation(t *testing.T) {
 		{"missing own key", map[model.ProcID][]byte{1: []byte("k")}, "no key for own id"},
 		{"out of range id", map[model.ProcID][]byte{0: []byte("k"), 7: []byte("k")}, "out of range"},
 		{"empty key", map[model.ProcID][]byte{0: []byte("k"), 1: nil}, "empty key"},
+		{"incomplete keyring", map[model.ProcID][]byte{0: []byte("k")}, "incomplete keyring"},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {

@@ -34,6 +34,7 @@ var (
 	gDeadlines     = obs.Default.Counter("netsync.deadline.expirations")
 	gGraceFires    = obs.Default.Counter("netsync.grace.fires")
 	gAuthFailures  = obs.Default.Counter("netsync.auth.failures")
+	gProtoErrors   = obs.Default.Counter("netsync.protocol.errors")
 )
 
 // netCounters tracks one node's connection-lifecycle events (atomic:
@@ -43,7 +44,7 @@ type netCounters struct {
 	probesSent, probeSendErrors, probesReceived    atomic.Int64
 	reportsReceived, duplicateReports, lateReports atomic.Int64
 	deadlineExpirations, graceFires                atomic.Int64
-	authFailures                                   atomic.Int64
+	authFailures, protocolErrors                   atomic.Int64
 }
 
 // NetStats is a point-in-time snapshot of a node's connection-lifecycle
@@ -65,10 +66,15 @@ type NetStats struct {
 	// GraceFires counts report-grace deadlines that forced a degraded
 	// compute.
 	DeadlineExpirations, GraceFires int64
-	// AuthFailures counts report frames the coordinator rejected because
-	// their MAC did not verify (keyed clusters only); rejected reports
-	// are treated as loss.
+	// AuthFailures counts frames rejected in a keyed cluster because the
+	// claimed origin had no key or the MAC did not verify — probes are
+	// dropped, reports are treated as loss.
 	AuthFailures int64
+	// ProtocolErrors counts well-formed frames that were invalid in
+	// context — an unexpected type, a report to a non-coordinator, an
+	// out-of-range origin — each of which closes the offending connection
+	// instead of failing the node.
+	ProtocolErrors int64
 }
 
 // Stats snapshots the node's lifecycle counters.
@@ -87,6 +93,7 @@ func (n *Node) Stats() NetStats {
 		DeadlineExpirations: n.stats.deadlineExpirations.Load(),
 		GraceFires:          n.stats.graceFires.Load(),
 		AuthFailures:        n.stats.authFailures.Load(),
+		ProtocolErrors:      n.stats.protocolErrors.Load(),
 	}
 }
 
@@ -155,14 +162,18 @@ type Config struct {
 	// Centered selects centered corrections at the coordinator.
 	Centered bool
 	// Keys is the cluster's HMAC-SHA256 keyring, mapping node ids to
-	// their signing keys. When non-nil, this node signs its report frame
-	// with Keys[ID] and the coordinator rejects report frames whose MAC
-	// does not verify under the claimed origin's key — counted in
-	// netsync.auth.failures and treated as loss, so a forged report
-	// degrades the outcome instead of corrupting it. Nil preserves the
-	// unauthenticated wire format (back-compat). Distribute the keyring
-	// out of band; nodes missing from it cannot report in a keyed
-	// cluster.
+	// their signing keys. When non-nil it must be complete — one non-empty
+	// key per id in [0, N), enforced by validate — and this node signs
+	// both its probe and its report frames with Keys[ID]. Receivers drop
+	// frames whose claimed origin is out of range or whose MAC does not
+	// verify under that origin's key — counted in netsync.auth.failures;
+	// a rejected report is treated as loss, a rejected probe as a lost
+	// probe — so a forged frame degrades the outcome instead of
+	// corrupting it. An on-path attacker can still replay a captured
+	// probe, which only re-presents a slower observation — the same power
+	// as delaying traffic, which no keyring prevents. Nil preserves the
+	// unauthenticated wire format (back-compat, trusted network).
+	// Distribute the keyring out of band.
 	Keys map[model.ProcID][]byte
 }
 
@@ -218,6 +229,14 @@ func (c *Config) validate() error {
 			}
 			if len(key) == 0 {
 				return fmt.Errorf("netsync: empty key for id %d", id)
+			}
+		}
+		// A hole in the keyring would leave frames claiming that origin
+		// verifiable under no key at all; require completeness so every
+		// origin check resolves to a real key.
+		for p := 0; p < c.N; p++ {
+			if _, ok := c.Keys[model.ProcID(p)]; !ok {
+				return fmt.Errorf("netsync: incomplete keyring: no key for id %d (a keyed cluster needs one per node in [0,%d))", p, c.N)
 			}
 		}
 	}
@@ -395,6 +414,40 @@ func (n *Node) acceptLoop() {
 	}
 }
 
+// noteAuthFailure counts one rejected frame in a keyed cluster.
+func (n *Node) noteAuthFailure(kind string, origin model.ProcID, c *conn) {
+	n.stats.authFailures.Add(1)
+	gAuthFailures.Inc()
+	nLog.Debug(kind+" rejected by authentication", "node", n.cfg.ID, "origin", origin,
+		"remote", c.raw.RemoteAddr().String())
+}
+
+// noteProtoErr counts a well-formed frame that is invalid in context. The
+// caller closes the connection; the node itself keeps running — a single
+// hostile or confused peer must not be able to terminate it.
+func (n *Node) noteProtoErr(c *conn, format string, args ...any) {
+	n.stats.protocolErrors.Add(1)
+	gProtoErrors.Inc()
+	nLog.Debug("protocol error: closing connection", "node", n.cfg.ID,
+		"remote", c.raw.RemoteAddr().String(), "err", fmt.Sprintf(format, args...))
+}
+
+// verifyFrame authenticates one inbound frame in a keyed cluster: the
+// claimed origin must be a real node id (validate guarantees the keyring
+// covers all of them) and the MAC must verify under that origin's key.
+// Never pass a missing-id's nil key to verifyMessage — HMAC under an
+// empty key is computable by anyone.
+func (n *Node) verifyFrame(origin model.ProcID, m *Message) bool {
+	if int(origin) < 0 || int(origin) >= n.cfg.N {
+		return false
+	}
+	key, ok := n.cfg.Keys[origin]
+	if !ok || len(key) == 0 {
+		return false
+	}
+	return verifyMessage(key, m)
+}
+
 // serve handles one inbound connection until EOF or shutdown.
 func (n *Node) serve(c *conn) {
 	parked := false
@@ -412,6 +465,11 @@ func (n *Node) serve(c *conn) {
 		switch m.Type {
 		case "probe":
 			recvClock := n.Clock()
+			if n.cfg.Keys != nil && !n.verifyFrame(m.From, m) {
+				// Forged or tampered probe: drop it like a lost message.
+				n.noteAuthFailure("probe", m.From, c)
+				return
+			}
 			n.stats.probesReceived.Add(1)
 			gProbesRecv.Inc()
 			n.mu.Lock()
@@ -424,18 +482,22 @@ func (n *Node) serve(c *conn) {
 			n.mu.Unlock()
 		case "report":
 			if n.cfg.ID != n.cfg.Coordinator {
-				n.fail(fmt.Errorf("netsync: non-coordinator %d received a report", n.cfg.ID))
+				n.noteProtoErr(c, "non-coordinator %d received a report", n.cfg.ID)
 				return
 			}
-			if n.cfg.Keys != nil && !verifyMessage(n.cfg.Keys[m.Origin], m) {
+			if int(m.Origin) < 0 || int(m.Origin) >= n.cfg.N {
+				// An out-of-range origin would inflate the report quorum
+				// (or, with links attached, poison the table build); it can
+				// never be legitimate, keyed or not.
+				n.noteProtoErr(c, "report origin %d out of range [0,%d)", m.Origin, n.cfg.N)
+				return
+			}
+			if n.cfg.Keys != nil && !n.verifyFrame(m.Origin, m) {
 				// Forged or tampered report: count it and treat it as loss.
 				// The origin's links stay constrained by the honest
 				// endpoints' statistics, exactly like a report that never
 				// arrived.
-				n.stats.authFailures.Add(1)
-				gAuthFailures.Inc()
-				nLog.Debug("report MAC rejected", "node", n.cfg.ID, "origin", m.Origin,
-					"remote", c.raw.RemoteAddr().String())
+				n.noteAuthFailure("report", m.Origin, c)
 				return
 			}
 			n.stats.reportsReceived.Add(1)
@@ -448,7 +510,10 @@ func (n *Node) serve(c *conn) {
 			n.handleReport(c, m)
 			return
 		default:
-			n.fail(fmt.Errorf("netsync: unknown message type %q", m.Type))
+			// A well-formed frame of a type this side never expects (e.g. a
+			// "result" pushed at a listener). Hostile input: close the
+			// connection, keep the node.
+			n.noteProtoErr(c, "unexpected %q frame on an inbound connection", m.Type)
 			return
 		}
 	}
@@ -651,13 +716,20 @@ func (n *Node) probePeers() error {
 
 // sendProbe stamps and sends one probe, optionally holding it back by the
 // configured artificial jitter (stamp first, then delay, exactly like a
-// slow link).
+// slow link). In a keyed cluster the probe carries a MAC so receivers can
+// reject injected timestamps.
 func (n *Node) sendProbe(c *conn) error {
 	sendClock := n.Clock()
 	if n.cfg.Jitter > 0 {
 		time.Sleep(time.Duration(n.rng.Float64() * float64(n.cfg.Jitter)))
 	}
-	err := c.send(&Message{Type: "probe", From: n.cfg.ID, SendClock: sendClock}, n.cfg.Timeout)
+	m := &Message{Type: "probe", From: n.cfg.ID, SendClock: sendClock}
+	if n.cfg.Keys != nil {
+		if err := signMessage(n.cfg.Keys[n.cfg.ID], m); err != nil {
+			return err
+		}
+	}
+	err := c.send(m, n.cfg.Timeout)
 	if err != nil {
 		n.stats.probeSendErrors.Add(1)
 		gProbeSendErrs.Inc()

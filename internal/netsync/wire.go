@@ -54,8 +54,9 @@ type Message struct {
 	Synced      []bool         `json:"synced,omitempty"`
 	Err         string         `json:"err,omitempty"`
 
-	// MAC authenticates report frames under the origin's key when the
-	// cluster is configured with a keyring (Config.Keys); empty otherwise.
+	// MAC authenticates probe and report frames under the sender's key
+	// when the cluster is configured with a keyring (Config.Keys); empty
+	// otherwise.
 	MAC []byte `json:"mac,omitempty"`
 }
 

@@ -139,7 +139,9 @@ func (b ByzantineSpec) procs(n int) ([]int, error) {
 		if math.IsNaN(b.Fraction) || b.Fraction < 0 || b.Fraction > 1 {
 			return nil, fmt.Errorf("fraction %v outside [0,1]", b.Fraction)
 		}
-		k := int(b.Fraction * float64(n))
+		// The nudge absorbs float error in the product: 0.3*10 is
+		// 2.999...6 and must still select ⌊0.3·10⌋ = 3 liars.
+		k := int(b.Fraction*float64(n) + 1e-9)
 		procs := make([]int, 0, k)
 		for p := n - k; p < n; p++ {
 			procs = append(procs, p)

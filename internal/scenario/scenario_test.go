@@ -374,6 +374,29 @@ func TestByzantineJSONRoundTrip(t *testing.T) {
 	}
 }
 
+// TestByzantineFractionTruncation: ⌊fraction·n⌋ must not lose a liar to
+// float error — 0.3*10 is 2.999...6 in binary and naive int() gives 2.
+func TestByzantineFractionTruncation(t *testing.T) {
+	for _, tt := range []struct {
+		fraction float64
+		n, want  int
+	}{
+		{0.3, 10, 3},
+		{0.1, 3, 0},  // ⌊0.3⌋: fractional products still truncate
+		{0.7, 10, 7}, // 6.999...
+		{0.5, 4, 2},
+	} {
+		spec := ByzantineSpec{Fraction: tt.fraction, Strategy: "inflate"}
+		procs, err := spec.procs(tt.n)
+		if err != nil {
+			t.Fatalf("fraction %v n %d: %v", tt.fraction, tt.n, err)
+		}
+		if len(procs) != tt.want {
+			t.Errorf("fraction %v n %d selected %d liars, want %d", tt.fraction, tt.n, len(procs), tt.want)
+		}
+	}
+}
+
 // TestByzantineSpecValidation: malformed byzantine entries are rejected
 // with descriptive errors.
 func TestByzantineSpecValidation(t *testing.T) {
