@@ -182,6 +182,20 @@ func WithParallelism(lanes int) Option {
 	return func(o *core.Options) { o.Parallelism = lanes }
 }
 
+// WithQuality enables post-solve quality telemetry: every successful
+// solve publishes the paper's figures of merit into the process metrics
+// registry — gauges quality.precision.{achieved,optimal,ratio} (realized
+// worst-pair bound vs the A_max optimum; 1.0 on every fault-free solve),
+// a per-neighbor gradient-precision histogram, and a per-link slack
+// histogram. session, when non-empty, labels the metrics with
+// session="..." so concurrent runs stay distinguishable.
+func WithQuality(session string) Option {
+	return func(o *core.Options) {
+		o.Quality = true
+		o.QualityLabel = session
+	}
+}
+
 // Synchronize computes instance-optimal corrections from the recorded
 // observations under the system's assumptions.
 //

@@ -19,6 +19,7 @@ import (
 	"encoding/hex"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -60,7 +61,10 @@ func run(args []string) error {
 		authKeys = fs.String("auth-keys", "", "load the HMAC keyring from this file: one id=hex line per node, covering every id in [0, n)")
 		logLevel = fs.String("log", "off", "structured log level: off, debug, info, warn or error")
 		logJSON  = fs.Bool("log-json", false, "emit structured logs as JSON instead of text")
-		metrics  = fs.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address")
+		metrics  = fs.String("metrics-addr", "", "serve /metrics, /healthz, /debug/rounds and /debug/pprof on this address")
+		tracePth = fs.String("trace", "", "write this node's round trace (coordinator: the reassembled cluster trace) as JSON to this file")
+		traceChr = fs.String("trace-chrome", "", "write the round trace in Chrome trace_event format (opens in Perfetto) to this file")
+		session  = fs.String("session", "", "session label for metrics and the flight recorder")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -103,6 +107,10 @@ func run(args []string) error {
 		Timeout:         *timeout,
 		ReportGrace:     *grace,
 		Centered:        *centered,
+		Session:         *session,
+	}
+	if *tracePth != "" || *traceChr != "" {
+		cfg.Trace = obs.NewTrace(fmt.Sprintf("clocknode-%d", *id))
 	}
 	switch {
 	case *authKeys != "" && *authSeed != 0:
@@ -125,10 +133,10 @@ func run(args []string) error {
 
 	out, err := node.Wait(*timeout)
 	if err != nil {
-		obs.SetHealth(obs.Health{Err: err.Error(), Precision: -1})
+		obs.SetHealthFor(*session, obs.Health{Err: err.Error(), Precision: -1})
 		return err
 	}
-	publishHealth(out)
+	publishHealth(out, *session)
 	fmt.Printf("correction: %+.6g s (add to the local clock)\n", out.Correction)
 	fmt.Printf("precision:  %.6g s (optimal guaranteed bound, all pairs)\n", out.Precision)
 	if out.Degraded {
@@ -144,11 +152,35 @@ func run(args []string) error {
 	if st.ProtocolErrors > 0 {
 		fmt.Printf("protocol: %d invalid frame(s) dropped\n", st.ProtocolErrors)
 	}
+	if *tracePth != "" {
+		if err := writeExport(*tracePth, cfg.Trace.WriteJSON); err != nil {
+			return err
+		}
+	}
+	if *traceChr != "" {
+		if err := writeExport(*traceChr, cfg.Trace.WriteChrome); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
-// publishHealth mirrors this node's outcome into the /healthz endpoint.
-func publishHealth(out *netsync.Outcome) {
+// writeExport dumps one trace export (JSON or Chrome trace_event) to path.
+func writeExport(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("write trace: %w", err)
+	}
+	return f.Close()
+}
+
+// publishHealth mirrors this node's outcome into the /healthz endpoint,
+// keyed by the session label so one process can report several runs.
+func publishHealth(out *netsync.Outcome, session string) {
 	h := obs.Health{Degraded: out.Degraded, Missing: len(out.Missing), Precision: out.Precision}
 	for _, ok := range out.Synced {
 		if ok {
@@ -159,7 +191,7 @@ func publishHealth(out *netsync.Outcome) {
 		h.Synced = len(out.Corrections)
 	}
 	h.Applied = h.Synced
-	obs.SetHealth(h)
+	obs.SetHealthFor(session, h)
 }
 
 // loadKeyring reads an HMAC keyring file: one "id=hex" line per node,

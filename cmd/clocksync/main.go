@@ -9,15 +9,19 @@
 //	clocksync -init > cfg.json     # emit a starter scenario
 //
 // Observability: -log enables structured logging, -metrics-addr serves
-// live metrics (/metrics, /healthz, /debug/pprof) during the run, and
-// -trace writes the sync-round phase spans as JSON. A distributed run
-// that completes degraded (missing reports) exits with status 2.
+// live metrics (/metrics in Prometheus text or JSON form, /healthz,
+// /debug/rounds, /debug/pprof) during the run, -trace and -trace-chrome
+// write the sync-round spans as JSON or as a Perfetto-loadable Chrome
+// trace, and -rounds dumps the flight recorder's retained rounds. A
+// distributed run that completes degraded (missing reports) exits with
+// status 2 and dumps the flight recorder to stderr.
 package main
 
 import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"time"
@@ -64,6 +68,8 @@ func run(args []string) error {
 		metricsAddr  = fs.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address")
 		linger       = fs.Duration("metrics-linger", 0, "keep the metrics server up this long after the run (for scraping)")
 		tracePath    = fs.String("trace", "", "distributed: write sync-round phase spans as JSON to this file")
+		traceChrome  = fs.String("trace-chrome", "", "distributed: write the round trace in Chrome trace_event format (opens in Perfetto) to this file")
+		roundsPath   = fs.String("rounds", "", "write the flight recorder's retained rounds as JSON to this file after the run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -94,7 +100,7 @@ func run(args []string) error {
 		return err
 	}
 	if *distMode != "" {
-		return runDistributed(data, *distMode, *tracePath, distributed.Config{
+		err := runDistributed(data, *distMode, *tracePath, *traceChrome, distributed.Config{
 			Leader:       clocksync.ProcID(*root),
 			Centered:     *centered,
 			ReportGrace:  *reportGrace,
@@ -102,6 +108,10 @@ func run(args []string) error {
 			Excision:     *excision,
 			Authenticate: *auth,
 		})
+		if rerr := dumpRounds(*roundsPath, err); rerr != nil && err == nil {
+			err = rerr
+		}
+		return err
 	}
 	rep, err := clocksync.RunScenarioJSON(data, clocksync.SimOptions{
 		Verify:   *doVerify,
@@ -126,7 +136,7 @@ func run(args []string) error {
 }
 
 // runDistributed executes the Section 7 protocol from the CLI.
-func runDistributed(data []byte, mode, tracePath string, cfg distributed.Config) error {
+func runDistributed(data []byte, mode, tracePath, chromePath string, cfg distributed.Config) error {
 	switch mode {
 	case "leader":
 	case "gossip":
@@ -134,7 +144,7 @@ func runDistributed(data []byte, mode, tracePath string, cfg distributed.Config)
 	default:
 		return fmt.Errorf("unknown -dist mode %q (want leader or gossip)", mode)
 	}
-	if tracePath != "" {
+	if tracePath != "" || chromePath != "" {
 		cfg.Trace = obs.NewTrace(mode)
 	}
 	out, err := distributed.RunScenarioJSON(data, cfg)
@@ -144,7 +154,12 @@ func runDistributed(data []byte, mode, tracePath string, cfg distributed.Config)
 	}
 	publishHealth(out)
 	if tracePath != "" {
-		if err := writeTrace(tracePath, cfg.Trace); err != nil {
+		if err := writeExport(tracePath, cfg.Trace.WriteJSON); err != nil {
+			return err
+		}
+	}
+	if chromePath != "" {
+		if err := writeExport(chromePath, cfg.Trace.WriteChrome); err != nil {
 			return err
 		}
 	}
@@ -204,17 +219,31 @@ func publishHealth(out *distributed.Outcome) {
 	obs.SetHealth(h)
 }
 
-// writeTrace dumps the collected phase spans as JSON.
-func writeTrace(path string, tr *obs.Trace) error {
+// writeExport dumps one trace export (JSON or Chrome trace_event) to path.
+func writeExport(path string, write func(io.Writer) error) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := tr.WriteJSON(f); err != nil {
+	if err := write(f); err != nil {
 		_ = f.Close()
 		return fmt.Errorf("write trace: %w", err)
 	}
 	return f.Close()
+}
+
+// dumpRounds writes the flight recorder's retained rounds: to path when
+// one was requested, and to stderr on a degraded exit so the evidence of
+// what went wrong survives even without the flag.
+func dumpRounds(path string, runErr error) error {
+	if path != "" {
+		return writeExport(path, obs.Rounds.WriteJSON)
+	}
+	if errors.Is(runErr, errDegraded) {
+		fmt.Fprintln(os.Stderr, "clocksync: flight recorder (last rounds):")
+		return obs.Rounds.WriteJSON(os.Stderr)
+	}
+	return nil
 }
 
 func printReport(rep *clocksync.Report) {

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"clocksync/internal/obs"
@@ -184,8 +185,9 @@ func TestRunDistributedTrace(t *testing.T) {
 	}
 }
 
-// TestRunMetricsServer: -metrics-addr serves a JSON metrics snapshot and
-// a /healthz that reflects the finished run.
+// TestRunMetricsServer: -metrics-addr serves Prometheus text by default,
+// a JSON metrics snapshot on request, and a /healthz that reflects the
+// finished run.
 func TestRunMetricsServer(t *testing.T) {
 	srv, err := obs.Serve("127.0.0.1:0", obs.Default)
 	if err != nil {
@@ -196,7 +198,12 @@ func TestRunMetricsServer(t *testing.T) {
 	if err := run([]string{"-scenario", path, "-dist", "gossip"}); err != nil {
 		t.Fatalf("run: %v", err)
 	}
-	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	req, err := http.NewRequest(http.MethodGet, "http://"+srv.Addr()+"/metrics", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "application/json")
+	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,5 +215,17 @@ func TestRunMetricsServer(t *testing.T) {
 	}
 	if snap.Counters["dist.probes.sent"] == 0 {
 		t.Errorf("dist.probes.sent = 0 after a gossip run; counters: %v", snap.Counters)
+	}
+	resp, err = http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prom, _ := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if !strings.Contains(string(prom), "clocksync_dist_probes_sent_total") {
+		t.Errorf("default /metrics missing clocksync_dist_probes_sent_total:\n%.400s", prom)
+	}
+	if err := obs.CheckExposition(prom); err != nil {
+		t.Errorf("default /metrics failed exposition check: %v", err)
 	}
 }

@@ -178,7 +178,9 @@ func RunScenarioJSON(data []byte, cfg Config) (*Outcome, error) {
 	if cfg.Gossip {
 		runFn = dist.GossipRun
 	}
-	out, exec, err := runFn(built.Net, dcfg, built.RunCfg)
+	runCfg := built.RunCfg
+	runCfg.Trace = cfg.Trace // the engine's sim.run span joins the round trace
+	out, exec, err := runFn(built.Net, dcfg, runCfg)
 	if err != nil {
 		return nil, fmt.Errorf("distributed: %w", err)
 	}

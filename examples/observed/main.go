@@ -11,17 +11,27 @@
 //     collection, and the compute sub-phases: estimate → Karp A_max →
 //     corrections);
 //   - the process metrics registry, served over HTTP while the program
-//     lingers so you can curl /metrics, /healthz and /debug/pprof.
+//     lingers so you can curl /metrics, /healthz, /debug/rounds and
+//     /debug/pprof.
 //
 // Run it with:
 //
 //	go run ./examples/observed
+//
+// With -selfcheck the program scrapes its own endpoints instead of
+// lingering — Prometheus and JSON /metrics, /healthz, /debug/rounds —
+// validates them, and exits non-zero on any mismatch (the CI smoke test).
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"clocksync/distributed"
@@ -44,19 +54,23 @@ const scenarioJSON = `{
 }`
 
 func main() {
+	selfcheck := flag.Bool("selfcheck", false, "scrape and validate the own endpoints instead of lingering")
+	flag.Parse()
+
 	// 1. Structured logs to stderr. Level "info" keeps the output short;
 	// "debug" narrates every probe and flood.
 	if err := obs.EnableLogging(os.Stderr, "info", false); err != nil {
 		log.Fatal(err)
 	}
 
-	// 2. Introspection endpoint: /metrics, /healthz, /debug/pprof.
+	// 2. Introspection endpoint: /metrics, /healthz, /debug/rounds,
+	// /debug/pprof.
 	srv, err := obs.Serve("127.0.0.1:0", obs.Default)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer srv.Close()
-	fmt.Printf("observed: metrics live on http://%s/metrics (and /healthz, /debug/pprof)\n", srv.Addr())
+	fmt.Printf("observed: metrics live on http://%s/metrics (and /healthz, /debug/rounds, /debug/pprof)\n", srv.Addr())
 
 	// 3. A trace collects the round's phase spans.
 	tr := obs.NewTrace("observed-faulty-run")
@@ -111,8 +125,106 @@ func main() {
 		fmt.Printf("  %-28s %d\n", name, snap.Counters[name])
 	}
 
+	if *selfcheck {
+		if err := runSelfcheck(srv.Addr()); err != nil {
+			log.Fatalf("observed: selfcheck FAILED: %v", err)
+		}
+		fmt.Println("\nselfcheck ok: Prometheus + JSON /metrics, /healthz, /debug/rounds all valid")
+		return
+	}
+
 	fmt.Println("\nlingering 2s — try: curl http://" + srv.Addr() + "/healthz")
 	time.Sleep(2 * time.Second)
+}
+
+// runSelfcheck scrapes the just-served endpoints and validates them: the
+// Prometheus exposition parses and names metrics under the clocksync_
+// prefix, the JSON snapshot carries the protocol counters, /healthz
+// reports the degraded run with HTTP 503, and /debug/rounds replays the
+// leader's flight-recorded round.
+func runSelfcheck(addr string) error {
+	get := func(path, accept string) (int, []byte, error) {
+		req, err := http.NewRequest(http.MethodGet, "http://"+addr+path, nil)
+		if err != nil {
+			return 0, nil, err
+		}
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return 0, nil, err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		return resp.StatusCode, body, err
+	}
+
+	// Prometheus text exposition (the default format).
+	code, prom, err := get("/metrics", "")
+	if err != nil || code != http.StatusOK {
+		return fmt.Errorf("/metrics: status %d, err %v", code, err)
+	}
+	if err := obs.CheckExposition(prom); err != nil {
+		return fmt.Errorf("/metrics exposition: %w", err)
+	}
+	for _, want := range []string{
+		"clocksync_dist_probes_sent_total",
+		"clocksync_quality_precision_ratio",
+	} {
+		if !strings.Contains(string(prom), want) {
+			return fmt.Errorf("/metrics missing %s", want)
+		}
+	}
+
+	// JSON snapshot via content negotiation.
+	code, body, err := get("/metrics", "application/json")
+	if err != nil || code != http.StatusOK {
+		return fmt.Errorf("/metrics (json): status %d, err %v", code, err)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		return fmt.Errorf("/metrics (json): %w", err)
+	}
+	if snap.Counters["dist.probes.sent"] == 0 {
+		return fmt.Errorf("/metrics (json): dist.probes.sent is 0")
+	}
+
+	// /healthz: the crashed node degrades the run, so 503 is correct.
+	code, body, err = get("/healthz", "")
+	if err != nil || code != http.StatusServiceUnavailable {
+		return fmt.Errorf("/healthz: status %d (want 503 for a degraded run), err %v, body %s", code, err, body)
+	}
+	var health struct {
+		Degraded bool `json:"degraded"`
+	}
+	if err := json.Unmarshal(body, &health); err != nil || !health.Degraded {
+		return fmt.Errorf("/healthz: degraded flag not set (err %v): %s", err, body)
+	}
+
+	// /debug/rounds: the leader flight-recorded its compute.
+	code, body, err = get("/debug/rounds", "")
+	if err != nil || code != http.StatusOK {
+		return fmt.Errorf("/debug/rounds: status %d, err %v", code, err)
+	}
+	var rounds struct {
+		Capacity int `json:"capacity"`
+		Rounds   []struct {
+			Session string `json:"session"`
+			Outcome string `json:"outcome"`
+		} `json:"rounds"`
+	}
+	if err := json.Unmarshal(body, &rounds); err != nil {
+		return fmt.Errorf("/debug/rounds: %w", err)
+	}
+	if len(rounds.Rounds) == 0 {
+		return fmt.Errorf("/debug/rounds: no rounds recorded")
+	}
+	last := rounds.Rounds[len(rounds.Rounds)-1]
+	if last.Session != "dist" || last.Outcome != "degraded" {
+		return fmt.Errorf("/debug/rounds: last round = %+v, want session dist, outcome degraded", last)
+	}
+	return nil
 }
 
 func countTrue(bs []bool) int {

@@ -65,6 +65,19 @@ type Options struct {
 	// direct time.Now calls here. Tests can inject an obs.ManualClock.
 	Clock obs.Clock
 
+	// Quality enables post-solve quality telemetry: after every
+	// successful solve the pipeline publishes the paper's figures of
+	// merit — gauges quality.precision.{achieved,optimal,ratio} plus the
+	// per-neighbor gradient and per-link slack histograms — into
+	// obs.Default (see PublishQuality). Off by default: the computation
+	// is O(n^2) over the result and touches the metrics registry.
+	Quality bool
+
+	// QualityLabel, when non-empty, attaches a session="..." label to
+	// every quality metric so concurrent runs in one process stay
+	// distinguishable.
+	QualityLabel string
+
 	// Parallelism bounds the worker lanes used by the graph kernels
 	// (Floyd-Warshall row shards, Karp walk-table columns, the two
 	// Bellman-Ford passes of centered mode, and disconnected sync

@@ -68,6 +68,7 @@ type Stream struct {
 
 	pairOf []int32 // (u*n + v) -> index into pairs, -1 when absent
 	pairs  []pairEntry
+	qpairs [][2]int // declared link pairs for quality telemetry (built once)
 
 	mls graph.Dense // current m~ls; always equals the batch matrix of the same observations
 
@@ -167,6 +168,12 @@ func NewStream(n int, links []Link, mopts MLSOptions, opts Options) (*Stream, er
 		}
 		if err := s.addPair(p, q, a); err != nil {
 			return nil, err
+		}
+	}
+	if opts.Quality {
+		s.qpairs = make([][2]int, len(s.pairs))
+		for i, e := range s.pairs {
+			s.qpairs[i] = [2]int{e.p, e.q}
 		}
 	}
 	return s, nil
@@ -362,6 +369,7 @@ func (s *Stream) Corrections() (*Result, error) {
 				s.exact = false
 				mStreamRepaired.Inc()
 				s.stats.Repaired++
+				s.publishQuality(res)
 				return s.finish(res, false)
 			}
 		}
@@ -372,7 +380,18 @@ func (s *Stream) Corrections() (*Result, error) {
 	}
 	mStreamBatch.Inc()
 	s.stats.Batch++
+	s.publishQuality(res)
 	return res, nil
+}
+
+// publishQuality records the quality figures of merit after a solve that
+// produced a (potentially) new result. The certified-cache path skips it:
+// the cached result is unchanged, so the published gauges still hold.
+func (s *Stream) publishQuality(res *Result) {
+	if !s.opts.Quality {
+		return
+	}
+	PublishQuality(res, s.qpairs, s.opts.QualityLabel, nil)
 }
 
 // overThreshold reports whether the dirty directed-edge fraction exceeds

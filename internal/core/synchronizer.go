@@ -124,7 +124,11 @@ func (s *Synchronizer) Sync(mls [][]float64, opts Options) (*Result, error) {
 		copy(a.ms.Row(i), row)
 	}
 	a.ms.FillDiag(0)
-	return s.run(a, n, opts, mark)
+	res, err := s.run(a, n, opts, mark)
+	if err == nil && opts.Quality {
+		PublishQuality(res, nil, opts.QualityLabel, nil)
+	}
+	return res, err
 }
 
 // SyncSystem is the end-to-end entry point on a Synchronizer: reduce the
@@ -149,7 +153,11 @@ func (s *Synchronizer) SyncSystem(n int, links []Link, tab *trace.Table, mopts M
 		return nil, err
 	}
 	a.ms.FillDiag(0)
-	return s.run(a, n, opts, mark)
+	res, err := s.run(a, n, opts, mark)
+	if err == nil && opts.Quality {
+		PublishQuality(res, linkPairs(links), opts.QualityLabel, nil)
+	}
+	return res, err
 }
 
 // nextArena flips the double buffer and sizes the fixed-shape buffers.

@@ -452,8 +452,10 @@ func (pr *proc) emitReport(env *sim.Env) {
 	pr.reportMsg = rep
 	mReportsEmitted.Inc()
 	// The probe span runs from the first burst to the report instant on
-	// this processor's clock.
-	pr.cfg.Trace.AddSim("probe", int(env.Self()), 0, pr.cfg.Warmup, env.Clock()-pr.cfg.Warmup)
+	// this processor's clock; it parents under the well-known round root
+	// (obs.RootSpanID) the leader records at compute time, so the merged
+	// trace is causally connected without an id handshake.
+	pr.cfg.Trace.AddSimChild("probe", int(env.Self()), 0, pr.cfg.Warmup, env.Clock()-pr.cfg.Warmup, obs.RootSpanID)
 	dLog.Debug("report emitted", "proc", env.Self(), "links", len(rep.Links), "clock", env.Clock())
 	pr.acceptReport(env, rep)
 	pr.forwarded[floodKey{origin: rep.Origin}] = true
@@ -615,10 +617,26 @@ func (pr *proc) compute(env *sim.Env) {
 	pr.out.ReportsSeen = len(pr.reportLinks)
 	pr.out.AuthFailures = len(pr.rejected)
 	self := int(env.Self())
+	// The leader anchors the round trace: the "round" root span carries
+	// the well-known RootSpanID every other span (including the probe
+	// spans the processors recorded independently) parents under.
+	pr.cfg.Trace.Add(obs.Span{Phase: "round", Proc: -1, Start: 0, Seconds: env.Clock(),
+		Sim: true, ID: obs.RootSpanID})
 	// Collect phase: report instant to compute instant, on this clock.
 	reportAt := pr.cfg.Warmup + pr.cfg.Window
-	pr.cfg.Trace.AddSim("collect", self, 0, reportAt, env.Clock()-reportAt)
-	endCompute := pr.cfg.Trace.Start("compute", self, 0)
+	pr.cfg.Trace.AddSimChild("collect", self, 0, reportAt, env.Clock()-reportAt, obs.RootSpanID)
+	computeSpan, endCompute := pr.cfg.Trace.StartChild("compute", self, 0, obs.RootSpanID)
+
+	// Flight-record the round regardless of tracing: phase timings, the
+	// defense tallies and the quality figures land in obs.Rounds for
+	// post-hoc inspection at /debug/rounds.
+	rec := obs.RoundRecord{Session: "dist"}
+	failRound := func(err error) {
+		endCompute()
+		pr.fail(err)
+		rec.Outcome, rec.Err, rec.Precision = "failed", err.Error(), -1
+		obs.Rounds.Record(rec)
+	}
 
 	var excised, equivocators []model.ProcID
 	var excisedLinks [][2]model.ProcID
@@ -663,8 +681,7 @@ func (pr *proc) compute(env *sim.Env) {
 					continue
 				}
 				if err := pr.table.MergeStats(dr.From, dr.To, dr.Stats); err != nil {
-					endCompute()
-					pr.fail(err)
+					failRound(err)
 					return
 				}
 			}
@@ -676,7 +693,8 @@ func (pr *proc) compute(env *sim.Env) {
 		var err error
 		res, err = core.SynchronizeSystem(pr.n, links, pr.table, core.DefaultMLSOptions(),
 			core.Options{Root: int(pr.cfg.Leader), Centered: pr.cfg.Centered,
-				Parallelism: pr.cfg.Parallelism, Observer: pr.phaseObserver(self)})
+				Parallelism: pr.cfg.Parallelism, Quality: true, QualityLabel: "dist",
+				Observer: pr.phaseObserver(self, computeSpan, &rec)})
 		if err == nil {
 			break
 		}
@@ -685,8 +703,7 @@ func (pr *proc) compute(env *sim.Env) {
 			victim, ok = pr.feasibilityVictim()
 		}
 		if !ok {
-			endCompute()
-			pr.fail(err)
+			failRound(err)
 			return
 		}
 		dLog.Debug("infeasible despite per-link checks; excising worst reporter", "victim", victim)
@@ -710,6 +727,22 @@ func (pr *proc) compute(env *sim.Env) {
 	if degraded {
 		mComputesDegr.Inc()
 	}
+	rec.Outcome = "ok"
+	if degraded {
+		rec.Outcome = "degraded"
+	}
+	rec.Synced, rec.Missing, rec.Excised = len(comp), len(missing), len(excised)
+	rec.AuthFailures = len(pr.rejected)
+	rec.Precision = prec
+	if math.IsNaN(prec) || math.IsInf(prec, 0) {
+		rec.Precision = -1
+	}
+	qr := core.AssessQuality(res)
+	rec.Achieved, rec.Optimal, rec.Ratio = qr.Achieved, qr.Optimal, qr.Ratio
+	if math.IsInf(rec.Ratio, 0) || math.IsNaN(rec.Ratio) {
+		rec.Ratio = -1 // keep the record JSON-encodable
+	}
+	obs.Rounds.Record(rec)
 	dLog.Info("leader computed", "leader", self, "reports", pr.out.ReportsSeen,
 		"missing", len(missing), "excised", len(excised), "degraded", degraded, "precision", prec)
 
@@ -786,14 +819,16 @@ func (pr *proc) fail(err error) {
 	}
 }
 
-// phaseObserver feeds the core pipeline's phase durations into both the
-// per-run trace (as spans of proc) and the process-wide phase
-// histograms. Histogram feeding stays on even without a trace — it is
-// four observations per compute, nowhere near a hot path.
-func (pr *proc) phaseObserver(proc int) obs.PhaseObserver {
-	traced := pr.cfg.Trace.Observer(proc, 0)
+// phaseObserver feeds the core pipeline's phase durations into the
+// per-run trace (as children of the enclosing compute span), the round's
+// flight record and the process-wide phase histograms. Histogram feeding
+// stays on even without a trace — it is four observations per compute,
+// nowhere near a hot path.
+func (pr *proc) phaseObserver(proc int, parent obs.SpanID, rec *obs.RoundRecord) obs.PhaseObserver {
+	traced := pr.cfg.Trace.ObserverChild(proc, 0, parent)
 	return obs.PhaseFunc(func(phase string, seconds float64) {
 		phaseHist(phase).Observe(seconds)
+		rec.AddPhase(phase, seconds)
 		if traced != nil {
 			traced.ObservePhase(phase, seconds)
 		}

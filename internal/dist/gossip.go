@@ -153,7 +153,7 @@ func (g *gossipProc) emitGossipReport(env *sim.Env) {
 	}
 	g.reportMsg = rep
 	mReportsEmitted.Inc()
-	g.cfg.Trace.AddSim("probe", int(env.Self()), 0, g.cfg.Warmup, env.Clock()-g.cfg.Warmup)
+	g.cfg.Trace.AddSimChild("probe", int(env.Self()), 0, g.cfg.Warmup, env.Clock()-g.cfg.Warmup, obs.RootSpanID)
 	gLog.Debug("report emitted", "proc", env.Self(), "links", len(rep.Links), "clock", env.Clock())
 	g.absorb(env, rep)
 	g.forwarded[floodKey{origin: rep.Origin}] = true
@@ -199,9 +199,17 @@ func (g *gossipProc) computeLocal(env *sim.Env) {
 		g.table = trace.NewTable(g.n, false)
 	}
 	self := int(env.Self())
+	isLeader := self == int(g.cfg.Leader)
 	reportAt := g.cfg.Warmup + g.cfg.Window
-	g.cfg.Trace.AddSim("collect", self, 0, reportAt, env.Clock()-reportAt)
-	endCompute := g.cfg.Trace.Start("compute", self, 0)
+	if isLeader {
+		// One designated node anchors the round root so the merged trace
+		// has exactly one RootSpanID span (every node computes, but only
+		// the leader's computation is the canonical outcome).
+		g.cfg.Trace.Add(obs.Span{Phase: "round", Proc: -1, Start: 0, Seconds: env.Clock(),
+			Sim: true, ID: obs.RootSpanID})
+	}
+	g.cfg.Trace.AddSimChild("collect", self, 0, reportAt, env.Clock()-reportAt, obs.RootSpanID)
+	computeSpan, endCompute := g.cfg.Trace.StartChild("compute", self, 0, obs.RootSpanID)
 	links := g.cfg.Links
 	missing := missingProcs(g.n, g.seen)
 	if len(missing) > 0 {
@@ -209,11 +217,17 @@ func (g *gossipProc) computeLocal(env *sim.Env) {
 		mReportsMissing.Add(int64(len(missing)))
 	}
 	mComputes.Inc()
+	rec := obs.RoundRecord{Session: "gossip"}
 	res, err := core.SynchronizeSystem(g.n, links, g.table, core.DefaultMLSOptions(),
 		core.Options{Root: int(g.cfg.Leader), Centered: g.cfg.Centered,
-			Parallelism: g.cfg.Parallelism, Observer: g.phaseObserver(self)})
+			Parallelism: g.cfg.Parallelism, Quality: isLeader, QualityLabel: "gossip",
+			Observer: g.phaseObserver(self, computeSpan, &rec)})
 	endCompute()
 	if err != nil {
+		if isLeader {
+			rec.Outcome, rec.Err, rec.Precision = "failed", err.Error(), -1
+			obs.Rounds.Record(rec)
+		}
 		g.fail(err)
 		return
 	}
@@ -222,7 +236,7 @@ func (g *gossipProc) computeLocal(env *sim.Env) {
 	}
 	gLog.Info("node computed locally", "proc", self, "reports", g.reports, "missing", len(missing))
 	g.perNode[self] = append([]float64(nil), res.Corrections...)
-	if self == int(g.cfg.Leader) {
+	if isLeader {
 		comp, prec := leaderComponent(res, self)
 		synced := make([]bool, g.n)
 		for _, p := range comp {
@@ -234,5 +248,21 @@ func (g *gossipProc) computeLocal(env *sim.Env) {
 		g.out.Missing = missing
 		g.out.Degraded = len(missing) > 0 || len(comp) < g.n
 		g.out.Synced = synced
+
+		rec.Outcome = "ok"
+		if g.out.Degraded {
+			rec.Outcome = "degraded"
+		}
+		rec.Synced, rec.Missing = len(comp), len(missing)
+		rec.Precision = prec
+		if math.IsNaN(prec) || math.IsInf(prec, 0) {
+			rec.Precision = -1
+		}
+		qr := core.AssessQuality(res)
+		rec.Achieved, rec.Optimal, rec.Ratio = qr.Achieved, qr.Optimal, qr.Ratio
+		if math.IsInf(rec.Ratio, 0) || math.IsNaN(rec.Ratio) {
+			rec.Ratio = -1
+		}
+		obs.Rounds.Record(rec)
 	}
 }

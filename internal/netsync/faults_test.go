@@ -214,7 +214,7 @@ func TestDialRetryBackoff(t *testing.T) {
 	t.Cleanup(node.Shutdown)
 
 	start := time.Now()
-	if _, err := node.dialRetry(deadAddr(t), "test"); err == nil {
+	if _, err := node.dialRetry(deadAddr(t), "test", 0); err == nil {
 		t.Fatal("dialRetry succeeded against a closed port")
 	}
 	// Two backoff sleeps of >= 2.5ms and >= 5ms minimum.

@@ -3,8 +3,10 @@ package netsync
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"net"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -161,6 +163,25 @@ type Config struct {
 	ReportDelay time.Duration
 	// Centered selects centered corrections at the coordinator.
 	Centered bool
+	// Trace, when non-nil, records this node's causal spans: the probe
+	// burst, per-peer dials, the report exchange, and receive marks
+	// parented across the wire to the sending node's spans. On the
+	// coordinator the trace additionally carries the round root span
+	// (obs.RootSpanID), the collect/compute phases, and — reassembled
+	// from the Spans shipped inside report frames — every reporter's
+	// local spans, yielding one cluster-wide round trace exportable as
+	// obs.Trace JSON or Chrome trace_event. The trace's correlation id is
+	// set to DeriveTraceID(Seed) at Start. Span Start values are each
+	// process's wall clock relative to its own trace origin, so cross-host
+	// timelines align only as well as the hosts' wall clocks do.
+	Trace *obs.Trace
+	// Round labels this run's spans, wire trace context and
+	// flight-recorder entry (multi-round deployments bump it per round).
+	Round int
+	// Session, when non-empty, labels the coordinator's quality metrics
+	// (session="...") and the flight-recorder entry, keeping concurrent
+	// clusters in one process distinguishable.
+	Session string
 	// Keys is the cluster's HMAC-SHA256 keyring, mapping node ids to
 	// their signing keys. When non-nil it must be complete — one non-empty
 	// key per id in [0, N), enforced by validate — and this node signs
@@ -274,13 +295,15 @@ type Node struct {
 
 	stats netCounters
 
-	mu       sync.Mutex
-	incoming map[model.ProcID]trace.DirStats // per-peer incoming probe stats
-	reports  map[model.ProcID][]LinkStats    // coordinator: collected reports
-	pending  []*conn                         // coordinator: report conns awaiting results
-	computed bool                            // coordinator: result already produced
-	result   *Message                        // coordinator: stored result for late reports
-	grace    *time.Timer                     // coordinator: report deadline
+	mu         sync.Mutex
+	incoming   map[model.ProcID]trace.DirStats // per-peer incoming probe stats
+	reports    map[model.ProcID][]LinkStats    // coordinator: collected reports
+	pending    []*conn                         // coordinator: report conns awaiting results
+	computed   bool                            // coordinator: result already produced
+	result     *Message                        // coordinator: stored result for late reports
+	grace      *time.Timer                     // coordinator: report deadline
+	roundEnd   func()                          // coordinator: closes the round root span
+	collectEnd func()                          // coordinator: closes the collect span
 
 	wg       sync.WaitGroup
 	stopping chan struct{}
@@ -311,6 +334,14 @@ func Start(cfg Config) (*Node, error) {
 		stopping: make(chan struct{}),
 		outcome:  make(chan Outcome, 1),
 		errs:     make(chan error, 8),
+	}
+	if cfg.Trace != nil {
+		cfg.Trace.SetTraceID(DeriveTraceID(cfg.Seed))
+		if cfg.ID == cfg.Coordinator {
+			// The round root: the well-known ancestor every participant
+			// parents its top-level spans under, no handshake needed.
+			n.roundEnd = cfg.Trace.StartSpan("round", -1, cfg.Round, obs.RootSpanID, 0)
+		}
 	}
 	n.wg.Add(2)
 	n.goSafe(n.acceptLoop)
@@ -472,6 +503,12 @@ func (n *Node) serve(c *conn) {
 			}
 			n.stats.probesReceived.Add(1)
 			gProbesRecv.Inc()
+			if m.Span != 0 {
+				// Cross-wire causal link: the receive mark's parent is the
+				// sender's probe span, shipped in the frame (and MAC-covered
+				// in keyed clusters).
+				n.cfg.Trace.Mark("probe.recv", int(n.cfg.ID), m.Round, m.Span)
+			}
 			n.mu.Lock()
 			st, ok := n.incoming[m.From]
 			if !ok {
@@ -504,6 +541,15 @@ func (n *Node) serve(c *conn) {
 			gReports.Inc()
 			nLog.Debug("report received", "node", n.cfg.ID, "origin", m.Origin,
 				"links", len(m.Links), "remote", c.raw.RemoteAddr().String())
+			if n.cfg.Trace != nil {
+				// Reassemble the cluster trace: merge the reporter's local
+				// spans (ids are collision-free across nodes) and mark the
+				// receipt, parented to the reporter's report.send span.
+				if m.Span != 0 {
+					n.cfg.Trace.Mark("report.recv", int(m.Origin), m.Round, m.Span)
+				}
+				n.cfg.Trace.AddSpans(m.Spans)
+			}
 			// Ownership of the connection moves to the pending list; it is
 			// answered and closed when the result is ready.
 			parked = true
@@ -522,7 +568,11 @@ func (n *Node) serve(c *conn) {
 // run drives the node's active side: probing, reporting, applying.
 func (n *Node) run() {
 	defer n.wg.Done()
-	if err := n.probePeers(); err != nil {
+	tr := n.cfg.Trace
+	probeSpan, endProbe := tr.StartChild("probe", int(n.cfg.ID), n.cfg.Round, obs.RootSpanID)
+	err := n.probePeers(probeSpan)
+	endProbe()
+	if err != nil {
 		n.fail(err)
 		return
 	}
@@ -544,6 +594,16 @@ func (n *Node) run() {
 		})
 	}
 	n.mu.Unlock()
+	if tr != nil && n.cfg.ID != n.cfg.Coordinator {
+		// Attach the trace context and ship every span recorded so far
+		// (dials, the probe burst, probe receipts) for the coordinator's
+		// cluster-trace reassembly. Must precede signing: the MAC covers
+		// these fields.
+		report.TraceID = tr.TraceID()
+		report.Round = n.cfg.Round
+		report.Span = tr.Mark("report.send", int(n.cfg.ID), n.cfg.Round, obs.RootSpanID)
+		report.Spans = tr.Spans()
+	}
 	if n.cfg.Keys != nil {
 		if err := signMessage(n.cfg.Keys[n.cfg.ID], &report); err != nil {
 			n.fail(err)
@@ -557,6 +617,9 @@ func (n *Node) run() {
 		// From here on, missing reports hold the result up for at most
 		// ReportGrace: the deadline computes from whichever subset arrived.
 		n.mu.Lock()
+		if !n.computed {
+			n.collectEnd = tr.StartSpan("collect", -1, n.cfg.Round, tr.NewSpanID(-1), obs.RootSpanID)
+		}
 		n.absorbReportLocked(&report, nil)
 		if !n.computed {
 			n.grace = time.AfterFunc(n.cfg.ReportGrace, n.reportDeadline)
@@ -568,7 +631,9 @@ func (n *Node) run() {
 	// The report connection retries the dial with backoff and, on a broken
 	// stream, reconnects and resends once — a coordinator restart or a
 	// dropped connection costs a retry, not the node.
+	_, endReport := tr.StartChild("report", int(n.cfg.ID), n.cfg.Round, obs.RootSpanID)
 	res, err := n.reportAndAwait(&report)
+	endReport()
 	if err != nil {
 		n.fail(err)
 		return
@@ -587,7 +652,7 @@ func (n *Node) reportAndAwait(report *Message) (*Message, error) {
 			nLog.Debug("report exchange broke; reconnecting", "node", n.cfg.ID,
 				"addr", n.cfg.CoordinatorAddr, "err", lastErr)
 		}
-		c, err := n.dialRetry(n.cfg.CoordinatorAddr, "coordinator")
+		c, err := n.dialRetry(n.cfg.CoordinatorAddr, "coordinator", obs.RootSpanID)
 		if err != nil {
 			return nil, fmt.Errorf("netsync: dial coordinator: %w", err)
 		}
@@ -625,9 +690,12 @@ func (n *Node) reportDeadline() {
 }
 
 // dialRetry dials with exponential backoff and jitter; what labels the
-// target ("coordinator", "peer 3") for counters and debug logs. Called
-// only from the run goroutine (it shares the node's rng).
-func (n *Node) dialRetry(addr, what string) (*conn, error) {
+// target ("coordinator", "peer 3") for counters and debug logs, parent
+// the enclosing trace span for the recorded "dial" span. Called only
+// from the run goroutine (it shares the node's rng).
+func (n *Node) dialRetry(addr, what string, parent obs.SpanID) (*conn, error) {
+	_, endDial := n.cfg.Trace.StartChild("dial", int(n.cfg.ID), n.cfg.Round, parent)
+	defer endDial()
 	backoff := n.cfg.DialBackoff
 	var lastErr error
 	for attempt := 0; attempt < n.cfg.DialAttempts; attempt++ {
@@ -668,7 +736,7 @@ func (n *Node) dialRetry(addr, what string) (*conn, error) {
 // that cannot be reached — dial failure after retries, or a stream that
 // breaks and cannot be re-established — is dropped, not fatal: its links
 // simply carry no statistics and degrade to the assumption bounds.
-func (n *Node) probePeers() error {
+func (n *Node) probePeers(span obs.SpanID) error {
 	conns := make(map[model.ProcID]*conn, len(n.cfg.Peers))
 	defer func() {
 		for _, c := range conns {
@@ -676,7 +744,7 @@ func (n *Node) probePeers() error {
 		}
 	}()
 	for id, addr := range n.cfg.Peers {
-		c, err := n.dialRetry(addr, fmt.Sprintf("peer %d", id))
+		c, err := n.dialRetry(addr, fmt.Sprintf("peer %d", id), span)
 		if err != nil {
 			continue // dead peer: skip it, keep the node alive
 		}
@@ -684,7 +752,7 @@ func (n *Node) probePeers() error {
 	}
 	for round := 0; round < n.cfg.Probes; round++ {
 		for id, c := range conns {
-			if err := n.sendProbe(c); err != nil {
+			if err := n.sendProbe(c, span); err != nil {
 				// Broken stream: reconnect once and resend (with a fresh
 				// timestamp — a stale stamp would inflate the measured
 				// delay past the declared bounds).
@@ -693,13 +761,13 @@ func (n *Node) probePeers() error {
 				gReconnects.Inc()
 				nLog.Debug("probe stream broke; reconnecting", "node", n.cfg.ID,
 					"peer", id, "err", err)
-				nc, derr := n.dialRetry(n.cfg.Peers[id], fmt.Sprintf("peer %d", id))
+				nc, derr := n.dialRetry(n.cfg.Peers[id], fmt.Sprintf("peer %d", id), span)
 				if derr != nil {
 					delete(conns, id)
 					continue
 				}
 				conns[id] = nc
-				if err := n.sendProbe(nc); err != nil {
+				if err := n.sendProbe(nc, span); err != nil {
 					_ = nc.close()
 					delete(conns, id)
 				}
@@ -717,13 +785,20 @@ func (n *Node) probePeers() error {
 // sendProbe stamps and sends one probe, optionally holding it back by the
 // configured artificial jitter (stamp first, then delay, exactly like a
 // slow link). In a keyed cluster the probe carries a MAC so receivers can
-// reject injected timestamps.
-func (n *Node) sendProbe(c *conn) error {
+// reject injected timestamps. span is the node's probe-burst span, sent
+// as the frame's trace context so the receiver can parent its receive
+// mark across the wire.
+func (n *Node) sendProbe(c *conn, span obs.SpanID) error {
 	sendClock := n.Clock()
 	if n.cfg.Jitter > 0 {
 		time.Sleep(time.Duration(n.rng.Float64() * float64(n.cfg.Jitter)))
 	}
 	m := &Message{Type: "probe", From: n.cfg.ID, SendClock: sendClock}
+	if n.cfg.Trace != nil {
+		m.TraceID = n.cfg.Trace.TraceID()
+		m.Span = span
+		m.Round = n.cfg.Round
+	}
 	if n.cfg.Keys != nil {
 		if err := signMessage(n.cfg.Keys[n.cfg.ID], m); err != nil {
 			return err
@@ -793,6 +868,13 @@ func (n *Node) computeAndDisseminateLocked() {
 	if n.grace != nil {
 		n.grace.Stop()
 	}
+	if n.collectEnd != nil {
+		n.collectEnd()
+		n.collectEnd = nil
+	}
+	tr := n.cfg.Trace
+	computeSpan, endCompute := tr.StartChild("compute", -1, n.cfg.Round, obs.RootSpanID)
+	rec := obs.RoundRecord{Session: n.cfg.Session, Round: n.cfg.Round}
 	tab := trace.NewTable(n.cfg.N, false)
 	var buildErr error
 	for origin, links := range n.reports {
@@ -847,11 +929,29 @@ func (n *Node) computeAndDisseminateLocked() {
 				}
 			}
 		}
-		res, err := core.SynchronizeSystem(n.cfg.N, links, tab, core.DefaultMLSOptions(),
-			core.Options{Root: int(n.cfg.Coordinator), Centered: n.cfg.Centered})
+		// Quality telemetry rides on the solve: the coordinator is the one
+		// place that sees the whole instance, so it publishes the paper's
+		// figures of merit after every compute.
+		opts := core.Options{
+			Root: int(n.cfg.Coordinator), Centered: n.cfg.Centered,
+			Quality: true, QualityLabel: n.cfg.Session,
+			Observer: obs.PhaseFunc(func(phase string, seconds float64) {
+				rec.AddPhase(phase, seconds)
+			}),
+		}
+		if tco := tr.ObserverChild(-1, n.cfg.Round, computeSpan); tco != nil {
+			inner := opts.Observer
+			opts.Observer = obs.PhaseFunc(func(phase string, seconds float64) {
+				inner.ObservePhase(phase, seconds)
+				tco.ObservePhase(phase, seconds)
+			})
+		}
+		res, err := core.SynchronizeSystem(n.cfg.N, links, tab, core.DefaultMLSOptions(), opts)
 		if err != nil {
 			buildErr = err
 		} else {
+			rep := core.AssessQuality(res)
+			rec.Achieved, rec.Optimal, rec.Ratio = rep.Achieved, rep.Optimal, rep.Ratio
 			synced := make([]bool, n.cfg.N)
 			precision := res.Precision
 			for ci, comp := range res.Components {
@@ -872,6 +972,7 @@ func (n *Node) computeAndDisseminateLocked() {
 			msg.Precision = precision // finite: the coordinator component's A_max
 		}
 	}
+	endCompute()
 	if buildErr != nil {
 		msg.Err = buildErr.Error()
 	}
@@ -881,12 +982,44 @@ func (n *Node) computeAndDisseminateLocked() {
 	}
 	n.pending = nil
 	n.result = &msg
+	n.recordRound(&rec, &msg, buildErr)
+	if n.roundEnd != nil {
+		n.roundEnd()
+		n.roundEnd = nil
+	}
 	if buildErr != nil {
 		n.fail(buildErr)
 		return
 	}
 	// Apply locally on the coordinator.
 	n.applyResult(&msg)
+}
+
+// recordRound files the finished round into the process flight recorder
+// so it can be replayed at /debug/rounds or dumped on degraded exit.
+func (n *Node) recordRound(rec *obs.RoundRecord, msg *Message, buildErr error) {
+	rec.Precision = msg.Precision
+	if math.IsNaN(rec.Precision) || math.IsInf(rec.Precision, 0) {
+		rec.Precision = -1
+	}
+	rec.Missing = len(msg.Missing)
+	for _, ok := range msg.Synced {
+		if ok {
+			rec.Synced++
+		}
+	}
+	rec.AuthFailures = int(n.stats.authFailures.Load())
+	switch {
+	case buildErr != nil:
+		rec.Outcome = "failed"
+		rec.Err = buildErr.Error()
+	case msg.Degraded:
+		rec.Outcome = "degraded"
+	default:
+		rec.Outcome = "ok"
+	}
+	rec.WallSeconds = time.Since(n.born).Seconds()
+	obs.Rounds.Record(*rec)
 }
 
 func containsProc(comp []int, p int) bool {
@@ -916,8 +1049,27 @@ func (n *Node) applyResult(m *Message) {
 		Missing:     append([]model.ProcID(nil), m.Missing...),
 		Synced:      append([]bool(nil), m.Synced...),
 	}
+	n.publishNodeMetrics()
 	select {
 	case n.outcome <- out:
 	default:
 	}
+}
+
+// publishNodeMetrics snapshots this node's lifecycle counters into
+// per-node labeled gauges (netsync.node.*{node="<id>"}), so a /metrics
+// scrape separates the nodes that the process-wide netsync.* counters
+// aggregate. Called once per run at outcome time — cheap and idempotent.
+func (n *Node) publishNodeMetrics() {
+	s := n.Stats()
+	id := strconv.Itoa(int(n.cfg.ID))
+	set := func(name string, v int64) {
+		obs.Default.Gauge(obs.Labeled("netsync.node."+name, "node", id)).Set(float64(v))
+	}
+	set("dials", s.Dials)
+	set("probes.sent", s.ProbesSent)
+	set("probes.received", s.ProbesReceived)
+	set("reports.received", s.ReportsReceived)
+	set("auth.failures", s.AuthFailures)
+	set("protocol.errors", s.ProtocolErrors)
 }

@@ -18,12 +18,14 @@ import (
 	"bufio"
 	"crypto/hmac"
 	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"net"
 	"time"
 
 	"clocksync/internal/model"
+	"clocksync/internal/obs"
 	"clocksync/internal/trace"
 )
 
@@ -53,6 +55,26 @@ type Message struct {
 	Missing     []model.ProcID `json:"missing,omitempty"`
 	Synced      []bool         `json:"synced,omitempty"`
 	Err         string         `json:"err,omitempty"`
+
+	// Trace context, attached to every frame type when the cluster runs
+	// with tracing enabled (Config.Trace) and absent otherwise, so the
+	// wire format is byte-identical to older peers until tracing is on.
+	// Old peers ignore the fields (unknown JSON keys are skipped); in
+	// keyed clusters they are covered by the MAC like every other field.
+	//
+	// TraceID is the cluster-wide correlation id (DeriveTraceID); Span is
+	// the sender-side span causally preceding this frame (a probe's
+	// "probe" burst span, a report's "report.send" mark), letting the
+	// receiver parent its receive span across the process boundary; Round
+	// is the synchronization round the frame belongs to.
+	TraceID string     `json:"traceId,omitempty"`
+	Span    obs.SpanID `json:"span,omitempty"`
+	Round   int        `json:"round,omitempty"`
+	// Spans, on report frames, ships the reporter's locally recorded
+	// spans so the coordinator can reassemble one cluster-wide round
+	// trace. Span ids are collision-free across nodes by construction
+	// (obs.Trace.NewSpanID allocates from per-node id ranges).
+	Spans []obs.Span `json:"spans,omitempty"`
 
 	// MAC authenticates probe and report frames under the sender's key
 	// when the cluster is configured with a keyring (Config.Keys); empty
@@ -102,6 +124,15 @@ func DeriveKeys(n int, seed int64) map[model.ProcID][]byte {
 		keys[model.ProcID(p)] = sum[:]
 	}
 	return keys
+}
+
+// DeriveTraceID returns the deterministic cluster-wide trace id for a
+// cluster seed: every participant computes the same id from its own
+// configuration, so probe and report frames correlate without any
+// id-agreement handshake.
+func DeriveTraceID(seed int64) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("clocksync-netsync-trace:%d", seed)))
+	return hex.EncodeToString(sum[:8])
 }
 
 // LinkStats carries the reporter's incoming-direction summary of one link.

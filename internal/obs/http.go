@@ -8,12 +8,13 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
 
-// Health is the /healthz payload: the last synchronization round's
-// outcome, in counts.
+// Health is the /healthz payload for one run/session: the last
+// synchronization round's outcome, in counts.
 type Health struct {
 	// Status is "ok", "degraded" or "unknown" (no round finished yet).
 	Status string `json:"status"`
@@ -28,15 +29,34 @@ type Health struct {
 	// Precision is the guaranteed precision of the synchronized
 	// component; -1 when unbounded or not yet computed.
 	Precision float64 `json:"precision"`
+	// Round is a monotone per-key counter maintained by SetHealthFor: it
+	// increments on every publish for the key, so a scraper can tell a
+	// fresh round from a stale snapshot.
+	Round uint64 `json:"round"`
+	// Key names the run/session the snapshot belongs to ("" for the
+	// process default).
+	Key string `json:"key,omitempty"`
 	// Err carries a terminal error, if the round failed outright.
 	Err string `json:"err,omitempty"`
 }
 
-var health atomic.Value // Health
+// Health is keyed by run/session so concurrent runs in one process do not
+// clobber each other's /healthz (each key carries its own monotone round
+// counter); the unkeyed SetHealth writes the "" default key.
+var (
+	healthMu     sync.Mutex
+	healthByKey  = map[string]Health{}
+	healthLatest string // key of the most recent publish
+)
 
-// SetHealth publishes the latest round outcome for /healthz. Non-finite
-// precisions are coerced to -1 to keep the payload JSON-encodable.
-func SetHealth(h Health) {
+// SetHealth publishes the latest round outcome for /healthz under the
+// process default key. Non-finite precisions are coerced to -1 to keep
+// the payload JSON-encodable.
+func SetHealth(h Health) { SetHealthFor("", h) }
+
+// SetHealthFor publishes the latest round outcome for one run/session.
+// The key's round counter increments monotonically on every publish.
+func SetHealthFor(key string, h Health) {
 	if math.IsNaN(h.Precision) || math.IsInf(h.Precision, 0) {
 		h.Precision = -1
 	}
@@ -47,41 +67,117 @@ func SetHealth(h Health) {
 			h.Status = "ok"
 		}
 	}
-	health.Store(h)
+	h.Key = key
+	healthMu.Lock()
+	h.Round = healthByKey[key].Round + 1
+	healthByKey[key] = h
+	healthLatest = key
+	healthMu.Unlock()
 }
 
-// CurrentHealth returns the last published health (status "unknown"
-// before the first SetHealth).
+// CurrentHealth returns the most recently published health across all
+// keys (status "unknown" before the first publish).
 func CurrentHealth() Health {
-	if h, ok := health.Load().(Health); ok {
+	healthMu.Lock()
+	defer healthMu.Unlock()
+	if h, ok := healthByKey[healthLatest]; ok {
 		return h
 	}
 	return Health{Status: "unknown", Precision: -1}
 }
 
+// CurrentHealthFor returns the health snapshot of one key (status
+// "unknown" when the key has never published).
+func CurrentHealthFor(key string) Health {
+	healthMu.Lock()
+	defer healthMu.Unlock()
+	if h, ok := healthByKey[key]; ok {
+		return h
+	}
+	return Health{Status: "unknown", Precision: -1, Key: key}
+}
+
+// HealthSnapshot returns every published key's latest health.
+func HealthSnapshot() map[string]Health {
+	healthMu.Lock()
+	defer healthMu.Unlock()
+	out := make(map[string]Health, len(healthByKey))
+	for k, h := range healthByKey {
+		out[k] = h
+	}
+	return out
+}
+
+// healthzJSON is the /healthz payload: the latest publish flattened at
+// the top level (back-compat with single-run scrapers) plus every
+// session's snapshot.
+type healthzJSON struct {
+	Health
+	Sessions map[string]Health `json:"sessions,omitempty"`
+}
+
+// wantsJSON implements the /metrics content negotiation: an explicit
+// ?format= wins, then the Accept header; the default is Prometheus text.
+func wantsJSON(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "json":
+		return true
+	case "prometheus", "text":
+		return false
+	}
+	return strings.Contains(r.Header.Get("Accept"), "application/json")
+}
+
 // Handler returns the introspection mux:
 //
-//	/metrics       JSON snapshot of reg
-//	/healthz       last round's outcome; 200 when ok/unknown, 503 when degraded
+//	/metrics       Prometheus text exposition (format 0.0.4) by default;
+//	               JSON snapshot when the Accept header asks for
+//	               application/json or with ?format=json
+//	/healthz       last round's outcome per run/session; 200 when
+//	               ok/unknown, 503 when any session is degraded
+//	/debug/rounds  flight-recorder replay of the last rounds (obs.Rounds)
 //	/debug/vars    expvar (memstats + published vars)
 //	/debug/pprof/  the standard pprof handlers
 func Handler(reg *Registry) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		if err := reg.WriteJSON(w); err != nil {
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if wantsJSON(r) {
+			w.Header().Set("Content-Type", "application/json")
+			if err := reg.WriteJSON(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WritePrometheus(w); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		h := CurrentHealth()
-		w.Header().Set("Content-Type", "application/json")
-		if h.Status == "degraded" {
-			w.WriteHeader(http.StatusServiceUnavailable)
+		doc := healthzJSON{Health: CurrentHealth(), Sessions: HealthSnapshot()}
+		if len(doc.Sessions) == 0 {
+			doc.Sessions = nil
 		}
+		w.Header().Set("Content-Type", "application/json")
+		code := http.StatusOK
+		for _, h := range doc.Sessions {
+			if h.Status == "degraded" {
+				code = http.StatusServiceUnavailable
+			}
+		}
+		if doc.Status == "degraded" {
+			code = http.StatusServiceUnavailable
+		}
+		w.WriteHeader(code)
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		_ = enc.Encode(h)
+		_ = enc.Encode(doc)
+	})
+	mux.HandleFunc("/debug/rounds", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := Rounds.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -104,17 +200,29 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 // Close stops the listener and its in-flight handlers.
 func (s *Server) Close() error { return s.srv.Close() }
 
-var publishOnce sync.Once
+// expvar.Publish panics on duplicate names, so the registry var is
+// published once — but it reads through this pointer, which every Serve
+// re-points at its registry. A later Serve with a custom registry
+// therefore updates what /debug/vars shows instead of silently serving
+// the first registry forever.
+var (
+	publishOnce    sync.Once
+	servedRegistry atomic.Pointer[Registry]
+)
 
 // Serve binds addr and serves Handler(reg) in a background goroutine.
 // The registry snapshot is also published to expvar under
-// "clocksync.metrics" (once per process).
+// "clocksync.metrics"; the expvar entry always reflects the most recent
+// Serve call's registry.
 func Serve(addr string, reg *Registry) (*Server, error) {
 	if reg == nil {
 		reg = Default
 	}
+	servedRegistry.Store(reg)
 	publishOnce.Do(func() {
-		expvar.Publish("clocksync.metrics", expvar.Func(func() any { return reg.Snapshot() }))
+		expvar.Publish("clocksync.metrics", expvar.Func(func() any {
+			return servedRegistry.Load().Snapshot()
+		}))
 	})
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

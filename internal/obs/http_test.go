@@ -6,12 +6,29 @@ import (
 	"math"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 )
 
-func getBody(t *testing.T, srv *httptest.Server, path string) (int, []byte) {
+// resetHealth clears the keyed health registry between tests (the map is
+// process-global).
+func resetHealth() {
+	healthMu.Lock()
+	healthByKey = map[string]Health{}
+	healthLatest = ""
+	healthMu.Unlock()
+}
+
+func getBody(t *testing.T, srv *httptest.Server, path string, accept string) (int, []byte) {
 	t.Helper()
-	resp, err := http.Get(srv.URL + path)
+	req, err := http.NewRequest(http.MethodGet, srv.URL+path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		t.Fatalf("GET %s: %v", path, err)
 	}
@@ -23,15 +40,17 @@ func getBody(t *testing.T, srv *httptest.Server, path string) (int, []byte) {
 	return resp.StatusCode, body
 }
 
-// TestHandlerEndpoints exercises /metrics, /healthz, /debug/vars and the
-// pprof index.
+// TestHandlerEndpoints exercises /metrics (both formats), /healthz,
+// /debug/rounds, /debug/vars and the pprof index.
 func TestHandlerEndpoints(t *testing.T) {
+	resetHealth()
 	reg := NewRegistry()
 	reg.Counter("netsync.dials").Add(7)
 	srv := httptest.NewServer(Handler(reg))
 	t.Cleanup(srv.Close)
 
-	code, body := getBody(t, srv, "/metrics")
+	// JSON when Accept asks for it.
+	code, body := getBody(t, srv, "/metrics", "application/json")
 	if code != http.StatusOK {
 		t.Fatalf("/metrics status %d", code)
 	}
@@ -43,13 +62,32 @@ func TestHandlerEndpoints(t *testing.T) {
 		t.Errorf("/metrics counters = %v", snap.Counters)
 	}
 
+	// Prometheus text by default, and it passes the in-repo checker.
+	code, body = getBody(t, srv, "/metrics", "")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics (text) status %d", code)
+	}
+	if !strings.Contains(string(body), "clocksync_netsync_dials_total 7") {
+		t.Errorf("/metrics text missing counter:\n%s", body)
+	}
+	if err := CheckExposition(body); err != nil {
+		t.Errorf("/metrics text fails checker: %v", err)
+	}
+
+	// ?format= overrides the Accept header.
+	if _, body := getBody(t, srv, "/metrics?format=json", ""); !json.Valid(body) {
+		t.Errorf("/metrics?format=json not JSON:\n%s", body)
+	}
+	if _, body := getBody(t, srv, "/metrics?format=prometheus", "application/json"); json.Valid(body) {
+		t.Errorf("/metrics?format=prometheus served JSON:\n%s", body)
+	}
+
 	// Health transitions: unknown -> ok -> degraded (503).
-	health.Store(Health{Status: "unknown", Precision: -1})
-	if code, _ := getBody(t, srv, "/healthz"); code != http.StatusOK {
+	if code, _ := getBody(t, srv, "/healthz", ""); code != http.StatusOK {
 		t.Errorf("/healthz unknown status %d, want 200", code)
 	}
 	SetHealth(Health{Synced: 4, Applied: 4, Precision: 0.3})
-	code, body = getBody(t, srv, "/healthz")
+	code, body = getBody(t, srv, "/healthz", "")
 	var h Health
 	if err := json.Unmarshal(body, &h); err != nil {
 		t.Fatalf("/healthz not JSON: %v", err)
@@ -57,20 +95,79 @@ func TestHandlerEndpoints(t *testing.T) {
 	if code != http.StatusOK || h.Status != "ok" || h.Synced != 4 {
 		t.Errorf("/healthz ok = %d %+v", code, h)
 	}
+	if h.Round != 1 {
+		t.Errorf("/healthz round = %d, want 1", h.Round)
+	}
 	SetHealth(Health{Degraded: true, Synced: 3, Missing: 1, Applied: 3, Precision: 0.5})
-	code, body = getBody(t, srv, "/healthz")
+	code, body = getBody(t, srv, "/healthz", "")
 	if err := json.Unmarshal(body, &h); err != nil {
 		t.Fatalf("/healthz not JSON: %v", err)
 	}
 	if code != http.StatusServiceUnavailable || h.Status != "degraded" || h.Missing != 1 {
 		t.Errorf("/healthz degraded = %d %+v", code, h)
 	}
+	if h.Round != 2 {
+		t.Errorf("/healthz round = %d, want 2 (monotone per key)", h.Round)
+	}
 
-	if code, _ := getBody(t, srv, "/debug/vars"); code != http.StatusOK {
+	// /debug/rounds serves the flight recorder.
+	code, body = getBody(t, srv, "/debug/rounds", "")
+	if code != http.StatusOK || !json.Valid(body) {
+		t.Errorf("/debug/rounds = %d\n%s", code, body)
+	}
+
+	if code, _ := getBody(t, srv, "/debug/vars", ""); code != http.StatusOK {
 		t.Errorf("/debug/vars status %d", code)
 	}
-	if code, _ := getBody(t, srv, "/debug/pprof/"); code != http.StatusOK {
+	if code, _ := getBody(t, srv, "/debug/pprof/", ""); code != http.StatusOK {
 		t.Errorf("/debug/pprof/ status %d", code)
+	}
+}
+
+// TestHealthKeyed verifies concurrent runs publish under distinct keys
+// without clobbering each other, each with its own monotone round
+// counter, and that /healthz reports 503 when any session is degraded.
+func TestHealthKeyed(t *testing.T) {
+	resetHealth()
+	srv := httptest.NewServer(Handler(NewRegistry()))
+	t.Cleanup(srv.Close)
+
+	SetHealthFor("run-a", Health{Synced: 4, Precision: 0.25})
+	SetHealthFor("run-b", Health{Synced: 6, Precision: 0.5})
+	SetHealthFor("run-a", Health{Synced: 4, Precision: 0.25})
+
+	a := CurrentHealthFor("run-a")
+	b := CurrentHealthFor("run-b")
+	if a.Round != 2 || b.Round != 1 {
+		t.Errorf("rounds: a=%d b=%d, want 2, 1", a.Round, b.Round)
+	}
+	if a.Synced != 4 || b.Synced != 6 {
+		t.Errorf("keys clobbered: a=%+v b=%+v", a, b)
+	}
+	if got := CurrentHealth(); got.Key != "run-a" {
+		t.Errorf("latest key = %q, want run-a", got.Key)
+	}
+	if got := CurrentHealthFor("nope"); got.Status != "unknown" {
+		t.Errorf("unknown key status = %q", got.Status)
+	}
+
+	// One degraded session flips /healthz to 503 even though the latest
+	// publish is healthy.
+	SetHealthFor("run-b", Health{Degraded: true, Synced: 5, Missing: 1, Precision: 0.5})
+	SetHealthFor("run-a", Health{Synced: 4, Precision: 0.25})
+	code, body := getBody(t, srv, "/healthz", "")
+	if code != http.StatusServiceUnavailable {
+		t.Errorf("/healthz with degraded session = %d, want 503\n%s", code, body)
+	}
+	var doc struct {
+		Health
+		Sessions map[string]Health `json:"sessions"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Sessions) != 2 || doc.Sessions["run-b"].Status != "degraded" {
+		t.Errorf("sessions = %+v", doc.Sessions)
 	}
 }
 
@@ -93,8 +190,47 @@ func TestServeBindsAndCloses(t *testing.T) {
 	}
 }
 
+// TestServeRepointsExpvar is the regression test for the publishOnce
+// bug: a second Serve with a different registry must update what the
+// expvar func reports, not keep serving the first registry forever.
+func TestServeRepointsExpvar(t *testing.T) {
+	regA := NewRegistry()
+	regA.Counter("expvar.test.a").Add(1)
+	srvA, err := Serve("127.0.0.1:0", regA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = srvA.Close()
+
+	regB := NewRegistry()
+	regB.Counter("expvar.test.b").Add(2)
+	srvB, err := Serve("127.0.0.1:0", regB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srvB.Close() })
+
+	code, body := getBody(t, &httptest.Server{URL: "http://" + srvB.Addr()}, "/debug/vars", "")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars status %d", code)
+	}
+	var vars struct {
+		Metrics Snapshot `json:"clocksync.metrics"`
+	}
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v", err)
+	}
+	if vars.Metrics.Counters["expvar.test.b"] != 2 {
+		t.Errorf("expvar still serving stale registry: %v", vars.Metrics.Counters)
+	}
+	if _, stale := vars.Metrics.Counters["expvar.test.a"]; stale {
+		t.Errorf("expvar still serving first registry's counters: %v", vars.Metrics.Counters)
+	}
+}
+
 // TestSetHealthSanitizes coerces non-finite precision.
 func TestSetHealthSanitizes(t *testing.T) {
+	resetHealth()
 	SetHealth(Health{Precision: math.Inf(1)})
 	if h := CurrentHealth(); h.Precision != -1 {
 		t.Errorf("precision = %v, want -1", h.Precision)

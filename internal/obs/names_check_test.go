@@ -1,0 +1,70 @@
+package obs_test
+
+import (
+	"bytes"
+	"testing"
+
+	"clocksync/internal/obs"
+
+	// Imported for their side effects: each package registers its static
+	// metric families in obs.Default at init, so the snapshot below covers
+	// the repository's metric inventory. dist transitively pulls core.
+	_ "clocksync/internal/dist"
+	_ "clocksync/internal/netsync"
+	_ "clocksync/internal/sim"
+)
+
+// TestRegisteredMetricNames is the repository's metric-name gate: every
+// name registered in the default registry must map to a valid Prometheus
+// exposition line (clocksync_ prefixed, underscores for dots, optional
+// label block). CI runs this before the live /metrics scrape, so a bad
+// name fails fast instead of poisoning the endpoint.
+func TestRegisteredMetricNames(t *testing.T) {
+	snap := obs.Default.Snapshot()
+	total := 0
+	check := func(kind, key string) {
+		total++
+		if err := obs.ValidMetricName(key); err != nil {
+			t.Errorf("%s %q: %v", kind, key, err)
+		}
+	}
+	for key := range snap.Counters {
+		check("counter", key)
+	}
+	for key := range snap.Gauges {
+		check("gauge", key)
+	}
+	for key := range snap.Histograms {
+		check("histogram", key)
+	}
+	if total < 30 {
+		t.Fatalf("only %d metrics registered — the side-effect imports did not take", total)
+	}
+
+	// Names minted at runtime (per-node gauges, per-phase histograms,
+	// session-labeled quality metrics) follow these fixed patterns.
+	for _, key := range []string{
+		obs.Labeled("netsync.node.probes.sent", "node", "3"),
+		obs.Labeled("quality.precision.ratio", "session", "dist"),
+		"dist.phase.probe.seconds",
+		"quality.gradient.pair",
+		"quality.link.slack",
+	} {
+		if err := obs.ValidMetricName(key); err != nil {
+			t.Errorf("runtime-minted name %q: %v", key, err)
+		}
+	}
+}
+
+// TestDefaultRegistryExposition: the full default registry, with every
+// package's families registered, must produce a checker-clean Prometheus
+// exposition.
+func TestDefaultRegistryExposition(t *testing.T) {
+	var buf bytes.Buffer
+	if err := obs.Default.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.CheckExposition(buf.Bytes()); err != nil {
+		t.Errorf("default registry exposition invalid: %v", err)
+	}
+}

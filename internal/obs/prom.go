@@ -1,0 +1,503 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4) for the registry.
+//
+// Registry names are dotted and lowercase ("dist.probes.sent"); the
+// exposition maps them to stable Prometheus names by prefixing
+// "clocksync_" and replacing dots with underscores. Counters additionally
+// get the conventional "_total" suffix. A name may carry labels appended
+// in Prometheus syntax — build such names with Labeled:
+//
+//	obs.Default.Gauge(obs.Labeled("netsync.node.probes.sent", "node", "3"))
+//
+// which exposes as clocksync_netsync_node_probes_sent{node="3"}. The JSON
+// snapshot keeps the raw key (labels included) so both formats stay
+// self-consistent.
+
+// PromPrefix is the namespace every exposed metric name carries.
+const PromPrefix = "clocksync_"
+
+// Labeled appends Prometheus-style labels to a metric name:
+// Labeled("a.b", "node", "3", "session", "x") == `a.b{node="3",session="x"}`.
+// Keys are sorted so the same label set always produces the same registry
+// key. Label values are escaped per the exposition format.
+func Labeled(name string, kv ...string) string {
+	if len(kv) == 0 || len(kv)%2 != 0 {
+		return name
+	}
+	type pair struct{ k, v string }
+	pairs := make([]pair, 0, len(kv)/2)
+	for i := 0; i+1 < len(kv); i += 2 {
+		pairs = append(pairs, pair{kv[i], kv[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(p.v))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// splitLabels separates a registry key into its base name and the raw
+// label block ("" when unlabeled): "a.b{x=\"1\"}" -> ("a.b", `x="1"`).
+func splitLabels(key string) (base, labels string) {
+	i := strings.IndexByte(key, '{')
+	if i < 0 || !strings.HasSuffix(key, "}") {
+		return key, ""
+	}
+	return key[:i], key[i+1 : len(key)-1]
+}
+
+// PromName maps a dotted registry base name to its exposed Prometheus
+// name: PromPrefix + dots replaced by underscores.
+func PromName(base string) string {
+	return PromPrefix + strings.ReplaceAll(base, ".", "_")
+}
+
+// ValidMetricName reports whether a registry key is mappable to a valid
+// Prometheus metric: the base must be non-empty, lowercase dotted
+// ([a-z0-9_] segments separated by single dots, starting with a letter),
+// and any label block must consist of k="v" pairs with valid label names.
+// The repository enforces this for every registered metric (see the
+// names test in obs), so the text exposition can never emit an invalid
+// line.
+func ValidMetricName(key string) error {
+	base, labels := splitLabels(key)
+	if base == "" {
+		return fmt.Errorf("obs: empty metric name")
+	}
+	for _, seg := range strings.Split(base, ".") {
+		if !validNameSegment(seg) {
+			return fmt.Errorf("obs: metric %q: segment %q not [a-z][a-z0-9_]*", key, seg)
+		}
+	}
+	if labels == "" {
+		if strings.ContainsAny(key, "{}") {
+			return fmt.Errorf("obs: metric %q: malformed label block", key)
+		}
+		return nil
+	}
+	if err := validLabelBlock(labels); err != nil {
+		return fmt.Errorf("obs: metric %q: %w", key, err)
+	}
+	return nil
+}
+
+func validNameSegment(seg string) bool {
+	if seg == "" {
+		return false
+	}
+	for i, c := range seg {
+		switch {
+		case c >= 'a' && c <= 'z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelBlock(labels string) error {
+	rest := labels
+	for rest != "" {
+		eq := strings.IndexByte(rest, '=')
+		if eq <= 0 || len(rest) < eq+2 || rest[eq+1] != '"' {
+			return fmt.Errorf("malformed label pair near %q", rest)
+		}
+		name := rest[:eq]
+		if !validLabelName(name) {
+			return fmt.Errorf("invalid label name %q", name)
+		}
+		// Find the closing quote, skipping escapes.
+		i := eq + 2
+		for {
+			j := strings.IndexByte(rest[i:], '"')
+			if j < 0 {
+				return fmt.Errorf("unterminated label value in %q", rest)
+			}
+			end := i + j
+			// Count the backslashes immediately before the quote.
+			bs := 0
+			for k := end - 1; k >= eq+2 && rest[k] == '\\'; k-- {
+				bs++
+			}
+			if bs%2 == 0 {
+				i = end
+				break
+			}
+			i = end + 1
+		}
+		rest = rest[i+1:]
+		if rest == "" {
+			return nil
+		}
+		if rest[0] != ',' || len(rest) == 1 {
+			return fmt.Errorf("malformed label separator near %q", rest)
+		}
+		rest = rest[1:]
+	}
+	return nil
+}
+
+func validLabelName(name string) bool {
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return name != "" && !strings.HasPrefix(name, "__")
+}
+
+// promSeries is one exposed sample group: a base name plus all label
+// variants sharing it.
+type promSeries struct {
+	labels string
+	key    string
+}
+
+// WritePrometheus writes the registry in Prometheus text exposition
+// format 0.0.4: counters (as *_total), gauges, and histograms with
+// cumulative le buckets, _sum and _count. Output is sorted by exposed
+// name, then label block, so it is stable for a fixed registry state.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	s := r.Snapshot()
+	bw := bufio.NewWriter(w)
+
+	counters := groupKeys(mapKeys(s.Counters))
+	for _, base := range sortedBases(counters) {
+		name := PromName(base) + "_total"
+		fmt.Fprintf(bw, "# HELP %s Counter %s.\n# TYPE %s counter\n", name, base, name)
+		for _, sr := range counters[base] {
+			fmt.Fprintf(bw, "%s%s %d\n", name, labelBlock(sr.labels), s.Counters[sr.key])
+		}
+	}
+
+	gauges := groupKeys(mapKeys(s.Gauges))
+	for _, base := range sortedBases(gauges) {
+		name := PromName(base)
+		fmt.Fprintf(bw, "# HELP %s Gauge %s.\n# TYPE %s gauge\n", name, base, name)
+		for _, sr := range gauges[base] {
+			fmt.Fprintf(bw, "%s%s %s\n", name, labelBlock(sr.labels), promFloat(s.Gauges[sr.key]))
+		}
+	}
+
+	hists := groupKeys(mapKeys(s.Histograms))
+	for _, base := range sortedBases(hists) {
+		name := PromName(base)
+		fmt.Fprintf(bw, "# HELP %s Histogram %s.\n# TYPE %s histogram\n", name, base, name)
+		for _, sr := range hists[base] {
+			h := s.Histograms[sr.key]
+			cum := int64(0)
+			for i, bound := range h.Bounds {
+				cum += h.Counts[i]
+				fmt.Fprintf(bw, "%s_bucket%s %d\n", name,
+					labelBlock(joinLabels(sr.labels, `le="`+promFloat(bound)+`"`)), cum)
+			}
+			if len(h.Counts) > 0 {
+				cum += h.Counts[len(h.Counts)-1]
+			}
+			fmt.Fprintf(bw, "%s_bucket%s %d\n", name,
+				labelBlock(joinLabels(sr.labels, `le="+Inf"`)), cum)
+			fmt.Fprintf(bw, "%s_sum%s %s\n", name, labelBlock(sr.labels), promFloat(h.Sum))
+			fmt.Fprintf(bw, "%s_count%s %d\n", name, labelBlock(sr.labels), h.Count)
+		}
+	}
+	return bw.Flush()
+}
+
+func mapKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// groupKeys buckets sorted registry keys by base name, keeping label
+// variants sorted within each base.
+func groupKeys(keys []string) map[string][]promSeries {
+	out := make(map[string][]promSeries)
+	for _, k := range keys {
+		base, labels := splitLabels(k)
+		out[base] = append(out[base], promSeries{labels: labels, key: k})
+	}
+	return out
+}
+
+func sortedBases(m map[string][]promSeries) []string {
+	bases := make([]string, 0, len(m))
+	for b := range m {
+		bases = append(bases, b)
+	}
+	sort.Strings(bases)
+	return bases
+}
+
+func labelBlock(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+func joinLabels(a, b string) string {
+	if a == "" {
+		return b
+	}
+	return a + "," + b
+}
+
+// promFloat renders a float the way Prometheus expects: shortest
+// round-trippable decimal, with +Inf/-Inf/NaN spelled out.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// CheckExposition validates a Prometheus text exposition (the subset this
+// package emits, which is also the subset most scrapers accept): every
+// non-comment line must be `name[{labels}] value`, every sample must be
+// preceded by a TYPE declaration for its metric family, histogram
+// families must end with a le="+Inf" bucket whose count equals _count,
+// bucket counts must be non-decreasing, and no family may be declared
+// twice. It is the in-repo gate CI runs against the live /metrics
+// endpoint.
+func CheckExposition(data []byte) error {
+	families := map[string]family{}
+	// Histogram bookkeeping, keyed by family name + label block (minus le).
+	lastBucket := map[string]int64{}
+	infBucket := map[string]int64{}
+	counts := map[string]int64{}
+	sawSample := false
+
+	lines := strings.Split(string(data), "\n")
+	for ln, line := range lines {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# ") {
+			fields := strings.Fields(line)
+			if len(fields) < 3 {
+				return fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+			}
+			switch fields[1] {
+			case "HELP":
+				// free text, nothing to validate beyond the name
+			case "TYPE":
+				if len(fields) != 4 {
+					return fmt.Errorf("line %d: malformed TYPE line %q", lineNo, line)
+				}
+				name, typ := fields[2], fields[3]
+				if typ != "counter" && typ != "gauge" && typ != "histogram" && typ != "summary" && typ != "untyped" {
+					return fmt.Errorf("line %d: unknown metric type %q", lineNo, typ)
+				}
+				if _, dup := families[name]; dup {
+					return fmt.Errorf("line %d: duplicate TYPE declaration for %q", lineNo, name)
+				}
+				families[name] = family{typ: typ}
+			default:
+				return fmt.Errorf("line %d: unknown comment directive %q", lineNo, fields[1])
+			}
+			continue
+		}
+		// Sample line: name[{labels}] value
+		nameEnd := strings.IndexAny(line, "{ ")
+		if nameEnd < 0 {
+			return fmt.Errorf("line %d: malformed sample %q", lineNo, line)
+		}
+		name := line[:nameEnd]
+		rest := line[nameEnd:]
+		labels := ""
+		if rest[0] == '{' {
+			end := strings.LastIndexByte(rest, '}')
+			if end < 0 {
+				return fmt.Errorf("line %d: unterminated label block in %q", lineNo, line)
+			}
+			labels = rest[1:end]
+			if err := validLabelBlock(labels); err != nil {
+				return fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			rest = rest[end+1:]
+		}
+		valStr := strings.TrimSpace(rest)
+		if valStr == "" {
+			return fmt.Errorf("line %d: missing value in %q", lineNo, line)
+		}
+		// Timestamps (a second field) are permitted by the format.
+		valStr = strings.Fields(valStr)[0]
+		val, err := parsePromValue(valStr)
+		if err != nil {
+			return fmt.Errorf("line %d: bad value %q: %v", lineNo, valStr, err)
+		}
+		if !validPromMetricName(name) {
+			return fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+		}
+		famName := familyOf(name, families)
+		fam, ok := families[famName]
+		if !ok {
+			return fmt.Errorf("line %d: sample %q precedes its TYPE declaration", lineNo, name)
+		}
+		sawSample = true
+		if fam.typ == "histogram" && strings.HasSuffix(name, "_bucket") {
+			le, rem, found := extractLE(labels)
+			if !found {
+				return fmt.Errorf("line %d: histogram bucket without le label in %q", lineNo, line)
+			}
+			seriesKey := famName + "{" + rem + "}"
+			if int64(val) < lastBucket[seriesKey] {
+				return fmt.Errorf("line %d: histogram %s buckets not cumulative", lineNo, famName)
+			}
+			lastBucket[seriesKey] = int64(val)
+			if le == "+Inf" {
+				infBucket[seriesKey] = int64(val)
+			}
+		}
+		if fam.typ == "histogram" && strings.HasSuffix(name, "_count") {
+			seriesKey := famName + "{" + labels + "}"
+			counts[seriesKey] = int64(val)
+		}
+	}
+	if !sawSample {
+		return fmt.Errorf("obs: exposition contains no samples")
+	}
+	for seriesKey, c := range counts {
+		inf, ok := infBucket[seriesKey]
+		if !ok {
+			return fmt.Errorf("histogram series %s has no le=\"+Inf\" bucket", seriesKey)
+		}
+		if inf != c {
+			return fmt.Errorf("histogram series %s: +Inf bucket %d != count %d", seriesKey, inf, c)
+		}
+	}
+	return nil
+}
+
+func parsePromValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func validPromMetricName(name string) bool {
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return name != ""
+}
+
+// familyOf strips histogram/summary sample suffixes to find the declared
+// family a sample belongs to.
+func familyOf(name string, families map[string]family) string {
+	if _, ok := families[name]; ok {
+		return name
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, found := strings.CutSuffix(name, suf); found {
+			if _, ok := families[base]; ok {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+// family is one declared metric family in a checked exposition.
+type family struct{ typ string }
+
+// extractLE removes the le="..." pair from a label block, returning its
+// value and the remaining block.
+func extractLE(labels string) (le, rest string, found bool) {
+	parts := splitLabelPairs(labels)
+	var kept []string
+	for _, p := range parts {
+		if v, ok := strings.CutPrefix(p, `le="`); ok && strings.HasSuffix(v, `"`) {
+			le = strings.TrimSuffix(v, `"`)
+			found = true
+			continue
+		}
+		kept = append(kept, p)
+	}
+	return le, strings.Join(kept, ","), found
+}
+
+// splitLabelPairs splits a label block on commas outside quoted values.
+func splitLabelPairs(labels string) []string {
+	if labels == "" {
+		return nil
+	}
+	var parts []string
+	depth := false // inside a quoted value
+	start := 0
+	for i := 0; i < len(labels); i++ {
+		switch labels[i] {
+		case '\\':
+			i++
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				parts = append(parts, labels[start:i])
+				start = i + 1
+			}
+		}
+	}
+	parts = append(parts, labels[start:])
+	return parts
+}

@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestLabeled: deterministic, sorted, escaped label blocks.
+func TestLabeled(t *testing.T) {
+	cases := []struct {
+		name string
+		kv   []string
+		want string
+	}{
+		{"a.b", nil, "a.b"},
+		{"a.b", []string{"node", "3"}, `a.b{node="3"}`},
+		{"a.b", []string{"z", "1", "a", "2"}, `a.b{a="2",z="1"}`},
+		{"a.b", []string{"odd"}, "a.b"}, // odd pair count: name unchanged
+		{"a.b", []string{"k", `x"y\z` + "\n"}, `a.b{k="x\"y\\z\n"}`},
+	}
+	for _, c := range cases {
+		if got := Labeled(c.name, c.kv...); got != c.want {
+			t.Errorf("Labeled(%q, %v) = %q, want %q", c.name, c.kv, got, c.want)
+		}
+	}
+	// Every Labeled output must pass the validator it is checked against.
+	for _, c := range cases {
+		if err := ValidMetricName(Labeled(c.name, c.kv...)); err != nil {
+			t.Errorf("Labeled(%q, %v) fails ValidMetricName: %v", c.name, c.kv, err)
+		}
+	}
+}
+
+// TestValidMetricName covers the accept and reject sets.
+func TestValidMetricName(t *testing.T) {
+	valid := []string{
+		"a", "a.b", "dist.probes.sent", "a_b.c_d", "a1.b2",
+		`a.b{node="3"}`, `a.b{a="1",b="2"}`, `a.b{k="va\"l"}`,
+	}
+	for _, name := range valid {
+		if err := ValidMetricName(name); err != nil {
+			t.Errorf("ValidMetricName(%q) = %v, want nil", name, err)
+		}
+	}
+	invalid := []string{
+		"", "A.b", "a..b", ".a", "a.", "1a", "a-b", "a b",
+		"a.b{", "a.b}", `a.b{node=3}`, `a.b{node="3"`, `a.b{="3"}`,
+		`a.b{__reserved="x"}`, `a.b{1x="y"}`, `a.b{k="unterminated}`,
+	}
+	for _, name := range invalid {
+		if err := ValidMetricName(name); err == nil {
+			t.Errorf("ValidMetricName(%q) = nil, want error", name)
+		}
+	}
+}
+
+// TestPromName: dotted registry names map to prefixed underscore names.
+func TestPromName(t *testing.T) {
+	if got := PromName("dist.probes.sent"); got != "clocksync_dist_probes_sent" {
+		t.Errorf("PromName = %q", got)
+	}
+}
+
+// TestWritePrometheusGolden locks the full exposition of a small registry:
+// counter with _total, labeled gauge variants, histogram with cumulative
+// buckets, +Inf, _sum and _count.
+func TestWritePrometheusGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("runs.total.count").Add(3)
+	reg.Gauge(Labeled("node.dials", "node", "0")).Set(2)
+	reg.Gauge(Labeled("node.dials", "node", "1")).Set(5)
+	h := reg.Histogram("lat.seconds", []float64{0.1, 1})
+	h.Observe(0.05) // le=0.1
+	h.Observe(0.5)  // le=1
+	h.Observe(2)    // overflow -> only +Inf
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP clocksync_runs_total_count_total Counter runs.total.count.
+# TYPE clocksync_runs_total_count_total counter
+clocksync_runs_total_count_total 3
+# HELP clocksync_node_dials Gauge node.dials.
+# TYPE clocksync_node_dials gauge
+clocksync_node_dials{node="0"} 2
+clocksync_node_dials{node="1"} 5
+# HELP clocksync_lat_seconds Histogram lat.seconds.
+# TYPE clocksync_lat_seconds histogram
+clocksync_lat_seconds_bucket{le="0.1"} 1
+clocksync_lat_seconds_bucket{le="1"} 2
+clocksync_lat_seconds_bucket{le="+Inf"} 3
+clocksync_lat_seconds_sum 2.55
+clocksync_lat_seconds_count 3
+`
+	if got := buf.String(); got != want {
+		t.Errorf("exposition mismatch:\n got:\n%s\nwant:\n%s", got, want)
+	}
+	if err := CheckExposition(buf.Bytes()); err != nil {
+		t.Errorf("golden exposition fails its own checker: %v", err)
+	}
+}
+
+// TestHistogramBucketBoundaries: a value equal to a bound lands in that
+// bound's bucket (le semantics), and the exposition stays cumulative.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("b", []float64{1, 2, 4})
+	for _, v := range []float64{1, 2, 4} { // each exactly on a boundary
+		h.Observe(v)
+	}
+	h.Observe(4.0000001) // just past the last bound -> overflow
+	s := h.Snapshot()
+	if len(s.Counts) != 4 {
+		t.Fatalf("counts = %v", s.Counts)
+	}
+	for i, want := range []int64{1, 1, 1, 1} {
+		if s.Counts[i] != want {
+			t.Errorf("bucket %d = %d, want %d (le boundary semantics)", i, s.Counts[i], want)
+		}
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range []string{
+		`clocksync_b_bucket{le="1"} 1`,
+		`clocksync_b_bucket{le="2"} 2`,
+		`clocksync_b_bucket{le="4"} 3`,
+		`clocksync_b_bucket{le="+Inf"} 4`,
+	} {
+		if !strings.Contains(buf.String(), line) {
+			t.Errorf("exposition missing %q:\n%s", line, buf.String())
+		}
+	}
+}
+
+// TestPromFloat locks the exposition's spelling of floats, including the
+// non-finite values Prometheus spells out.
+func TestPromFloat(t *testing.T) {
+	cases := map[string]string{
+		promFloat(1.5):          "1.5",
+		promFloat(0):            "0",
+		promFloat(math.Inf(1)):  "+Inf",
+		promFloat(math.Inf(-1)): "-Inf",
+		promFloat(math.NaN()):   "NaN",
+	}
+	for got, want := range cases {
+		if got != want {
+			t.Errorf("promFloat = %q, want %q", got, want)
+		}
+	}
+}
+
+// TestCheckExpositionRejects: the checker catches the malformations CI
+// relies on it to catch.
+func TestCheckExpositionRejects(t *testing.T) {
+	cases := map[string]string{
+		"sample before TYPE":    "clocksync_x 1\n",
+		"duplicate TYPE":        "# TYPE a counter\n# TYPE a counter\na 1\n",
+		"unknown type":          "# TYPE a widget\na 1\n",
+		"bad value":             "# TYPE a gauge\na one\n",
+		"bad name":              "# TYPE a gauge\n-a 1\n",
+		"empty exposition":      "\n",
+		"non-cumulative bucket": "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n",
+		"missing +Inf bucket":   "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+		"count != +Inf":         "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 2\n",
+		"bucket without le":     "# TYPE h histogram\nh_bucket 1\nh_count 1\n",
+		"malformed labels":      "# TYPE a gauge\na{k=v} 1\n",
+	}
+	for name, body := range cases {
+		if err := CheckExposition([]byte(body)); err == nil {
+			t.Errorf("%s: CheckExposition accepted\n%s", name, body)
+		}
+	}
+	// And the accept case with a timestamp (permitted by the format).
+	ok := "# TYPE a gauge\na 1 1712345678\n"
+	if err := CheckExposition([]byte(ok)); err != nil {
+		t.Errorf("timestamped sample rejected: %v", err)
+	}
+}

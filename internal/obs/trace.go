@@ -2,8 +2,10 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -20,6 +22,19 @@ type PhaseFunc func(phase string, seconds float64)
 
 // ObservePhase implements PhaseObserver.
 func (f PhaseFunc) ObservePhase(phase string, seconds float64) { f(phase, seconds) }
+
+// SpanID identifies one span within a trace. IDs are allocated per
+// emitting node from disjoint ranges (NewSpanID), so spans recorded on
+// different processes can be merged into one trace without collisions.
+// The zero SpanID means "no id" (legacy spans) and RootSpanID is the
+// well-known id of a round's root span, so distributed emitters can
+// parent their spans under the coordinator's round without a handshake.
+type SpanID uint64
+
+// RootSpanID is the conventional id of the round root span: the
+// coordinator (or leader) records the "round" span under this id, and
+// every other participant parents its top-level spans to it.
+const RootSpanID SpanID = 1
 
 // Span is one timed phase of a synchronization round.
 type Span struct {
@@ -39,16 +54,25 @@ type Span struct {
 	// Sim marks spans measured on the simulated clock axis rather than
 	// wall time.
 	Sim bool `json:"sim,omitempty"`
+	// ID identifies the span within its trace (0 for legacy spans that
+	// never participate in causal links).
+	ID SpanID `json:"id,omitempty"`
+	// Parent is the id of the causally enclosing span: RootSpanID for
+	// top-level per-node work, a probe span's id for its remote receive
+	// span, and so on. 0 means "no recorded parent".
+	Parent SpanID `json:"parent,omitempty"`
 }
 
 // Trace accumulates the spans of a run. All methods are safe for
 // concurrent use and safe on a nil receiver (they become no-ops), so
 // instrumented code can thread an optional *Trace without nil checks.
 type Trace struct {
-	mu    sync.Mutex
-	name  string
-	t0    time.Time
-	spans []Span
+	mu      sync.Mutex
+	name    string
+	traceID string
+	t0      time.Time
+	spans   []Span
+	seq     atomic.Uint64 // per-trace span sequence for NewSpanID
 }
 
 // NewTrace creates an empty trace; name labels the run in the JSON
@@ -65,6 +89,41 @@ func (t *Trace) Name() string {
 	return t.name
 }
 
+// SetTraceID labels the trace with a cluster-wide correlation id (a hex
+// string derived deterministically from the cluster configuration, so
+// every participant computes the same id without a handshake). No-op on
+// nil.
+func (t *Trace) SetTraceID(id string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.traceID = id
+	t.mu.Unlock()
+}
+
+// TraceID returns the correlation id ("" on nil or when unset).
+func (t *Trace) TraceID() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.traceID
+}
+
+// NewSpanID allocates a fresh span id in node's private range: the high
+// 32 bits carry node+2 (so node -1, the global pseudo-processor, and
+// node 0 both stay clear of RootSpanID), the low 32 bits a per-trace
+// sequence. IDs from distinct nodes therefore never collide when
+// node-local spans are merged into a cluster trace. Returns 0 on nil.
+func (t *Trace) NewSpanID(node int) SpanID {
+	if t == nil {
+		return 0
+	}
+	return SpanID(uint64(node+2)<<32 | t.seq.Add(1)&0xffffffff)
+}
+
 // Add appends one span.
 func (t *Trace) Add(s Span) {
 	if t == nil {
@@ -75,9 +134,32 @@ func (t *Trace) Add(s Span) {
 	t.mu.Unlock()
 }
 
+// AddSpans appends a batch of externally recorded spans (e.g. spans a
+// remote node shipped inside its report) without touching their ids.
+func (t *Trace) AddSpans(spans []Span) {
+	if t == nil || len(spans) == 0 {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, spans...)
+	t.mu.Unlock()
+}
+
 // AddSim appends a span measured on the simulated clock axis.
 func (t *Trace) AddSim(phase string, proc, round int, startClock, seconds float64) {
 	t.Add(Span{Phase: phase, Proc: proc, Round: round, Start: startClock, Seconds: seconds, Sim: true})
+}
+
+// AddSimChild appends a sim-clock span with explicit causal links and
+// returns its id (0 on nil).
+func (t *Trace) AddSimChild(phase string, proc, round int, startClock, seconds float64, parent SpanID) SpanID {
+	if t == nil {
+		return 0
+	}
+	id := t.NewSpanID(proc)
+	t.Add(Span{Phase: phase, Proc: proc, Round: round, Start: startClock, Seconds: seconds,
+		Sim: true, ID: id, Parent: parent})
+	return id
 }
 
 // Start begins a wall-clock span and returns the function that ends and
@@ -98,10 +180,62 @@ func (t *Trace) Start(phase string, proc, round int) func() {
 	}
 }
 
+// StartChild begins a wall-clock span parented under parent and returns
+// the new span's id together with the function that ends and records it.
+// On a nil trace the id is 0 and the closer is a no-op.
+func (t *Trace) StartChild(phase string, proc, round int, parent SpanID) (SpanID, func()) {
+	if t == nil {
+		return 0, func() {}
+	}
+	id := t.NewSpanID(proc)
+	return id, t.StartSpan(phase, proc, round, id, parent)
+}
+
+// StartSpan begins a wall-clock span with an explicit id (e.g.
+// RootSpanID for a round's root) and returns the function that ends and
+// records it. No-op closer on a nil trace.
+func (t *Trace) StartSpan(phase string, proc, round int, id, parent SpanID) func() {
+	if t == nil {
+		return func() {}
+	}
+	begin := time.Now()
+	return func() {
+		t.Add(Span{
+			Phase:   phase,
+			Proc:    proc,
+			Round:   round,
+			Start:   begin.Sub(t.t0).Seconds(),
+			Seconds: time.Since(begin).Seconds(),
+			ID:      id,
+			Parent:  parent,
+		})
+	}
+}
+
+// Mark records an instant (zero-duration) wall-clock span now — e.g. a
+// frame receipt whose causal parent is the sender's span — and returns
+// its id (0 on nil).
+func (t *Trace) Mark(phase string, proc, round int, parent SpanID) SpanID {
+	if t == nil {
+		return 0
+	}
+	id := t.NewSpanID(proc)
+	t.Add(Span{Phase: phase, Proc: proc, Round: round,
+		Start: time.Since(t.t0).Seconds(), ID: id, Parent: parent})
+	return id
+}
+
 // Observer returns a PhaseObserver that records each reported phase as a
 // wall-clock span attributed to proc and round. Returns nil on a nil
 // trace so callers can pass it straight into core.Options.
 func (t *Trace) Observer(proc, round int) PhaseObserver {
+	return t.ObserverChild(proc, round, 0)
+}
+
+// ObserverChild is Observer with every recorded span parented under
+// parent (typically the enclosing "compute" span). Returns nil on a nil
+// trace.
+func (t *Trace) ObserverChild(proc, round int, parent SpanID) PhaseObserver {
 	if t == nil {
 		return nil
 	}
@@ -110,7 +244,8 @@ func (t *Trace) Observer(proc, round int) PhaseObserver {
 		if start < 0 {
 			start = 0
 		}
-		t.Add(Span{Phase: phase, Proc: proc, Round: round, Start: start, Seconds: seconds})
+		t.Add(Span{Phase: phase, Proc: proc, Round: round, Start: start, Seconds: seconds,
+			ID: t.NewSpanID(proc), Parent: parent})
 	})
 }
 
@@ -136,13 +271,14 @@ func (t *Trace) Len() int {
 
 // traceJSON is the export envelope.
 type traceJSON struct {
-	Name  string `json:"name"`
-	Spans []Span `json:"spans"`
+	Name    string `json:"name"`
+	TraceID string `json:"traceId,omitempty"`
+	Spans   []Span `json:"spans"`
 }
 
 // JSON renders the trace as an indented JSON document.
 func (t *Trace) JSON() ([]byte, error) {
-	doc := traceJSON{Name: t.Name(), Spans: t.Spans()}
+	doc := traceJSON{Name: t.Name(), TraceID: t.TraceID(), Spans: t.Spans()}
 	if doc.Spans == nil {
 		doc.Spans = []Span{}
 	}
@@ -152,6 +288,85 @@ func (t *Trace) JSON() ([]byte, error) {
 // WriteJSON writes the JSON export to w.
 func (t *Trace) WriteJSON(w io.Writer) error {
 	data, err := t.JSON()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+// chromeEvent is one entry of the Chrome trace_event format ("X" complete
+// events), loadable directly by Perfetto and chrome://tracing. Timestamps
+// are microseconds; pid separates the clock axes (0 wall, 1 simulated)
+// and tid is the processor.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeMeta struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Args map[string]any `json:"args"`
+}
+
+type chromeDoc struct {
+	TraceEvents     []any  `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+// ChromeJSON renders the trace in Chrome trace_event format so a round
+// opens directly in Perfetto (ui.perfetto.dev) or chrome://tracing.
+// Wall-clock spans land in process 0, sim-clock spans in process 1 (the
+// two axes share no origin, so mixing them on one timeline would
+// mislead); each processor is a thread, and every event's args carry the
+// span id, parent id, round and trace id for causal reconstruction.
+func (t *Trace) ChromeJSON() ([]byte, error) {
+	spans := t.Spans()
+	traceID := t.TraceID()
+	doc := chromeDoc{TraceEvents: make([]any, 0, len(spans)+2), DisplayTimeUnit: "ms"}
+	for pid, label := range []string{t.Name() + " (wall clock)", t.Name() + " (sim clock)"} {
+		doc.TraceEvents = append(doc.TraceEvents, chromeMeta{
+			Name: "process_name", Ph: "M", Pid: pid, Args: map[string]any{"name": label},
+		})
+	}
+	for _, s := range spans {
+		pid := 0
+		if s.Sim {
+			pid = 1
+		}
+		args := map[string]any{"round": s.Round}
+		if s.ID != 0 {
+			args["id"] = fmt.Sprintf("%#x", uint64(s.ID))
+		}
+		if s.Parent != 0 {
+			args["parent"] = fmt.Sprintf("%#x", uint64(s.Parent))
+		}
+		if traceID != "" {
+			args["trace"] = traceID
+		}
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: s.Phase,
+			Ph:   "X",
+			Ts:   s.Start * 1e6,
+			Dur:  s.Seconds * 1e6,
+			Pid:  pid,
+			Tid:  s.Proc,
+			Args: args,
+		})
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}
+
+// WriteChrome writes the Chrome trace_event export to w.
+func (t *Trace) WriteChrome(w io.Writer) error {
+	data, err := t.ChromeJSON()
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestNewSpanIDDisjoint: ids allocated for different nodes live in
+// disjoint ranges and never collide with RootSpanID, so merging
+// node-local spans into one cluster trace is safe.
+func TestNewSpanIDDisjoint(t *testing.T) {
+	tr := NewTrace("ids")
+	seen := map[SpanID]int{}
+	for _, node := range []int{-1, 0, 1, 7} {
+		for i := 0; i < 100; i++ {
+			id := tr.NewSpanID(node)
+			if id == 0 || id == RootSpanID {
+				t.Fatalf("node %d: reserved id %#x allocated", node, uint64(id))
+			}
+			if wantHigh := uint64(node + 2); uint64(id)>>32 != wantHigh {
+				t.Fatalf("node %d: id %#x not in range %d<<32", node, uint64(id), wantHigh)
+			}
+			if prev, dup := seen[id]; dup {
+				t.Fatalf("id %#x allocated for nodes %d and %d", uint64(id), prev, node)
+			}
+			seen[id] = node
+		}
+	}
+}
+
+// TestCausalSpans drives the causal API end to end: an explicit root via
+// StartSpan, children via StartChild/AddSimChild/Mark/ObserverChild, and
+// a remote batch via AddSpans — then checks every parent link.
+func TestCausalSpans(t *testing.T) {
+	tr := NewTrace("causal")
+	tr.SetTraceID("deadbeef")
+	if tr.TraceID() != "deadbeef" {
+		t.Fatalf("TraceID = %q", tr.TraceID())
+	}
+
+	endRoot := tr.StartSpan("round", -1, 0, RootSpanID, 0)
+	computeID, endCompute := tr.StartChild("compute", 0, 0, RootSpanID)
+	tr.ObserverChild(0, 0, computeID).ObservePhase("estimate", 0.001)
+	probeID := tr.AddSimChild("probe", 1, 0, 2.5, 0.5, RootSpanID)
+	recvID := tr.Mark("probe.recv", 2, 0, probeID)
+	tr.AddSpans([]Span{{Phase: "report", Proc: 1, ID: SpanID(3) << 32, Parent: RootSpanID}})
+	endCompute()
+	endRoot()
+
+	spans := tr.Spans()
+	byPhase := map[string]Span{}
+	for _, s := range spans {
+		byPhase[s.Phase] = s
+	}
+	if len(byPhase) != 6 {
+		t.Fatalf("recorded %d distinct phases, want 6: %+v", len(byPhase), spans)
+	}
+	if got := byPhase["round"]; got.ID != RootSpanID || got.Parent != 0 {
+		t.Errorf("root span = %+v", got)
+	}
+	if got := byPhase["compute"]; got.ID != computeID || got.Parent != RootSpanID {
+		t.Errorf("compute span = %+v", got)
+	}
+	if got := byPhase["estimate"]; got.Parent != computeID || got.ID == 0 || got.Seconds != 0.001 {
+		t.Errorf("estimate span = %+v", got)
+	}
+	if got := byPhase["probe"]; got.ID != probeID || got.Parent != RootSpanID ||
+		!got.Sim || got.Start != 2.5 || got.Seconds != 0.5 {
+		t.Errorf("probe span = %+v", got)
+	}
+	if got := byPhase["probe.recv"]; got.ID != recvID || got.Parent != probeID || got.Seconds != 0 {
+		t.Errorf("probe.recv span = %+v (want an instant span parented across the wire)", got)
+	}
+	if got := byPhase["report"]; got.ID != SpanID(3)<<32 || got.Parent != RootSpanID {
+		t.Errorf("merged remote span = %+v", got)
+	}
+}
+
+// TestCausalNilSafe: the causal additions keep the nil-trace contract —
+// every method is an inert no-op returning zero values.
+func TestCausalNilSafe(t *testing.T) {
+	var tr *Trace
+	if tr.NewSpanID(3) != 0 {
+		t.Error("nil NewSpanID != 0")
+	}
+	if tr.AddSimChild("p", 0, 0, 0, 1, RootSpanID) != 0 {
+		t.Error("nil AddSimChild != 0")
+	}
+	id, end := tr.StartChild("p", 0, 0, RootSpanID)
+	if id != 0 {
+		t.Error("nil StartChild id != 0")
+	}
+	end()                                    // must not panic
+	tr.StartSpan("p", 0, 0, RootSpanID, 0)() // must not panic
+	if tr.Mark("p", 0, 0, RootSpanID) != 0 {
+		t.Error("nil Mark != 0")
+	}
+	tr.AddSpans([]Span{{Phase: "p"}}) // must not panic
+	if tr.ObserverChild(0, 0, RootSpanID) != nil {
+		t.Error("nil ObserverChild != nil")
+	}
+	tr.SetTraceID("x") // must not panic
+	if tr.TraceID() != "" {
+		t.Error("nil TraceID != \"\"")
+	}
+	if tr.Len() != 0 {
+		t.Error("nil trace recorded spans")
+	}
+}
+
+// TestChromeJSON: the Chrome export is valid trace_event JSON with the
+// process metadata, both clock axes, and causal args.
+func TestChromeJSON(t *testing.T) {
+	tr := NewTrace("chrome")
+	tr.SetTraceID("cafe0123")
+	endRoot := tr.StartSpan("round", -1, 2, RootSpanID, 0)
+	endRoot()
+	tr.AddSimChild("probe", 1, 2, 3.25, 0.5, RootSpanID)
+
+	data, err := tr.ChromeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("ChromeJSON not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	if len(doc.TraceEvents) != 4 { // 2 process metas + 2 spans
+		t.Fatalf("%d events, want 4", len(doc.TraceEvents))
+	}
+	metas := 0
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			metas++
+		case "X":
+			if ev.Args["trace"] != "cafe0123" {
+				t.Errorf("event %q missing trace id: %v", ev.Name, ev.Args)
+			}
+			if ev.Args["round"] != float64(2) {
+				t.Errorf("event %q round = %v", ev.Name, ev.Args["round"])
+			}
+			switch ev.Name {
+			case "round":
+				if ev.Pid != 0 || ev.Tid != -1 || ev.Args["id"] != "0x1" {
+					t.Errorf("round event = %+v", ev)
+				}
+			case "probe":
+				if ev.Pid != 1 { // sim axis is its own process
+					t.Errorf("sim span on pid %d, want 1", ev.Pid)
+				}
+				if ev.Ts != 3.25e6 || ev.Dur != 0.5e6 { // microseconds
+					t.Errorf("probe ts/dur = %v/%v", ev.Ts, ev.Dur)
+				}
+				if ev.Args["parent"] != "0x1" {
+					t.Errorf("probe parent = %v", ev.Args["parent"])
+				}
+			default:
+				t.Errorf("unexpected event %q", ev.Name)
+			}
+		default:
+			t.Errorf("unexpected ph %q", ev.Ph)
+		}
+	}
+	if metas != 2 {
+		t.Errorf("%d process metas, want 2", metas)
+	}
+}

@@ -335,6 +335,10 @@ type RunConfig struct {
 	// Faults optionally injects crashes, partitions and per-message loss.
 	// Nil injects nothing.
 	Faults *Faults
+	// Trace, when non-nil, records one "sim.run" span covering the whole
+	// simulated-time axis of the run (parented under obs.RootSpanID, so it
+	// nests into a protocol's round trace). Nil records nothing.
+	Trace *obs.Trace
 }
 
 // Run simulates the protocol on the network and returns the resulting
@@ -372,6 +376,7 @@ func Run(net *Network, factory ProtocolFactory, cfg RunConfig) (*model.Execution
 		"horizon", cfg.Horizon, "faults", cfg.Faults != nil)
 
 	processed := 0
+	lastEvent := 0.0
 	for en.queue.Len() > 0 {
 		ev, ok := heap.Pop(&en.queue).(event)
 		if !ok {
@@ -386,6 +391,9 @@ func Run(net *Network, factory ProtocolFactory, cfg RunConfig) (*model.Execution
 		}
 		processed++
 		mEvents.Inc()
+		if ev.time > lastEvent {
+			lastEvent = ev.time
+		}
 		if processed > maxEvents {
 			return nil, fmt.Errorf("sim: exceeded %d events; runaway protocol?", maxEvents)
 		}
@@ -412,6 +420,7 @@ func Run(net *Network, factory ProtocolFactory, cfg RunConfig) (*model.Execution
 		}
 	}
 	simLog.Debug("run finished", "events", processed, "sent", en.sent)
+	cfg.Trace.AddSimChild("sim.run", -1, 0, 0, lastEvent, obs.RootSpanID)
 	for _, tr := range en.timers {
 		if err := en.builder.AddTimer(model.ProcID(tr.proc), tr.setAt, tr.fireAt, tr.fired); err != nil {
 			return nil, err
