@@ -182,6 +182,40 @@ func WithParallelism(lanes int) Option {
 	return func(o *core.Options) { o.Parallelism = lanes }
 }
 
+// Solver selects the synchronization backend (see WithSolver).
+type Solver = core.Solver
+
+// Solver backends. SolverAuto (the default) picks dense or sparse from the
+// instance's size and density; the explicit values force a backend.
+const (
+	SolverAuto         = core.SolverAuto
+	SolverDense        = core.SolverDense
+	SolverSparse       = core.SolverSparse
+	SolverHierarchical = core.SolverHierarchical
+)
+
+// WithSolver forces a synchronization backend. The default, SolverAuto,
+// solves small or dense instances with the O(n^3)/O(n^2) dense kernels
+// and routes large sparse instances through the CSR pipeline, escalating
+// to the two-level hierarchical solver only for components too large to
+// close exactly. SolverDense, SolverSparse and SolverHierarchical force
+// their respective paths; dense and sparse results are bit-identical,
+// while the hierarchical solver certifies a sound (possibly looser)
+// precision without ever materializing an n x n matrix. See
+// docs/performance.md for the crossover measurements.
+func WithSolver(s Solver) Option {
+	return func(o *core.Options) { o.Solver = s }
+}
+
+// WithClusterSize bounds the per-cluster subproblem size of the
+// hierarchical solver (default 256). Smaller clusters lower peak memory
+// and raise parallelism at the cost of a looser certified precision;
+// the value also serves as the exact-vs-hierarchical escalation
+// threshold when SolverHierarchical is forced.
+func WithClusterSize(k int) Option {
+	return func(o *core.Options) { o.ClusterSize = k }
+}
+
 // WithQuality enables post-solve quality telemetry: every successful
 // solve publishes the paper's figures of merit into the process metrics
 // registry — gauges quality.precision.{achieved,optimal,ratio} (realized

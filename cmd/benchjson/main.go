@@ -231,6 +231,36 @@ func suite(quick bool) []bench {
 		bs = append(bs, bench{name: name, fn: fn})
 	}
 
+	// Sparse-native solves: ring-of-cliques topologies through the held
+	// Synchronizer's CSR entry point with the hierarchical backend — the
+	// regime the dense pipeline cannot touch (an n x n matrix at n=10k is
+	// ~800 MB). Entries share the calibrated ns/op and alloc gates with
+	// everything else; compare() additionally enforces an absolute
+	// bytes-per-op ceiling on the 10k entry.
+	sparse := []struct {
+		name    string
+		cliques int
+	}{{"SparseSolve/n=1k", 33}} // 33 cliques of 32 = 1056 > the m~s materialization cap
+	if !quick {
+		sparse = append(sparse, struct {
+			name    string
+			cliques int
+		}{"SparseSolve/n=10k", 313}) // 10016 nodes
+	}
+	for _, sz := range sparse {
+		rng := rand.New(rand.NewSource(7))
+		g := graph.SparseRingOfCliques(rng, sz.cliques, 32, 0.01, 1)
+		s := core.NewSynchronizer()
+		opts := core.Options{Solver: core.SolverHierarchical}
+		bs = append(bs, bench{
+			name: sz.name,
+			fn: func() error {
+				_, err := s.SyncCSR(g, opts)
+				return err
+			},
+		})
+	}
+
 	for _, id := range expIDs {
 		exp, ok := experiments.ByID(id)
 		if !ok {
@@ -475,6 +505,19 @@ func compare(base, cur *File, tol float64) []regression {
 		if up.AllocsPerOp > 0.1 {
 			failures = append(failures, regression{"StreamUpdate/n=128", fmt.Sprintf(
 				"StreamUpdate/n=128: %.2f allocs/op, want 0", up.AllocsPerOp)})
+		}
+	}
+	// The sparse-path acceptance criterion is also absolute: the 10k-node
+	// hierarchical solve must stay far below the ~800 MB an n x n float64
+	// matrix would cost. Steady-state reuse keeps the real figure near
+	// zero; the ceiling is set at 1/8 of the dense matrix so any code path
+	// that starts materializing one fails immediately on every host.
+	if sp, ok := cur.Benchmarks["SparseSolve/n=10k"]; ok {
+		const denseBytes = 10016.0 * 10016.0 * 8
+		if sp.BytesPerOp > denseBytes/8 {
+			failures = append(failures, regression{"SparseSolve/n=10k", fmt.Sprintf(
+				"SparseSolve/n=10k: %.0f bytes/op, want < %.0f (n x n matrix is %.0f)",
+				sp.BytesPerOp, denseBytes/8, denseBytes)})
 		}
 	}
 	return failures

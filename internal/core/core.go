@@ -31,6 +31,47 @@ import (
 // m~ls equal cycle sums of mls, which are non-negative).
 var ErrInfeasible = errors.New("core: local shift estimates are infeasible (negative cycle)")
 
+// Solver selects the backend of the synchronization pipeline.
+type Solver int
+
+const (
+	// SolverAuto picks the backend from the instance: dense for small or
+	// dense systems (n <= 512 or edge density above 25%), otherwise the
+	// sparse CSR pipeline with per-component exact solves up to 2048
+	// nodes and the two-level hierarchical solver beyond. Every solve
+	// that routes to the dense backend is bit-identical to SolverDense.
+	SolverAuto Solver = iota
+	// SolverDense forces the flat-matrix pipeline: O(n^2) memory,
+	// O(n^3) Floyd-Warshall. The reference backend.
+	SolverDense
+	// SolverSparse forces the CSR pipeline with exact per-component
+	// solves: each sync component is closed with a dense Floyd-Warshall
+	// on its own k×k submatrix, so memory is O(max component^2) instead
+	// of O(n^2) and corrections are bit-identical to SolverDense.
+	SolverSparse
+	// SolverHierarchical forces the CSR pipeline with the two-level
+	// solver for components larger than ClusterSize: clusters are solved
+	// exactly in parallel, cluster boundary nodes are synchronized over
+	// an exact contracted graph, and corrections compose. Precision is a
+	// certified upper bound (>= the optimum) instead of the optimum
+	// itself; components at most ClusterSize still solve exactly.
+	SolverHierarchical
+)
+
+// String names the solver for logs and flags.
+func (s Solver) String() string {
+	switch s {
+	case SolverDense:
+		return "dense"
+	case SolverSparse:
+		return "sparse"
+	case SolverHierarchical:
+		return "hierarchical"
+	default:
+		return "auto"
+	}
+}
+
 // Options tunes Synchronize.
 type Options struct {
 	// Root is the processor whose correction is fixed to zero (the paper's
@@ -78,6 +119,17 @@ type Options struct {
 	// distinguishable.
 	QualityLabel string
 
+	// Solver selects the pipeline backend; see the Solver constants. The
+	// default SolverAuto routes every instance with n <= 512 — in
+	// particular every historical scenario — through the dense backend,
+	// so existing outputs are bit-for-bit unchanged.
+	Solver Solver
+
+	// ClusterSize is the target cluster size of the hierarchical solver
+	// (and the exactness threshold under SolverHierarchical: components
+	// up to this size solve exactly). 0 means the default, 256.
+	ClusterSize int
+
 	// Parallelism bounds the worker lanes used by the graph kernels
 	// (Floyd-Warshall row shards, Karp walk-table columns, the two
 	// Bellman-Ford passes of centered mode, and disconnected sync
@@ -108,7 +160,11 @@ type Result struct {
 	Precision float64
 
 	// MS is the matrix of estimated maximal global shifts m~s(p,q)
-	// produced by GLOBAL ESTIMATES.
+	// produced by GLOBAL ESTIMATES. The sparse backends materialize it
+	// block-diagonally (cross-component entries stay +Inf — exactly the
+	// entries no bound or correction ever reads) and only up to n = 1024;
+	// beyond that MS is nil and PairBound returns an error rather than
+	// allocating an n×n matrix.
 	MS [][]float64
 
 	// Components lists the sync components (processor sets with mutually
@@ -256,6 +312,9 @@ func (r *Result) PairBound(p, q int) (float64, error) {
 	}
 	if p == q {
 		return 0, nil
+	}
+	if r.MS == nil {
+		return 0, fmt.Errorf("core: PairBound needs the m~s matrix, which the sparse solver does not materialize at n=%d (> 1024)", n)
 	}
 	fwd := r.MS[p][q] + r.Corrections[q] - r.Corrections[p]
 	rev := r.MS[q][p] + r.Corrections[p] - r.Corrections[q]

@@ -32,10 +32,30 @@ func pairBoundRaw(res *Result, p, q int) float64 {
 	return math.Max(fwd, rev)
 }
 
+// certifiedReport is the degenerate quality report for results without a
+// materialized m~s matrix (large sparse solves): no pair sweep is
+// possible, so both figures report the largest certified component
+// precision and Pairs stays zero.
+func certifiedReport(res *Result) QualityReport {
+	rep := QualityReport{Ratio: 1}
+	for ci := range res.Components {
+		if a := res.ComponentPrecision[ci]; !math.IsInf(a, 1) && a > rep.Optimal {
+			rep.Optimal = a
+		}
+	}
+	rep.Achieved = rep.Optimal
+	return rep
+}
+
 // AssessQuality computes the quality report for a solved instance without
 // publishing anything: the worst pair bound across all in-component
-// pairs, the largest finite component A_max, and their ratio.
+// pairs, the largest finite component A_max, and their ratio. When the
+// result carries no m~s matrix (large sparse solves) it degenerates to
+// the certified component precision with Pairs == 0.
 func AssessQuality(res *Result) QualityReport {
+	if res.MS == nil {
+		return certifiedReport(res)
+	}
 	rep := QualityReport{}
 	for ci, comp := range res.Components {
 		a := res.ComponentPrecision[ci]
@@ -95,6 +115,13 @@ func PublishQuality(res *Result, pairs [][2]int, label string, reg *obs.Registry
 		}
 		return obs.Labeled(base, "session", label)
 	}
+	if res.MS == nil {
+		rep := certifiedReport(res)
+		reg.Gauge(name("quality.precision.achieved")).Set(rep.Achieved)
+		reg.Gauge(name("quality.precision.optimal")).Set(rep.Optimal)
+		reg.Gauge(name("quality.precision.ratio")).Set(rep.Ratio)
+		return rep
+	}
 	hGrad := reg.Histogram(name("quality.gradient.pair"), obs.DefTimeBuckets)
 	hSlack := reg.Histogram(name("quality.link.slack"), obs.DefTimeBuckets)
 
@@ -146,6 +173,51 @@ func PublishQuality(res *Result, pairs [][2]int, label string, reg *obs.Registry
 	reg.Gauge(name("quality.precision.optimal")).Set(rep.Optimal)
 	reg.Gauge(name("quality.precision.ratio")).Set(rep.Ratio)
 	return rep
+}
+
+// publishSparseQuality publishes quality telemetry after a sparse solve.
+// With a materialized (block-diagonal) m~s it defers to PublishQuality,
+// producing the full report. Without one it publishes the certified
+// figures instead — achieved is the largest certified component bound
+// (λ̂ for hierarchical components, the exact A_max otherwise), optimal is
+// the largest certified lower bound λ_B — plus a
+// quality.precision.cluster histogram of the hierarchical solver's
+// per-cluster intra-cluster bounds, so cluster-level precision stays
+// observable even when no global pair sweep is affordable.
+func (s *Synchronizer) publishSparseQuality(res *Result, pairs [][2]int, label string) {
+	if res.MS != nil {
+		PublishQuality(res, pairs, label, nil)
+		return
+	}
+	reg := obs.Default
+	name := func(base string) string {
+		if label == "" {
+			return base
+		}
+		return obs.Labeled(base, "session", label)
+	}
+	achieved, optimal := 0.0, 0.0
+	for ci := range res.Components {
+		a := res.ComponentPrecision[ci]
+		if math.IsInf(a, 1) {
+			continue
+		}
+		if a > achieved {
+			achieved = a
+		}
+		if ci < len(s.lowerB) && s.lowerB[ci] > optimal {
+			optimal = s.lowerB[ci]
+		}
+	}
+	reg.Gauge(name("quality.precision.achieved")).Set(achieved)
+	reg.Gauge(name("quality.precision.optimal")).Set(optimal)
+	reg.Gauge(name("quality.precision.ratio")).Set(qualityRatio(achieved, optimal))
+	h := reg.Histogram(name("quality.precision.cluster"), obs.DefTimeBuckets)
+	for _, bounds := range s.hierQ {
+		for _, b := range bounds {
+			h.Observe(b)
+		}
+	}
 }
 
 // linkPairs extracts the unordered endpoint pairs of a link set for

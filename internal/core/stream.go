@@ -557,7 +557,7 @@ func (s *Stream) batchSolve() (*Result, error) {
 		s.haveSolve = false
 		return nil, err
 	}
-	a := s.sync.nextArena(s.n)
+	a := s.sync.nextArena(s.n, true)
 	a.ms.CopyFrom(&s.mls)
 	a.ms.FillDiag(0)
 	res, err := s.sync.run(a, s.n, s.opts, mark)
@@ -583,7 +583,7 @@ func (s *Stream) finish(res *Result, bitwise bool) (*Result, error) {
 	if s.check == nil {
 		s.check = NewSynchronizer()
 	}
-	ca := s.check.nextArena(s.n)
+	ca := s.check.nextArena(s.n, true)
 	ca.ms.CopyFrom(&s.mls)
 	ca.ms.FillDiag(0)
 	fresh, err := s.check.run(ca, s.n, s.opts, time.Time{})

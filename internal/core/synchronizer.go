@@ -42,6 +42,18 @@ type Synchronizer struct {
 	order    []int
 	compErr  []error
 
+	// Sparse-pipeline state: the CSR m~ls adjacency, its transpose (built
+	// when the hierarchical solver needs undirected partitioning), the
+	// node -> local component index map, an identity permutation for local
+	// kernels, and the per-component certified lower bounds + per-cluster
+	// quality samples of the hierarchical solver.
+	csr      graph.CSR
+	csrT     graph.CSR
+	localIdx []int
+	identity []int
+	lowerB   []float64
+	hierQ    [][]float64
+
 	arenas [2]resultArena
 	flip   int
 }
@@ -50,6 +62,7 @@ type Synchronizer struct {
 // computation, so disconnected components can be processed in parallel.
 type compKit struct {
 	karp     graph.KarpScratch
+	ms       graph.Dense // sparse path: the component-local m~s closure
 	w        graph.Dense // correction weights aMax - m~s, diagonal +Inf
 	wT       graph.Dense // transpose, for the reverse pass of centered mode
 	dist     []float64
@@ -119,14 +132,34 @@ func (s *Synchronizer) Sync(mls [][]float64, opts Options) (*Result, error) {
 		return nil, err
 	}
 	n := len(mls)
-	a := s.nextArena(n)
-	for i, row := range mls {
-		copy(a.ms.Row(i), row)
+	if resolveSolverMatrix(opts, mls) == SolverDense {
+		a := s.nextArena(n, true)
+		for i, row := range mls {
+			copy(a.ms.Row(i), row)
+		}
+		a.ms.FillDiag(0)
+		res, err := s.run(a, n, opts, mark)
+		if err == nil && opts.Quality {
+			PublishQuality(res, nil, opts.QualityLabel, nil)
+		}
+		return res, err
 	}
-	a.ms.FillDiag(0)
-	res, err := s.run(a, n, opts, mark)
+	a := s.nextArena(n, false)
+	s.csr.Reset(n)
+	for i, row := range mls {
+		for j, x := range row {
+			if i == j || math.IsInf(x, 1) {
+				continue
+			}
+			if err := s.csr.AddEdge(i, j, x); err != nil {
+				return nil, err
+			}
+		}
+	}
+	s.csr.Build()
+	res, err := s.runSparse(a, &s.csr, opts, mark)
 	if err == nil && opts.Quality {
-		PublishQuality(res, nil, opts.QualityLabel, nil)
+		s.publishSparseQuality(res, nil, opts.QualityLabel)
 	}
 	return res, err
 }
@@ -140,8 +173,35 @@ func (s *Synchronizer) SyncSystem(n int, links []Link, tab *trace.Table, mopts M
 	if timed {
 		mark = opts.clock().Now()
 	}
-	a := s.nextArena(n)
-	if err := mlsMatrixInto(&a.ms, n, links, tab, mopts); err != nil {
+	solver := opts.Solver
+	if solver == SolverAuto && n <= autoDenseMaxN {
+		solver = SolverDense
+	}
+	if solver == SolverDense {
+		a := s.nextArena(n, true)
+		if err := mlsMatrixInto(&a.ms, n, links, tab, mopts); err != nil {
+			return nil, err
+		}
+		if timed {
+			clk := opts.clock()
+			opts.Observer.ObservePhase("mls", clk.Now().Sub(mark).Seconds())
+			mark = clk.Now()
+		}
+		if err := validateDense(&a.ms); err != nil {
+			return nil, err
+		}
+		a.ms.FillDiag(0)
+		res, err := s.run(a, n, opts, mark)
+		if err == nil && opts.Quality {
+			PublishQuality(res, linkPairs(links), opts.QualityLabel, nil)
+		}
+		return res, err
+	}
+
+	// Sparse family: assemble m~ls directly as CSR — O(links) work and
+	// memory, never an n×n matrix.
+	a := s.nextArena(n, false)
+	if err := mlsCSRInto(&s.csr, n, links, tab, mopts); err != nil {
 		return nil, err
 	}
 	if timed {
@@ -149,22 +209,59 @@ func (s *Synchronizer) SyncSystem(n int, links []Link, tab *trace.Table, mopts M
 		opts.Observer.ObservePhase("mls", clk.Now().Sub(mark).Seconds())
 		mark = clk.Now()
 	}
-	if err := validateDense(&a.ms); err != nil {
-		return nil, err
+	if solver == SolverAuto && float64(s.csr.Nnz()) >= autoDenseDensity*float64(n)*float64(n) {
+		// The instance turned out dense; the flat pipeline wins there.
+		a.ms.Reset(n)
+		a.ms.Fill(graph.Inf)
+		a.ms.FillDiag(0)
+		scatterCSR(&s.csr, &a.ms)
+		res, err := s.run(a, n, opts, mark)
+		if err == nil && opts.Quality {
+			PublishQuality(res, linkPairs(links), opts.QualityLabel, nil)
+		}
+		return res, err
 	}
-	a.ms.FillDiag(0)
-	res, err := s.run(a, n, opts, mark)
+	res, err := s.runSparse(a, &s.csr, opts, mark)
 	if err == nil && opts.Quality {
-		PublishQuality(res, linkPairs(links), opts.QualityLabel, nil)
+		s.publishSparseQuality(res, linkPairs(links), opts.QualityLabel)
+	}
+	return res, err
+}
+
+// SyncCSR runs the pipeline on a prepared CSR adjacency of estimated
+// maximal local shifts (diagonal implicitly zero, absent pairs +Inf) —
+// the entry point for callers that assemble very large sparse systems
+// themselves. The dense backend is never used regardless of
+// Options.Solver (SolverDense routes to the exact sparse per-component
+// path, which is bit-identical anyway); the reuse contract is that of
+// Sync. g is read, never retained.
+func (s *Synchronizer) SyncCSR(g *graph.CSR, opts Options) (*Result, error) {
+	timed := opts.Observer != nil
+	var mark time.Time
+	if timed {
+		mark = opts.clock().Now()
+	}
+	g.Build()
+	a := s.nextArena(g.N(), false)
+	res, err := s.runSparse(a, g, opts, mark)
+	if err == nil && opts.Quality {
+		s.publishSparseQuality(res, nil, opts.QualityLabel)
 	}
 	return res, err
 }
 
 // nextArena flips the double buffer and sizes the fixed-shape buffers.
-func (s *Synchronizer) nextArena(n int) *resultArena {
+// withMS sizes the n×n m~s matrix eagerly (the dense pipeline); the
+// sparse pipeline passes false so no O(n^2) buffer ever exists and
+// decides later whether to materialize a block-diagonal m~s.
+func (s *Synchronizer) nextArena(n int, withMS bool) *resultArena {
 	a := &s.arenas[s.flip]
 	s.flip ^= 1
-	a.ms.Reset(n)
+	if withMS {
+		a.ms.Reset(n)
+	} else {
+		a.ms.Reset(0)
+	}
 	a.corr = growFloats(a.corr, n)
 	a.compFlat = growInts(a.compFlat, n)
 	a.cycle = a.cycle[:0]
@@ -258,6 +355,15 @@ func (s *Synchronizer) run(a *resultArena, n int, opts Options, mark time.Time) 
 // all into arena storage.
 func (s *Synchronizer) buildComponents(a *resultArena, n int) {
 	nc := graph.SCCDense(&a.ms, &s.scc)
+	s.layoutComponents(a, n, nc)
+}
+
+// layoutComponents lays the component partition recorded in s.scc.CompOf
+// out into arena storage: members ascending, components ordered by
+// smallest member. Shared by the dense (closure SCC) and sparse
+// (adjacency SCC) pipelines — the two partitions are identical because
+// mutual reachability is closure-invariant.
+func (s *Synchronizer) layoutComponents(a *resultArena, n, nc int) {
 	s.compSize = growInts(s.compSize, nc)
 	s.compPos = growInts(s.compPos, nc)
 	s.order = growInts(s.order, nc)
@@ -354,10 +460,6 @@ func (s *Synchronizer) componentCorrections(kit *compKit, ms *graph.Dense, comp 
 		out[comp[0]] = 0
 		return nil
 	}
-	rootLocal := 0
-	if slices.Contains(comp, opts.Root) {
-		rootLocal = slices.Index(comp, opts.Root)
-	}
 	kit.w.Reset(k)
 	for a, p := range comp {
 		src := ms.Row(p)
@@ -366,6 +468,41 @@ func (s *Synchronizer) componentCorrections(kit *compKit, ms *graph.Dense, comp 
 			dst[b] = aMax - src[q]
 		}
 		dst[a] = graph.Inf // no self edges
+	}
+	return s.correctionsFromWeights(kit, comp, opts, out, pool)
+}
+
+// componentCorrectionsLocal is componentCorrections reading a
+// component-local k×k closure (row a / column b are comp[a] / comp[b])
+// instead of the global matrix — the sparse pipeline's variant. The
+// weight construction touches the same float values in the same order,
+// so corrections are bit-identical to the dense path.
+func (s *Synchronizer) componentCorrectionsLocal(kit *compKit, localMs *graph.Dense, comp []int, aMax float64, opts Options, out []float64, pool *graph.Pool) error {
+	k := len(comp)
+	if k == 1 {
+		out[comp[0]] = 0
+		return nil
+	}
+	kit.w.Reset(k)
+	for a := 0; a < k; a++ {
+		src := localMs.Row(a)
+		dst := kit.w.Row(a)
+		for b := 0; b < k; b++ {
+			dst[b] = aMax - src[b]
+		}
+		dst[a] = graph.Inf // no self edges
+	}
+	return s.correctionsFromWeights(kit, comp, opts, out, pool)
+}
+
+// correctionsFromWeights runs the Bellman-Ford step of SHIFTS on the
+// prepared kit.w weights and scatters distances to the component's
+// global slots.
+func (s *Synchronizer) correctionsFromWeights(kit *compKit, comp []int, opts Options, out []float64, pool *graph.Pool) error {
+	k := len(comp)
+	rootLocal := 0
+	if slices.Contains(comp, opts.Root) {
+		rootLocal = slices.Index(comp, opts.Root)
 	}
 	kit.dist = growFloats(kit.dist, k)
 	kit.parent = growInts(kit.parent, k)

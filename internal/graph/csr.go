@@ -1,0 +1,273 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+)
+
+// CSR is a directed graph in compressed-sparse-row form: one contiguous
+// column-index and weight array indexed by a per-row pointer table. It is
+// the sparse counterpart of Dense — the substrate of the sparse SHIFTS
+// pipeline — and follows the same reuse discipline: a CSR can be Reset to
+// a new size without reallocating once its buffers have warmed up, so hot
+// loops that repeatedly assemble large sparse systems allocate nothing in
+// steady state.
+//
+// Edges are staged with AddEdge and compiled by Build, which sorts rows
+// and combines duplicate (u,v) edges by taking the minimum weight — the
+// Theorem 5.6 intersection rule, matching the dense mls assembly. After
+// Build, every row lists its columns in ascending order, so kernels that
+// scan rows relax edges in exactly the order the dense kernels scan
+// matrix rows restricted to finite entries.
+//
+// The zero value is an empty graph ready for Reset.
+type CSR struct {
+	n      int
+	rowPtr []int
+	colIdx []int
+	wgt    []float64
+	built  bool
+
+	// Staged edges awaiting Build.
+	eu, ev []int
+	ew     []float64
+
+	// Radix-sort scratch.
+	cnt []int
+	pv  []int
+	pu  []int
+	pw  []float64
+}
+
+// NewCSR returns an empty graph on n nodes.
+func NewCSR(n int) *CSR {
+	g := &CSR{}
+	g.Reset(n)
+	return g
+}
+
+// Reset clears the graph to n nodes and no edges, reusing capacity.
+func (g *CSR) Reset(n int) {
+	if n < 0 {
+		n = 0
+	}
+	g.n = n
+	g.eu = g.eu[:0]
+	g.ev = g.ev[:0]
+	g.ew = g.ew[:0]
+	g.colIdx = g.colIdx[:0]
+	g.wgt = g.wgt[:0]
+	if cap(g.rowPtr) < n+1 {
+		g.rowPtr = make([]int, n+1)
+	}
+	g.rowPtr = g.rowPtr[:n+1]
+	for i := range g.rowPtr {
+		g.rowPtr[i] = 0
+	}
+	g.built = true // an empty graph is trivially built
+}
+
+// N returns the node count.
+func (g *CSR) N() int { return g.n }
+
+// Nnz returns the number of compiled edges; call Build first.
+func (g *CSR) Nnz() int { return len(g.colIdx) }
+
+// Pending returns the number of staged edges not yet compiled (duplicates
+// counted individually).
+func (g *CSR) Pending() int { return len(g.eu) }
+
+// AddEdge stages the directed edge u -> v with the given weight. Self
+// loops and +Inf weights (absent constraints) are ignored, mirroring the
+// dense matrix convention; NaN and -Inf are rejected.
+func (g *CSR) AddEdge(u, v int, w float64) error {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, g.n)
+	}
+	if u == v || math.IsInf(w, 1) {
+		return nil
+	}
+	if math.IsNaN(w) {
+		return fmt.Errorf("graph: edge (%d,%d) weight is NaN", u, v)
+	}
+	if math.IsInf(w, -1) {
+		return fmt.Errorf("graph: edge (%d,%d) weight is -Inf", u, v)
+	}
+	g.eu = append(g.eu, u)
+	g.ev = append(g.ev, v)
+	g.ew = append(g.ew, w)
+	g.built = false
+	return nil
+}
+
+// MustAddEdge is AddEdge panicking on error, for statically valid inputs.
+func (g *CSR) MustAddEdge(u, v int, w float64) {
+	if err := g.AddEdge(u, v, w); err != nil {
+		panic(err)
+	}
+}
+
+// Build compiles the staged edges into CSR form: a stable two-pass radix
+// sort by (row, column) in O(n + m), then a merge of duplicate (u,v)
+// edges by minimum weight. Idempotent; kernels call it implicitly.
+func (g *CSR) Build() {
+	if g.built {
+		return
+	}
+	n, m := g.n, len(g.eu)
+	if cap(g.cnt) < n+1 {
+		g.cnt = make([]int, n+1)
+	}
+	g.cnt = g.cnt[:n+1]
+	g.pu = growIntsCap(g.pu, m)
+	g.pv = growIntsCap(g.pv, m)
+	g.pw = growFloatsCap(g.pw, m)
+
+	// Pass 1: stable counting sort by column into the p* buffers.
+	cnt := g.cnt
+	for i := range cnt {
+		cnt[i] = 0
+	}
+	for _, v := range g.ev {
+		cnt[v]++
+	}
+	sum := 0
+	for i := 0; i <= n; i++ {
+		c := cnt[i]
+		cnt[i] = sum
+		sum += c
+	}
+	for i := 0; i < m; i++ {
+		p := cnt[g.ev[i]]
+		cnt[g.ev[i]]++
+		g.pu[p] = g.eu[i]
+		g.pv[p] = g.ev[i]
+		g.pw[p] = g.ew[i]
+	}
+
+	// Pass 2: stable counting sort by row back into the staging buffers;
+	// the result is sorted by (row, column).
+	for i := range cnt {
+		cnt[i] = 0
+	}
+	for _, u := range g.pu {
+		cnt[u]++
+	}
+	sum = 0
+	for i := 0; i <= n; i++ {
+		c := cnt[i]
+		cnt[i] = sum
+		sum += c
+	}
+	for i := 0; i < m; i++ {
+		p := cnt[g.pu[i]]
+		cnt[g.pu[i]]++
+		g.eu[p] = g.pu[i]
+		g.ev[p] = g.pv[i]
+		g.ew[p] = g.pw[i]
+	}
+
+	// Merge duplicates by minimum weight (order-independent) and emit the
+	// final arrays plus row pointers.
+	g.colIdx = growIntsCap(g.colIdx, m)[:0]
+	g.wgt = growFloatsCap(g.wgt, m)[:0]
+	row := 0
+	g.rowPtr[0] = 0
+	for i := 0; i < m; i++ {
+		u, v, w := g.eu[i], g.ev[i], g.ew[i]
+		for row < u {
+			row++
+			g.rowPtr[row] = len(g.colIdx)
+		}
+		if i > 0 && g.eu[i-1] == u && g.ev[i-1] == v {
+			last := len(g.wgt) - 1
+			g.wgt[last] = math.Min(g.wgt[last], w)
+			continue
+		}
+		g.colIdx = append(g.colIdx, v)
+		g.wgt = append(g.wgt, w)
+	}
+	for row < n {
+		row++
+		g.rowPtr[row] = len(g.colIdx)
+	}
+	g.built = true
+}
+
+// Row returns node u's out-edges as parallel column and weight slices,
+// aliased into the CSR storage. Columns are ascending. Call Build first.
+func (g *CSR) Row(u int) ([]int, []float64) {
+	lo, hi := g.rowPtr[u], g.rowPtr[u+1]
+	return g.colIdx[lo:hi:hi], g.wgt[lo:hi:hi]
+}
+
+// Degree returns node u's out-degree. Call Build first.
+func (g *CSR) Degree(u int) int { return g.rowPtr[u+1] - g.rowPtr[u] }
+
+// FromDense rebuilds g from the finite off-diagonal entries of d.
+func (g *CSR) FromDense(d *Dense) {
+	n := d.N()
+	g.Reset(n)
+	g.colIdx = g.colIdx[:0]
+	g.wgt = g.wgt[:0]
+	for u := 0; u < n; u++ {
+		g.rowPtr[u] = len(g.colIdx)
+		row := d.Row(u)
+		for v, x := range row {
+			if v == u || math.IsInf(x, 1) {
+				continue
+			}
+			g.colIdx = append(g.colIdx, v)
+			g.wgt = append(g.wgt, x)
+		}
+	}
+	g.rowPtr[n] = len(g.colIdx)
+	g.built = true
+}
+
+// TransposeInto writes the transpose (all edges reversed) into dst, rows
+// sorted ascending. dst must not alias g. Call Build first.
+func (g *CSR) TransposeInto(dst *CSR) {
+	n, m := g.n, len(g.colIdx)
+	dst.Reset(n)
+	dst.colIdx = growIntsCap(dst.colIdx, m)
+	dst.wgt = growFloatsCap(dst.wgt, m)
+	for i := range dst.rowPtr {
+		dst.rowPtr[i] = 0
+	}
+	for _, v := range g.colIdx {
+		dst.rowPtr[v+1]++
+	}
+	for i := 0; i < n; i++ {
+		dst.rowPtr[i+1] += dst.rowPtr[i]
+	}
+	if cap(dst.cnt) < n+1 {
+		dst.cnt = make([]int, n+1)
+	}
+	dst.cnt = dst.cnt[:n+1]
+	copy(dst.cnt, dst.rowPtr)
+	for u := 0; u < n; u++ {
+		for e := g.rowPtr[u]; e < g.rowPtr[u+1]; e++ {
+			v := g.colIdx[e]
+			p := dst.cnt[v]
+			dst.cnt[v]++
+			dst.colIdx[p] = u
+			dst.wgt[p] = g.wgt[e]
+		}
+	}
+	dst.built = true
+}
+
+func growIntsCap(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func growFloatsCap(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}

@@ -1,0 +1,68 @@
+package graph
+
+import (
+	"errors"
+	"math"
+)
+
+// BellmanFordCSR computes single-source shortest paths from src over the
+// CSR digraph g. dist and parent are caller-owned scratch of length
+// g.N(); on success dist[v] is the shortest distance (+Inf unreachable)
+// and parent[v] the predecessor (-1 for the source and unreachable
+// nodes).
+//
+// The relaxation order — passes; source row u ascending; targets in
+// ascending column order — matches BellmanFordDense restricted to the
+// finite entries (relaxing through a +Inf matrix entry never changes
+// dist), so the dist vector is bit-identical to the dense path on the
+// same edge set. Returns ErrNegativeCycle under the same relative
+// tolerance.
+func BellmanFordCSR(g *CSR, src int, dist []float64, parent []int) error {
+	g.Build()
+	n := g.n
+	if src < 0 || src >= n {
+		return errors.New("graph: source out of range")
+	}
+	if len(dist) != n || len(parent) != n {
+		return errors.New("graph: scratch length mismatch")
+	}
+	for i := 0; i < n; i++ {
+		dist[i] = Inf
+		parent[i] = -1
+	}
+	dist[src] = 0
+
+	for pass := 0; pass < n-1; pass++ {
+		changed := false
+		for u := 0; u < n; u++ {
+			du := dist[u]
+			if math.IsInf(du, 1) {
+				continue
+			}
+			for e := g.rowPtr[u]; e < g.rowPtr[u+1]; e++ {
+				v := g.colIdx[e]
+				if nd := du + g.wgt[e]; nd < dist[v] {
+					dist[v] = nd
+					parent[v] = u
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	for u := 0; u < n; u++ {
+		du := dist[u]
+		if math.IsInf(du, 1) {
+			continue
+		}
+		for e := g.rowPtr[u]; e < g.rowPtr[u+1]; e++ {
+			v := g.colIdx[e]
+			if du+g.wgt[e] < dist[v]-1e-9*(1+math.Abs(dist[v])) {
+				return ErrNegativeCycle
+			}
+		}
+	}
+	return nil
+}

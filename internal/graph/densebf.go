@@ -29,7 +29,21 @@ func BellmanFordDense(w *Dense, src int, dist []float64, parent []int) error {
 		parent[i] = -1
 	}
 	dist[src] = 0
+	return BellmanFordDenseFrom(w, dist, parent)
+}
 
+// BellmanFordDenseFrom is BellmanFordDense with a caller-initialized
+// distance vector: every finite dist entry acts as a source pinned at
+// that potential (the classic multi-source formulation the hierarchical
+// solver uses to extend boundary corrections into cluster interiors).
+// parent must be pre-initialized by the caller; dist entries may only
+// decrease. The relaxation order and negative-cycle tolerance are those
+// of BellmanFordDense.
+func BellmanFordDenseFrom(w *Dense, dist []float64, parent []int) error {
+	n := w.n
+	if len(dist) != n || len(parent) != n {
+		return errors.New("graph: scratch length mismatch")
+	}
 	for pass := 0; pass < n-1; pass++ {
 		changed := false
 		for u := 0; u < n; u++ {

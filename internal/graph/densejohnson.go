@@ -12,6 +12,7 @@ type JohnsonScratch struct {
 	pot      []float64
 	dist     []float64
 	heap     []distItem
+	touched  []int
 }
 
 // AllPairsJohnsonDense is Johnson's algorithm reading edges from the dense
@@ -90,15 +91,25 @@ func AllPairsJohnsonDense(w *Dense, out *Dense, s *JohnsonScratch) error {
 		}
 	}
 
-	// Dijkstra per source on the reweighted CSR graph.
+	// Dijkstra per source on the reweighted CSR graph. Per-source state is
+	// reset through a touched-node list, and sources without outgoing
+	// edges skip the heap entirely — on multi-component inputs each source
+	// pays only for its reachable set, not O(n).
 	out.Reset(n)
 	out.Fill(Inf)
 	dist := s.dist
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	s.touched = s.touched[:0]
 	for src := 0; src < n; src++ {
-		for i := range dist {
-			dist[i] = math.Inf(1)
+		outRow := out.Row(src)
+		outRow[src] = 0
+		if s.rowStart[src] == s.rowStart[src+1] {
+			continue // no outgoing edges: nothing beyond the source itself
 		}
 		dist[src] = 0
+		s.touched = append(s.touched, src)
 		h := s.heap[:0]
 		h = append(h, distItem{node: src, dist: 0})
 		for len(h) > 0 {
@@ -114,6 +125,9 @@ func AllPairsJohnsonDense(w *Dense, out *Dense, s *JohnsonScratch) error {
 			for e := s.rowStart[u]; e < s.rowStart[u+1]; e++ {
 				v := s.to[e]
 				if nd := item.dist + s.wgt[e]; nd < dist[v] {
+					if math.IsInf(dist[v], 1) {
+						s.touched = append(s.touched, v)
+					}
 					dist[v] = nd
 					h = append(h, distItem{node: v, dist: nd})
 					siftUp(h, len(h)-1)
@@ -121,13 +135,12 @@ func AllPairsJohnsonDense(w *Dense, out *Dense, s *JohnsonScratch) error {
 			}
 		}
 		s.heap = h[:0]
-		outRow := out.Row(src)
 		psrc := pot[src]
-		for v := 0; v < n; v++ {
-			if !math.IsInf(dist[v], 1) {
-				outRow[v] = dist[v] - psrc + pot[v]
-			}
+		for _, v := range s.touched {
+			outRow[v] = dist[v] - psrc + pot[v]
+			dist[v] = math.Inf(1)
 		}
+		s.touched = s.touched[:0]
 		outRow[src] = 0
 	}
 	return nil

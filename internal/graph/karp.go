@@ -71,6 +71,16 @@ func karpComponent(g *Digraph, comp []int, maximize bool) (MeanCycle, bool) {
 			}
 		}
 	}
+	return karpLocal(edges, m, comp, maximize)
+}
+
+// karpLocal runs Karp's algorithm on one SCC given its edges in local
+// indices (comp maps local back to graph ids for the reported cycle).
+// Shared by the adjacency-list and CSR per-component front ends.
+func karpLocal(edges []Edge, m int, comp []int, maximize bool) (MeanCycle, bool) {
+	if m == 0 {
+		return MeanCycle{}, false
+	}
 	if len(edges) == 0 {
 		return MeanCycle{}, false
 	}

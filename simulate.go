@@ -46,6 +46,12 @@ type SimOptions struct {
 	// Parallelism bounds the worker lanes of the synchronization kernels
 	// (0 = GOMAXPROCS, 1 = serial); results are identical for every value.
 	Parallelism int
+	// Solver overrides the synchronization backend (see WithSolver); the
+	// zero value SolverAuto picks by instance size and density.
+	Solver Solver
+	// ClusterSize bounds the hierarchical solver's per-cluster
+	// subproblems (see WithClusterSize); 0 means the default (256).
+	ClusterSize int
 }
 
 // RunScenarioJSON builds a scenario from its JSON description, simulates
@@ -74,7 +80,10 @@ func RunScenarioJSON(data []byte, opts SimOptions) (*Report, error) {
 		return nil, err
 	}
 	res, err := core.SynchronizeSystem(len(built.Starts), built.Links, tab, core.DefaultMLSOptions(),
-		core.Options{Root: int(opts.Root), Centered: opts.Centered, Parallelism: opts.Parallelism})
+		core.Options{
+			Root: int(opts.Root), Centered: opts.Centered, Parallelism: opts.Parallelism,
+			Solver: opts.Solver, ClusterSize: opts.ClusterSize,
+		})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,217 @@
+package clocksync_test
+
+// Solver-backend equivalence on the repository's real workloads: every
+// reference scenario (all n <= 256, so every backend takes an exact path)
+// must produce bit-identical results under SolverAuto, SolverDense,
+// SolverSparse and SolverHierarchical, and the sparse result must pass
+// the brute-force optimality certificate from internal/verify.
+
+import (
+	"testing"
+
+	"clocksync"
+	"clocksync/internal/core"
+	"clocksync/internal/scenario"
+	"clocksync/internal/sim"
+	"clocksync/internal/trace"
+	"clocksync/internal/verify"
+)
+
+// solverScenarios are the reference workloads: the example-program
+// scenarios plus a 16x16 torus, the largest (n = 256) instance on which
+// all backends still take exact paths.
+var solverScenarios = []struct {
+	name string
+	json string
+	opts core.Options
+}{
+	{"wanmix", `{
+		"processors": 8, "seed": 1993, "startSpread": 3,
+		"topology": {"kind": "ring"},
+		"defaultLink": {
+			"assumption": {"kind": "symmetricBounds", "lb": 0.02, "ub": 0.06},
+			"delays": {"kind": "symmetric", "sampler": {"kind": "uniform", "lo": 0.02, "hi": 0.06}}
+		},
+		"links": [
+			{"p": 1, "q": 2,
+			 "assumption": {"kind": "bias", "b": 0.01},
+			 "delays": {"kind": "biasWindow", "base": 0.08, "width": 0.01}},
+			{"p": 3, "q": 4,
+			 "assumption": {"kind": "lowerOnly", "lbPQ": 0.03, "lbQP": 0.03},
+			 "delays": {"kind": "symmetric", "sampler": {"kind": "shiftedExp", "min": 0.03, "mean": 0.05}}},
+			{"p": 5, "q": 6,
+			 "assumption": {"kind": "and", "parts": [
+				{"kind": "symmetricBounds", "lb": 0.0, "ub": 0.2},
+				{"kind": "bias", "b": 0.015}]},
+			 "delays": {"kind": "biasWindow", "base": 0.05, "width": 0.015}}
+		],
+		"protocol": {"kind": "burst", "k": 6, "spacing": 0.004, "warmup": -1}
+	}`, core.Options{Centered: true}},
+	{"faulty-observed", `{
+		"processors": 6, "seed": 42, "startSpread": 1,
+		"topology": {"kind": "ring"},
+		"defaultLink": {
+			"assumption": {"kind": "symmetricBounds", "lb": 0.03, "ub": 0.09},
+			"delays": {"kind": "symmetric", "sampler": {"kind": "uniform", "lo": 0.03, "hi": 0.09}}
+		},
+		"protocol": {"kind": "burst", "k": 1, "warmup": -1},
+		"faults": {"crashes": [{"proc": 5, "at": 2.2}]}
+	}`, core.Options{Centered: true}},
+	{"leadersync", `{
+		"processors": 9, "seed": 7, "startSpread": 2,
+		"topology": {"kind": "grid", "w": 3, "h": 3},
+		"defaultLink": {
+			"assumption": {"kind": "symmetricBounds", "lb": 0.03, "ub": 0.09},
+			"delays": {"kind": "symmetric", "sampler": {"kind": "uniform", "lo": 0.03, "hi": 0.09}}
+		},
+		"protocol": {"kind": "burst", "k": 1, "warmup": -1}
+	}`, core.Options{Root: 4}},
+	{"cli-starter", `{
+		"processors": 4, "seed": 42, "startSpread": 2,
+		"topology": {"kind": "ring"},
+		"defaultLink": {
+			"assumption": {"kind": "symmetricBounds", "lb": 0.01, "ub": 0.05},
+			"delays": {"kind": "symmetric", "sampler": {"kind": "uniform", "lo": 0.01, "hi": 0.05}}
+		},
+		"protocol": {"kind": "burst", "k": 4, "spacing": 0.005, "warmup": -1}
+	}`, core.Options{}},
+	{"torus-256", `{
+		"processors": 256, "seed": 11, "startSpread": 2,
+		"topology": {"kind": "torus", "w": 16, "h": 16},
+		"defaultLink": {
+			"assumption": {"kind": "symmetricBounds", "lb": 0.01, "ub": 0.05},
+			"delays": {"kind": "symmetric", "sampler": {"kind": "uniform", "lo": 0.01, "hi": 0.05}}
+		},
+		"protocol": {"kind": "burst", "k": 1, "warmup": -1}
+	}`, core.Options{Centered: true}},
+}
+
+// TestSolverBackendsAgreeOnScenarios replays every reference scenario
+// through all four solver settings and asserts bit-identical corrections,
+// precision, and component structure against the dense baseline. The
+// hierarchical solver participates because each component fits the
+// default cluster size, so it resolves to the exact sparse path.
+func TestSolverBackendsAgreeOnScenarios(t *testing.T) {
+	for _, c := range solverScenarios {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			sc, err := scenario.Parse([]byte(c.json))
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			built, err := sc.Build()
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			exec, err := sim.Run(built.Net, built.Factory, built.RunCfg)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			msgs, err := exec.Messages()
+			if err != nil {
+				t.Fatalf("messages: %v", err)
+			}
+			tab := trace.NewTable(sc.Processors, false)
+			for _, m := range msgs {
+				s := trace.Sample{From: m.From, To: m.To, SendClock: m.SendClock, RecvClock: m.RecvClock}
+				if err := tab.Add(s); err != nil {
+					t.Fatalf("table: %v", err)
+				}
+			}
+
+			denseOpts := c.opts
+			denseOpts.Solver = core.SolverDense
+			want, err := core.SynchronizeSystem(sc.Processors, built.Links, tab, core.DefaultMLSOptions(), denseOpts)
+			if err != nil {
+				t.Fatalf("dense: %v", err)
+			}
+			for _, solver := range []core.Solver{core.SolverAuto, core.SolverSparse, core.SolverHierarchical} {
+				opts := c.opts
+				opts.Solver = solver
+				got, err := core.SynchronizeSystem(sc.Processors, built.Links, tab, core.DefaultMLSOptions(), opts)
+				if err != nil {
+					t.Fatalf("%v: %v", solver, err)
+				}
+				if !bitEqual(got.Precision, want.Precision) {
+					t.Fatalf("%v: precision %v, dense %v", solver, got.Precision, want.Precision)
+				}
+				for p := range want.Corrections {
+					if !bitEqual(got.Corrections[p], want.Corrections[p]) {
+						t.Fatalf("%v: correction p%d = %v, dense %v", solver, p, got.Corrections[p], want.Corrections[p])
+					}
+				}
+				if len(got.Components) != len(want.Components) {
+					t.Fatalf("%v: %d components, dense %d", solver, len(got.Components), len(want.Components))
+				}
+			}
+
+			// The sparse result must pass the paper-level certificate: the
+			// reported precision equals the true A_max, the corrections are
+			// admissible, and random alternatives never beat the optimum.
+			sparseOpts := c.opts
+			sparseOpts.Solver = core.SolverSparse
+			res, err := core.SynchronizeSystem(sc.Processors, built.Links, tab, core.DefaultMLSOptions(), sparseOpts)
+			if err != nil {
+				t.Fatalf("sparse: %v", err)
+			}
+			if err := verify.CheckAdmissible(exec, built.Links, core.DefaultMLSOptions()); err != nil {
+				t.Fatalf("execution not admissible: %v", err)
+			}
+			trials := 50
+			if sc.Processors > 64 {
+				trials = 5 // TrueMS is O(n^3); keep the big scenario quick
+			}
+			cert, err := verify.CheckOptimality(exec, built.Links, core.DefaultMLSOptions(), res, trials, 1)
+			if err != nil {
+				t.Fatalf("certificate: %v", err)
+			}
+			if err := cert.Ok(1e-6); err != nil {
+				t.Fatalf("sparse result fails the optimality certificate: %v", err)
+			}
+		})
+	}
+}
+
+// TestPublicSolverOptions exercises WithSolver and WithClusterSize at the
+// API surface: both backends must agree bit for bit through
+// System.Synchronize.
+func TestPublicSolverOptions(t *testing.T) {
+	sys, err := clocksync.NewSystem(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 3; p++ {
+		if err := sys.AddLink(clocksync.ProcID(p), clocksync.ProcID((p+1)%3), clocksync.MustSymmetricBounds(0.001, 0.005)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rec := clocksync.NewRecorder(3)
+	for p := 0; p < 3; p++ {
+		q := (p + 1) % 3
+		base := 10.0 + float64(p)
+		if err := rec.Observe(clocksync.ProcID(p), clocksync.ProcID(q), base, base+0.003); err != nil {
+			t.Fatal(err)
+		}
+		if err := rec.Observe(clocksync.ProcID(q), clocksync.ProcID(p), base, base+0.004); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := sys.Synchronize(rec, clocksync.WithSolver(clocksync.SolverDense))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sys.Synchronize(rec,
+		clocksync.WithSolver(clocksync.SolverHierarchical),
+		clocksync.WithClusterSize(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bitEqual(got.Precision, want.Precision) {
+		t.Fatalf("precision %v vs %v", got.Precision, want.Precision)
+	}
+	for p := range want.Corrections {
+		if !bitEqual(got.Corrections[p], want.Corrections[p]) {
+			t.Fatalf("correction p%d: %v vs %v", p, got.Corrections[p], want.Corrections[p])
+		}
+	}
+}
