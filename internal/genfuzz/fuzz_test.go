@@ -1,0 +1,27 @@
+package genfuzz
+
+import "testing"
+
+// FuzzGeneratedScenario drives the differential oracle from the
+// generator's own seed stream: the fuzzer explores the int64 space, each
+// value deterministically expands to a full scenario, and any finding is
+// a real divergence between two independent computations of the same
+// answer. The go-fuzz corpus therefore stores nothing but seeds — shrunk
+// reproducers live in internal/scenario/testdata instead.
+func FuzzGeneratedScenario(f *testing.F) {
+	for seed := int64(1); seed <= 32; seed++ {
+		f.Add(seed)
+	}
+	cfg := DefaultConfig()
+	f.Fuzz(func(t *testing.T, seed int64) {
+		inst := Generate(seed, cfg)
+		o := &Oracle{}
+		if fs := o.Check(inst); len(fs) > 0 {
+			for _, fd := range fs {
+				t.Logf("%s", fd)
+			}
+			t.Fatalf("seed %d (n=%d, sound=%v): %d finding(s); shrink with: go run ./cmd/genfuzz -seed %d -count 1 -shrink",
+				seed, inst.Scenario.Processors, inst.Sound, len(fs), seed)
+		}
+	})
+}

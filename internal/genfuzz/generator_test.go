@@ -1,0 +1,87 @@
+package genfuzz
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestGenerateDeterministic: Generate is a pure function of (seed, cfg) —
+// the whole point of a seed-stream corpus is that CI and a laptop see the
+// same instance for the same seed.
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	for _, seed := range []int64{1, 7, 42, 1 << 40} {
+		a := Generate(seed, cfg)
+		b := Generate(seed, cfg)
+		ja, err := json.Marshal(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jb, err := json.Marshal(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(ja) != string(jb) {
+			t.Errorf("seed %d: two generations differ:\n%s\n%s", seed, ja, jb)
+		}
+	}
+}
+
+// TestGeneratedScenariosBuild: every generated scenario must pass its own
+// validation — the generator and the scenario schema must not drift apart.
+func TestGeneratedScenariosBuild(t *testing.T) {
+	cfg := DefaultConfig()
+	for seed := int64(1); seed <= 150; seed++ {
+		inst := Generate(seed, cfg)
+		if _, err := inst.Scenario.Build(); err != nil {
+			t.Errorf("seed %d: generated scenario does not build: %v", seed, err)
+		}
+	}
+}
+
+// TestGeneratorCoversShapes: over a modest seed block the generator must
+// exercise every topology family and both sound and unsound instances —
+// a silent collapse to one shape would gut the fuzzer's coverage.
+func TestGeneratorCoversShapes(t *testing.T) {
+	cfg := DefaultConfig()
+	kinds := map[string]bool{}
+	sound, unsound, faulted := 0, 0, 0
+	for seed := int64(1); seed <= 300; seed++ {
+		inst := Generate(seed, cfg)
+		kinds[inst.Scenario.Topology.Kind] = true
+		if inst.Sound {
+			sound++
+		} else {
+			unsound++
+		}
+		if inst.Scenario.Faults != nil {
+			faulted++
+		}
+	}
+	if len(kinds) < 5 {
+		t.Errorf("only %d topology kinds in 300 seeds: %v", len(kinds), kinds)
+	}
+	if sound == 0 || unsound == 0 {
+		t.Errorf("sound/unsound split %d/%d — both must occur", sound, unsound)
+	}
+	if faulted == 0 {
+		t.Error("no instance had a fault schedule")
+	}
+}
+
+// TestOracleCleanOnSeedBlock is the in-tree version of the CI smoke run:
+// the first seeds of the stream must produce zero findings on a healthy
+// tree.
+func TestOracleCleanOnSeedBlock(t *testing.T) {
+	cfg := DefaultConfig()
+	o := &Oracle{}
+	for seed := int64(1); seed <= 60; seed++ {
+		inst := Generate(seed, cfg)
+		if fs := o.Check(inst); len(fs) > 0 {
+			for _, f := range fs {
+				t.Logf("seed %d: %s", seed, f)
+			}
+			t.Fatalf("seed %d: %d finding(s) on a healthy tree", seed, len(fs))
+		}
+	}
+}

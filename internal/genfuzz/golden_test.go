@@ -1,0 +1,58 @@
+package genfuzz
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"clocksync/internal/scenario"
+)
+
+// TestPromotedGoldens replays every promoted golden scenario under
+// internal/scenario/testdata through the full differential oracle — all
+// four solver backends bit-identically, stream replay, and (consistency
+// only, since goldens don't record the soundness flag) error behavior.
+// These files are minimized witnesses of past or injected defects; a
+// finding here means a regression escaped every other gate.
+func TestPromotedGoldens(t *testing.T) {
+	dir := filepath.Join("..", "scenario", "testdata")
+	paths, err := filepath.Glob(filepath.Join(dir, "genfuzz-*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatalf("no promoted goldens under %s — the corpus is gone", dir)
+	}
+	o := &Oracle{}
+	for _, path := range paths {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := scenario.Parse(data)
+			if err != nil {
+				t.Fatalf("golden does not parse: %v", err)
+			}
+			if !strings.Contains(s.Comment, "genfuzz") {
+				t.Errorf("golden lacks provenance comment: %q", s.Comment)
+			}
+			// Goldens are stored canonically; a regenerated file must diff
+			// clean.
+			canon, err := MarshalCanonical(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(canon) != string(data) {
+				t.Errorf("golden is not in canonical form; rewrite it with cmd/genfuzz -promote")
+			}
+			if fs := o.Check(&Instance{Seed: s.Seed, Scenario: s}); len(fs) > 0 {
+				for _, f := range fs {
+					t.Logf("%s", f)
+				}
+				t.Fatalf("%d finding(s) replaying promoted golden", len(fs))
+			}
+		})
+	}
+}

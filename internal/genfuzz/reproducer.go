@@ -1,0 +1,104 @@
+package genfuzz
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"clocksync/internal/scenario"
+)
+
+// Reproducer is the self-contained failure record cmd/genfuzz writes: the
+// (possibly shrunk) scenario, the findings it produces, and enough
+// provenance to regenerate or replay it without the original run.
+type Reproducer struct {
+	// Comment carries provenance and the exact replay command.
+	Comment string `json:"comment"`
+	// Seed is the generator seed that produced the original instance.
+	Seed int64 `json:"seed"`
+	// Sound records whether the generator promised an admissible
+	// instance (ground-truth checks apply) or not (consistency only).
+	Sound bool `json:"sound"`
+	// Shrunk is true when Scenario went through the minimizer.
+	Shrunk bool `json:"shrunk"`
+	// Findings are the oracle disagreements on Scenario.
+	Findings []Finding `json:"findings"`
+	// Scenario reproduces the failure when replayed through the oracle.
+	Scenario *scenario.Scenario `json:"scenario"`
+}
+
+// NewReproducer packages a failing instance. scen may be the original or
+// the shrunk scenario; findings should be the oracle output on scen.
+func NewReproducer(inst *Instance, scen *scenario.Scenario, findings []Finding, shrunk bool) *Reproducer {
+	r := &Reproducer{
+		Seed:     inst.Seed,
+		Sound:    inst.Sound,
+		Shrunk:   shrunk,
+		Findings: findings,
+		Scenario: scen,
+	}
+	r.Comment = fmt.Sprintf("genfuzz reproducer: generator seed %d; replay: %s; regenerate: go run ./cmd/genfuzz -seed %d -count 1 -shrink",
+		inst.Seed, ReplayCommand("<this file>"), inst.Seed)
+	return r
+}
+
+// ReplayCommand is the command line that re-checks a reproducer file.
+func ReplayCommand(path string) string {
+	return fmt.Sprintf("go run ./cmd/genfuzz -replay %s", path)
+}
+
+// MarshalCanonical renders any JSON-marshalable value in canonical form:
+// two-space indented, object keys sorted, numbers preserved exactly
+// (int64 seeds survive — no float64 round-trip). Canonical form is what
+// reproducer files and promoted goldens are written in, so regenerating
+// one produces a clean diff.
+func MarshalCanonical(v any) ([]byte, error) {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.UseNumber()
+	var doc any
+	if err := dec.Decode(&doc); err != nil {
+		return nil, err
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// MarshalCanonical renders the reproducer in canonical form.
+func (r *Reproducer) MarshalCanonical() ([]byte, error) { return MarshalCanonical(r) }
+
+// ParseReproducer loads a reproducer file.
+func ParseReproducer(data []byte) (*Reproducer, error) {
+	var r Reproducer
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("genfuzz: parse reproducer: %w", err)
+	}
+	if r.Scenario == nil {
+		return nil, fmt.Errorf("genfuzz: reproducer has no scenario")
+	}
+	return &r, nil
+}
+
+// Promote converts a reproducer into golden-scenario form: the bare
+// scenario in canonical JSON, with provenance (generator seed, finding
+// category, replay command) recorded in the scenario's comment field so
+// the golden is self-describing in review.
+func Promote(r *Reproducer) ([]byte, error) {
+	if r.Scenario == nil {
+		return nil, fmt.Errorf("genfuzz: promote: reproducer has no scenario")
+	}
+	s := *r.Scenario
+	cat := "none"
+	if len(r.Findings) > 0 {
+		cat = r.Findings[0].Category
+	}
+	s.Comment = fmt.Sprintf("promoted genfuzz golden: generator seed %d, finding %s; regenerate: go run ./cmd/genfuzz -seed %d -count 1 -shrink -promote",
+		r.Seed, cat, r.Seed)
+	return MarshalCanonical(&s)
+}

@@ -1,0 +1,100 @@
+package genfuzz
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"clocksync/internal/scenario"
+)
+
+// TestCanonicalMarshalSortedAndIdempotent: canonical form sorts object
+// keys and re-canonicalizing is a fixpoint, so regenerated reproducers
+// diff cleanly.
+func TestCanonicalMarshalSortedAndIdempotent(t *testing.T) {
+	inst := Generate(3, DefaultConfig())
+	rep := NewReproducer(inst, inst.Scenario, []Finding{{Category: CatSolverMismatch, Detail: "x"}}, false)
+	data, err := rep.MarshalCanonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keys of the top-level object must appear in sorted order.
+	idx := func(key string) int { return bytes.Index(data, []byte(`"`+key+`"`)) }
+	for _, pair := range [][2]string{{"comment", "findings"}, {"findings", "scenario"}, {"scenario", "seed"}} {
+		if idx(pair[0]) < 0 || idx(pair[1]) < 0 || idx(pair[0]) > idx(pair[1]) {
+			t.Errorf("keys %q and %q not in canonical order", pair[0], pair[1])
+		}
+	}
+	var round Reproducer
+	if err := json.Unmarshal(data, &round); err != nil {
+		t.Fatal(err)
+	}
+	again, err := round.MarshalCanonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Error("canonical form is not a fixpoint")
+	}
+}
+
+// TestCanonicalMarshalPreservesBigSeeds: a 63-bit seed must survive the
+// canonicalization round trip exactly — a float64 detour would corrupt it.
+func TestCanonicalMarshalPreservesBigSeeds(t *testing.T) {
+	const big = int64(1)<<62 + 3
+	inst := Generate(5, DefaultConfig())
+	inst.Seed = big
+	inst.Scenario.Seed = big
+	rep := NewReproducer(inst, inst.Scenario, nil, false)
+	data, err := rep.MarshalCanonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var round Reproducer
+	if err := json.Unmarshal(data, &round); err != nil {
+		t.Fatal(err)
+	}
+	if round.Seed != big || round.Scenario.Seed != big {
+		t.Errorf("seed corrupted: %d / %d, want %d", round.Seed, round.Scenario.Seed, big)
+	}
+}
+
+// TestPromoteProducesSelfDescribingGolden: promotion yields a bare
+// scenario whose comment records the generator seed and regeneration
+// command, parseable by the scenario package.
+func TestPromoteProducesSelfDescribingGolden(t *testing.T) {
+	inst := Generate(9, DefaultConfig())
+	rep := NewReproducer(inst, inst.Scenario, []Finding{{Category: CatStream, Detail: "d"}}, true)
+	golden, err := Promote(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := scenario.Parse(golden)
+	if err != nil {
+		t.Fatalf("promoted golden does not parse as a scenario: %v", err)
+	}
+	if !strings.Contains(s.Comment, "seed 9") || !strings.Contains(s.Comment, "-promote") {
+		t.Errorf("comment lacks provenance: %q", s.Comment)
+	}
+	if !strings.Contains(s.Comment, CatStream) {
+		t.Errorf("comment lacks the finding category: %q", s.Comment)
+	}
+	if _, err := s.Build(); err != nil {
+		t.Errorf("promoted golden does not build: %v", err)
+	}
+}
+
+// TestParseReproducerRejectsBareScenario: a scenario file is not a
+// reproducer; the loader must say so instead of treating a nil scenario
+// as empty.
+func TestParseReproducerRejectsBareScenario(t *testing.T) {
+	inst := Generate(2, DefaultConfig())
+	data, err := inst.Scenario.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseReproducer(data); err == nil {
+		t.Error("bare scenario accepted as a reproducer")
+	}
+}

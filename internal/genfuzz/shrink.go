@@ -1,0 +1,566 @@
+package genfuzz
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+
+	"clocksync/internal/scenario"
+)
+
+// Predicate reports whether a candidate scenario still reproduces the
+// failure being minimized. Predicates must be pure functions of the
+// scenario value: the shrinker calls them on many speculative candidates.
+type Predicate func(*scenario.Scenario) bool
+
+// CategoryPredicate builds the standard shrinking predicate: the candidate
+// must still produce at least one finding of the original finding's
+// category. Preserving the category (rather than "any finding") keeps the
+// minimized scenario a witness for the same defect class.
+func (o *Oracle) CategoryPredicate(sound bool, category string) Predicate {
+	return func(s *scenario.Scenario) bool {
+		for _, f := range o.Check(&Instance{Seed: s.Seed, Scenario: s, Sound: sound}) {
+			if f.Category == category {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// ShrinkStats describes one shrink run.
+type ShrinkStats struct {
+	// Accepted counts reductions that kept the predicate true.
+	Accepted int
+	// Checks counts predicate evaluations (each one replays the full
+	// oracle).
+	Checks int
+}
+
+// Shrink delta-debugs a failing scenario down to a (locally) minimal one
+// that still satisfies pred. The input scenario must satisfy pred; if it
+// does not, Shrink returns it unchanged.
+//
+// The reduction passes, in order: pin the randomness (explicit starts,
+// explicit link list) so structural edits don't shift unrelated draws;
+// ddmin over links; drop faults; shrink the traffic; compact unused
+// processors; round constants. Every accepted structural edit strictly
+// decreases a well-founded size metric and the value-rounding pass is a
+// bounded sweep, so Shrink always terminates.
+func Shrink(s *scenario.Scenario, pred Predicate) (*scenario.Scenario, ShrinkStats) {
+	var st ShrinkStats
+	check := func(c *scenario.Scenario) bool {
+		st.Checks++
+		return pred(c)
+	}
+	if !check(s) {
+		return s, st
+	}
+	cur := normalize(s, check, &st)
+	for {
+		before := size(cur)
+		cur = shrinkLinks(cur, check, &st)
+		cur = shrinkVertices(cur, check, &st)
+		cur = shrinkFaults(cur, check, &st)
+		cur = shrinkProtocol(cur, check, &st)
+		cur = compactProcs(cur, check, &st)
+		if size(cur) >= before {
+			break
+		}
+	}
+	cur = roundValues(cur, check, &st)
+	return cur, st
+}
+
+// size is the well-founded metric every structural reduction decreases.
+func size(s *scenario.Scenario) int {
+	n := s.Processors + len(s.Topology.Pairs) + len(s.Links)
+	if s.Faults != nil {
+		n += len(s.Faults.Crashes) + len(s.Faults.Partitions) + len(s.Faults.Byzantine)
+		if s.Faults.Loss > 0 {
+			n++
+		}
+	}
+	n += s.Protocol.K + s.Protocol.Count + s.Protocol.Rounds
+	return n
+}
+
+func clone(s *scenario.Scenario) *scenario.Scenario {
+	b, err := json.Marshal(s)
+	if err != nil {
+		panic("genfuzz: scenario not marshalable: " + err.Error())
+	}
+	var c scenario.Scenario
+	if err := json.Unmarshal(b, &c); err != nil {
+		panic("genfuzz: scenario not round-trippable: " + err.Error())
+	}
+	return &c
+}
+
+// normalize pins every rng draw that structural edits could otherwise
+// shift: explicit start times and an explicit ("custom") link list. After
+// this, Build's only remaining draw is the run seed — the first Int63 of
+// the scenario seed — which no longer depends on the topology, so
+// dropping a link perturbs nothing else. Kept only if the failure
+// survives the rewrite (it almost always does; a Build-stage failure may
+// not, and then shrinking proceeds on the raw scenario).
+func normalize(s *scenario.Scenario, check func(*scenario.Scenario) bool, st *ShrinkStats) *scenario.Scenario {
+	built, err := s.Build()
+	if err != nil {
+		return s
+	}
+	c := clone(s)
+	c.Starts = built.Starts
+	c.StartSpread = 0
+	pairs := make([][2]int, len(built.Links))
+	for i, l := range built.Links {
+		pairs[i] = [2]int{int(l.P), int(l.Q)}
+	}
+	c.Topology = scenario.Topology{Kind: "custom", Pairs: pairs}
+	if check(c) {
+		st.Accepted++
+		return c
+	}
+	return s
+}
+
+// withoutPairs removes the pairs at the given index set and prunes link
+// overrides that referenced them.
+func withoutPairs(s *scenario.Scenario, drop map[int]bool) *scenario.Scenario {
+	c := clone(s)
+	var kept [][2]int
+	for i, p := range s.Topology.Pairs {
+		if !drop[i] {
+			kept = append(kept, p)
+		}
+	}
+	c.Topology.Pairs = kept
+	inKept := make(map[[2]int]bool, len(kept))
+	for _, p := range kept {
+		inKept[canonPair(p)] = true
+	}
+	var links []scenario.LinkOverride
+	for _, o := range s.Links {
+		if inKept[canonPair([2]int{o.P, o.Q})] {
+			links = append(links, o)
+		}
+	}
+	c.Links = links
+	return c
+}
+
+func canonPair(p [2]int) [2]int {
+	if p[0] > p[1] {
+		return [2]int{p[1], p[0]}
+	}
+	return p
+}
+
+// shrinkLinks is greedy ddmin over the explicit link list: try dropping
+// chunks of half the list, then quarters, down to single links. Only
+// meaningful after normalize switched the topology to "custom"; on named
+// topologies it is a no-op (Pairs empty).
+func shrinkLinks(s *scenario.Scenario, check func(*scenario.Scenario) bool, st *ShrinkStats) *scenario.Scenario {
+	cur := s
+	for chunk := (len(cur.Topology.Pairs) + 1) / 2; chunk >= 1; chunk /= 2 {
+		for lo := 0; lo < len(cur.Topology.Pairs); {
+			hi := lo + chunk
+			if hi > len(cur.Topology.Pairs) {
+				hi = len(cur.Topology.Pairs)
+			}
+			drop := make(map[int]bool, hi-lo)
+			for i := lo; i < hi; i++ {
+				drop[i] = true
+			}
+			if cand := withoutPairs(cur, drop); check(cand) {
+				st.Accepted++
+				cur = cand // indices shifted; retry same offset
+			} else {
+				lo = hi
+			}
+		}
+	}
+	return cur
+}
+
+// shrinkVertices deletes whole processors — each incident link goes with
+// its endpoint and the survivors are renumbered in the same candidate, so
+// no isolated processor (and no spurious disconnection) is ever proposed.
+// This is what gets a failing tree below its link count: tree links are
+// individually unremovable (each one disconnects), but leaves are not.
+func shrinkVertices(s *scenario.Scenario, check func(*scenario.Scenario) bool, st *ShrinkStats) *scenario.Scenario {
+	cur := s
+	if cur.Topology.Kind != "custom" {
+		return cur
+	}
+	for p := cur.Processors - 1; p >= 0; p-- {
+		if cur.Processors <= 2 {
+			break
+		}
+		cand, ok := removeVertex(cur, p)
+		if !ok {
+			continue
+		}
+		if check(cand) {
+			st.Accepted++
+			cur = cand
+		}
+	}
+	return cur
+}
+
+// removeVertex drops processor p, every link and fault touching it, and
+// renumbers the remaining processors densely. Returns ok=false when the
+// scenario cannot be rewritten safely (fraction-form byzantine entries
+// change meaning with n).
+func removeVertex(s *scenario.Scenario, p int) (*scenario.Scenario, bool) {
+	if s.Faults != nil {
+		for _, b := range s.Faults.Byzantine {
+			if b.Fraction > 0 {
+				return nil, false
+			}
+		}
+	}
+	remap := func(q int) int {
+		if q > p {
+			return q - 1
+		}
+		return q
+	}
+	c := clone(s)
+	c.Processors = s.Processors - 1
+	if len(s.Starts) == s.Processors {
+		c.Starts = append(append([]float64(nil), s.Starts[:p]...), s.Starts[p+1:]...)
+	}
+	c.Topology.Pairs = nil
+	for _, e := range s.Topology.Pairs {
+		if e[0] == p || e[1] == p {
+			continue
+		}
+		c.Topology.Pairs = append(c.Topology.Pairs, [2]int{remap(e[0]), remap(e[1])})
+	}
+	c.Links = nil
+	for _, o := range s.Links {
+		if o.P == p || o.Q == p {
+			continue
+		}
+		o.P, o.Q = remap(o.P), remap(o.Q)
+		c.Links = append(c.Links, o)
+	}
+	if c.Faults != nil {
+		f := c.Faults
+		f.Crashes = nil
+		for _, cr := range s.Faults.Crashes {
+			if cr.Proc == p {
+				continue
+			}
+			cr.Proc = remap(cr.Proc)
+			f.Crashes = append(f.Crashes, cr)
+		}
+		f.Partitions = nil
+		for _, pt := range s.Faults.Partitions {
+			if pt.P == p || pt.Q == p {
+				continue
+			}
+			pt.P, pt.Q = remap(pt.P), remap(pt.Q)
+			f.Partitions = append(f.Partitions, pt)
+		}
+		f.Byzantine = nil
+		for _, b := range s.Faults.Byzantine {
+			if b.Proc != nil && *b.Proc == p {
+				continue
+			}
+			if b.Proc != nil {
+				v := remap(*b.Proc)
+				b.Proc = &v
+			}
+			f.Byzantine = append(f.Byzantine, b)
+		}
+	}
+	return c, true
+}
+
+// shrinkFaults tries removing the fault section wholesale, then each
+// crash, partition and byzantine entry one at a time, then ambient loss.
+func shrinkFaults(s *scenario.Scenario, check func(*scenario.Scenario) bool, st *ShrinkStats) *scenario.Scenario {
+	cur := s
+	if cur.Faults == nil {
+		return cur
+	}
+	if cand := clone(cur); true {
+		cand.Faults = nil
+		if check(cand) {
+			st.Accepted++
+			return cand
+		}
+	}
+	attempt := func(edit func(f *scenario.FaultsSpec) bool) {
+		for {
+			cand := clone(cur)
+			if !edit(cand.Faults) {
+				return
+			}
+			if !check(cand) {
+				return
+			}
+			st.Accepted++
+			cur = cand
+		}
+	}
+	attempt(func(f *scenario.FaultsSpec) bool {
+		if len(f.Crashes) == 0 {
+			return false
+		}
+		f.Crashes = f.Crashes[1:]
+		return true
+	})
+	attempt(func(f *scenario.FaultsSpec) bool {
+		if len(f.Partitions) == 0 {
+			return false
+		}
+		f.Partitions = f.Partitions[1:]
+		return true
+	})
+	attempt(func(f *scenario.FaultsSpec) bool {
+		if len(f.Byzantine) == 0 {
+			return false
+		}
+		f.Byzantine = f.Byzantine[1:]
+		return true
+	})
+	attempt(func(f *scenario.FaultsSpec) bool {
+		if f.Loss == 0 {
+			return false
+		}
+		f.Loss = 0
+		return true
+	})
+	// Dropping individual trailing entries (the loops above only peel the
+	// head) — peel the tail too.
+	attempt(func(f *scenario.FaultsSpec) bool {
+		if len(f.Crashes) == 0 {
+			return false
+		}
+		f.Crashes = f.Crashes[:len(f.Crashes)-1]
+		return true
+	})
+	attempt(func(f *scenario.FaultsSpec) bool {
+		if len(f.Partitions) == 0 {
+			return false
+		}
+		f.Partitions = f.Partitions[:len(f.Partitions)-1]
+		return true
+	})
+	attempt(func(f *scenario.FaultsSpec) bool {
+		if len(f.Byzantine) == 0 {
+			return false
+		}
+		f.Byzantine = f.Byzantine[:len(f.Byzantine)-1]
+		return true
+	})
+	return cur
+}
+
+// shrinkProtocol tries the smallest traffic that still fails: single
+// messages, zero spacing.
+func shrinkProtocol(s *scenario.Scenario, check func(*scenario.Scenario) bool, st *ShrinkStats) *scenario.Scenario {
+	cur := s
+	try := func(edit func(p *scenario.ProtocolSpec) bool) {
+		cand := clone(cur)
+		if !edit(&cand.Protocol) {
+			return
+		}
+		if check(cand) {
+			st.Accepted++
+			cur = cand
+		}
+	}
+	try(func(p *scenario.ProtocolSpec) bool {
+		if p.K <= 1 {
+			return false
+		}
+		p.K = 1
+		return true
+	})
+	try(func(p *scenario.ProtocolSpec) bool {
+		if p.Count <= 1 {
+			return false
+		}
+		p.Count = 1
+		return true
+	})
+	try(func(p *scenario.ProtocolSpec) bool {
+		if p.Rounds <= 1 {
+			return false
+		}
+		p.Rounds = 1
+		return true
+	})
+	return cur
+}
+
+// compactProcs renumbers the processors that still appear in links or
+// faults down to a dense 0..k-1 range and truncates everything else.
+func compactProcs(s *scenario.Scenario, check func(*scenario.Scenario) bool, st *ShrinkStats) *scenario.Scenario {
+	if s.Topology.Kind != "custom" {
+		return s
+	}
+	used := map[int]bool{}
+	for _, p := range s.Topology.Pairs {
+		used[p[0]] = true
+		used[p[1]] = true
+	}
+	if s.Faults != nil {
+		for _, c := range s.Faults.Crashes {
+			used[c.Proc] = true
+		}
+		for _, p := range s.Faults.Partitions {
+			used[p.P] = true
+			used[p.Q] = true
+		}
+		for _, b := range s.Faults.Byzantine {
+			if b.Proc != nil {
+				used[*b.Proc] = true
+			}
+			if b.Fraction > 0 {
+				// Fraction resolves against n; renumbering changes its
+				// meaning, so refuse to compact under fraction-form
+				// byzantine entries.
+				return s
+			}
+		}
+	}
+	if len(used) == 0 || len(used) >= s.Processors {
+		return s
+	}
+	remap := make(map[int]int, len(used))
+	next := 0
+	for p := 0; p < s.Processors; p++ {
+		if used[p] {
+			remap[p] = next
+			next++
+		}
+	}
+	c := clone(s)
+	c.Processors = len(used)
+	if len(s.Starts) == s.Processors {
+		c.Starts = c.Starts[:0]
+		for p := 0; p < s.Processors; p++ {
+			if used[p] {
+				c.Starts = append(c.Starts, s.Starts[p])
+			}
+		}
+	}
+	for i, p := range c.Topology.Pairs {
+		c.Topology.Pairs[i] = [2]int{remap[p[0]], remap[p[1]]}
+	}
+	for i := range c.Links {
+		c.Links[i].P = remap[c.Links[i].P]
+		c.Links[i].Q = remap[c.Links[i].Q]
+	}
+	if c.Faults != nil {
+		for i := range c.Faults.Crashes {
+			c.Faults.Crashes[i].Proc = remap[c.Faults.Crashes[i].Proc]
+		}
+		for i := range c.Faults.Partitions {
+			c.Faults.Partitions[i].P = remap[c.Faults.Partitions[i].P]
+			c.Faults.Partitions[i].Q = remap[c.Faults.Partitions[i].Q]
+		}
+		for i := range c.Faults.Byzantine {
+			if c.Faults.Byzantine[i].Proc != nil {
+				v := remap[*c.Faults.Byzantine[i].Proc]
+				c.Faults.Byzantine[i].Proc = &v
+			}
+		}
+	}
+	if check(c) {
+		st.Accepted++
+		return c
+	}
+	return s
+}
+
+// roundValues coarsens every fractional constant in the scenario — one
+// whole-document sweep per granularity, accepted only if the failure
+// survives. Integral values (seeds, counts) are never touched.
+func roundValues(s *scenario.Scenario, check func(*scenario.Scenario) bool, st *ShrinkStats) *scenario.Scenario {
+	cur := s
+	for _, digits := range []int{2, 1, 0} {
+		cand, ok := roundScenario(cur, digits)
+		if !ok {
+			continue
+		}
+		if check(cand) {
+			st.Accepted++
+			cur = cand
+		}
+	}
+	return cur
+}
+
+// roundScenario rounds every non-integral number in the scenario's JSON
+// form to the given decimal places. Returns ok=false when nothing would
+// change. The document is decoded with UseNumber so integral values —
+// notably 63-bit seeds, which do not survive a float64 detour — pass
+// through textually untouched.
+func roundScenario(s *scenario.Scenario, digits int) (*scenario.Scenario, bool) {
+	b, err := json.Marshal(s)
+	if err != nil {
+		return s, false
+	}
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.UseNumber()
+	var doc any
+	if err := dec.Decode(&doc); err != nil {
+		return s, false
+	}
+	changed := false
+	doc = roundAny(doc, digits, &changed)
+	if !changed {
+		return s, false
+	}
+	out, err := json.Marshal(doc)
+	if err != nil {
+		return s, false
+	}
+	var c scenario.Scenario
+	if err := json.Unmarshal(out, &c); err != nil {
+		return s, false
+	}
+	return &c, true
+}
+
+func roundAny(v any, digits int, changed *bool) any {
+	switch t := v.(type) {
+	case map[string]any:
+		for k, e := range t {
+			t[k] = roundAny(e, digits, changed)
+		}
+		return t
+	case []any:
+		for i, e := range t {
+			t[i] = roundAny(e, digits, changed)
+		}
+		return t
+	case json.Number:
+		txt := t.String()
+		if !strings.ContainsAny(txt, ".eE") {
+			return t // integral (incl. seeds/counts): leave textually exact
+		}
+		f, err := t.Float64()
+		if err != nil {
+			return t
+		}
+		scale := math.Pow(10, float64(digits))
+		r := math.Round(f*scale) / scale
+		// Exact inequality is the point: detect whether rounding changed
+		// the encoded constant at all, not whether two shifts agree.
+		if r != f { //clocklint:allow floateq
+			*changed = true
+		}
+		return r
+	default:
+		return v
+	}
+}

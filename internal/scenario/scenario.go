@@ -38,6 +38,9 @@ type Scenario struct {
 	Protocol ProtocolSpec `json:"protocol"`
 	// Faults optionally injects crashes, partitions and message loss.
 	Faults *FaultsSpec `json:"faults,omitempty"`
+	// Comment is free-form provenance — e.g. which genfuzz seed produced
+	// a promoted golden and how to regenerate it. Build ignores it.
+	Comment string `json:"comment,omitempty"`
 }
 
 // FaultsSpec is the JSON form of a fault schedule.
@@ -94,11 +97,29 @@ func (f *FaultsSpec) Build(n int) (*sim.Faults, error) {
 	if f == nil {
 		return nil, nil
 	}
+	if math.IsNaN(f.Loss) || f.Loss < 0 || f.Loss >= 1 {
+		return nil, fmt.Errorf("scenario: faults.loss = %v, want [0, 1)", f.Loss)
+	}
 	faults := &sim.Faults{Loss: f.Loss}
-	for _, c := range f.Crashes {
+	for i, c := range f.Crashes {
+		if c.Proc < 0 || c.Proc >= n {
+			return nil, fmt.Errorf("scenario: faults.crashes[%d].proc = %d, want [0, %d)", i, c.Proc, n)
+		}
+		if math.IsNaN(c.At) {
+			return nil, fmt.Errorf("scenario: faults.crashes[%d].at = NaN", i)
+		}
 		faults.Crashes = append(faults.Crashes, sim.Crash{Proc: c.Proc, At: c.At})
 	}
-	for _, p := range f.Partitions {
+	for i, p := range f.Partitions {
+		if p.P < 0 || p.P >= n || p.Q < 0 || p.Q >= n {
+			return nil, fmt.Errorf("scenario: faults.partitions[%d] = (%d, %d), want endpoints in [0, %d)", i, p.P, p.Q, n)
+		}
+		if p.P == p.Q {
+			return nil, fmt.Errorf("scenario: faults.partitions[%d] = (%d, %d): a processor cannot be partitioned from itself", i, p.P, p.Q)
+		}
+		if math.IsNaN(p.From) || math.IsNaN(p.Until) {
+			return nil, fmt.Errorf("scenario: faults.partitions[%d]: from = %v, until = %v, want non-NaN", i, p.From, p.Until)
+		}
 		until := p.Until
 		if until <= 0 {
 			until = math.Inf(1)
@@ -108,13 +129,13 @@ func (f *FaultsSpec) Build(n int) (*sim.Faults, error) {
 	for i, b := range f.Byzantine {
 		procs, err := b.procs(n)
 		if err != nil {
-			return nil, fmt.Errorf("scenario: byzantine[%d]: %w", i, err)
+			return nil, fmt.Errorf("scenario: faults.byzantine[%d]: %w", i, err)
 		}
 		if !sim.KnownByzantineStrategy(sim.ByzantineStrategy(b.Strategy)) {
-			return nil, fmt.Errorf("scenario: byzantine[%d]: unknown strategy %q (want inflate|deflate|skew|equivocate|forge)", i, b.Strategy)
+			return nil, fmt.Errorf("scenario: faults.byzantine[%d].strategy = %q, want inflate|deflate|skew|equivocate|forge", i, b.Strategy)
 		}
 		if math.IsNaN(b.Magnitude) || math.IsInf(b.Magnitude, 0) || b.Magnitude < 0 {
-			return nil, fmt.Errorf("scenario: byzantine[%d]: magnitude %v, want finite >= 0", i, b.Magnitude)
+			return nil, fmt.Errorf("scenario: faults.byzantine[%d].magnitude = %v, want finite >= 0", i, b.Magnitude)
 		}
 		for _, p := range procs {
 			faults.Byzantine = append(faults.Byzantine, sim.Byzantine{
@@ -129,26 +150,31 @@ func (f *FaultsSpec) Build(n int) (*sim.Faults, error) {
 func (b ByzantineSpec) procs(n int) ([]int, error) {
 	switch {
 	case b.Proc != nil && b.Fraction != 0:
-		return nil, fmt.Errorf("proc and fraction are mutually exclusive")
+		return nil, fmt.Errorf("proc = %d and fraction = %v are mutually exclusive; set exactly one", *b.Proc, b.Fraction)
 	case b.Proc != nil:
 		if *b.Proc < 0 || *b.Proc >= n {
-			return nil, fmt.Errorf("proc %d out of range [0,%d)", *b.Proc, n)
+			return nil, fmt.Errorf("proc = %d, want [0, %d)", *b.Proc, n)
 		}
 		return []int{*b.Proc}, nil
 	case b.Fraction != 0:
 		if math.IsNaN(b.Fraction) || b.Fraction < 0 || b.Fraction > 1 {
-			return nil, fmt.Errorf("fraction %v outside [0,1]", b.Fraction)
+			return nil, fmt.Errorf("fraction = %v, want (0, 1]", b.Fraction)
 		}
 		// The nudge absorbs float error in the product: 0.3*10 is
 		// 2.999...6 and must still select ⌊0.3·10⌋ = 3 liars.
 		k := int(b.Fraction*float64(n) + 1e-9)
+		if k == 0 {
+			// An entry that marks nobody is always a spec mistake — the
+			// author asked for liars and got a silent no-op.
+			return nil, fmt.Errorf("fraction = %v selects floor(%v*%d) = 0 processors; raise the fraction or use proc", b.Fraction, b.Fraction, n)
+		}
 		procs := make([]int, 0, k)
 		for p := n - k; p < n; p++ {
 			procs = append(procs, p)
 		}
 		return procs, nil
 	default:
-		return nil, fmt.Errorf("one of proc or fraction is required")
+		return nil, fmt.Errorf("exactly one of proc and fraction is required (both unset)")
 	}
 }
 

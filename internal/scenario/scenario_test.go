@@ -382,7 +382,6 @@ func TestByzantineFractionTruncation(t *testing.T) {
 		n, want  int
 	}{
 		{0.3, 10, 3},
-		{0.1, 3, 0},  // ⌊0.3⌋: fractional products still truncate
 		{0.7, 10, 7}, // 6.999...
 		{0.5, 4, 2},
 	} {
@@ -394,6 +393,12 @@ func TestByzantineFractionTruncation(t *testing.T) {
 		if len(procs) != tt.want {
 			t.Errorf("fraction %v n %d selected %d liars, want %d", tt.fraction, tt.n, len(procs), tt.want)
 		}
+	}
+	// ⌊0.1·3⌋ = 0: an entry that selects nobody is rejected, not a silent
+	// no-op.
+	spec := ByzantineSpec{Fraction: 0.1, Strategy: "inflate"}
+	if _, err := spec.procs(3); err == nil {
+		t.Error("fraction selecting zero processors accepted")
 	}
 }
 
@@ -416,5 +421,118 @@ func TestByzantineSpecValidation(t *testing.T) {
 		if _, err := s.Build(); err == nil {
 			t.Errorf("%s: Build accepted %+v", name, f.Byzantine)
 		}
+	}
+}
+
+// TestFaultValidationFieldPaths: every malformed faults entry is rejected
+// with an error naming the exact JSON field path and offending value —
+// the contract generated (fuzzer-emitted) scenarios rely on.
+func TestFaultValidationFieldPaths(t *testing.T) {
+	two := 2
+	for name, tt := range map[string]struct {
+		faults   *FaultsSpec
+		wantPath string
+	}{
+		"loss out of range": {
+			&FaultsSpec{Loss: 1.5}, "faults.loss = 1.5",
+		},
+		"loss NaN": {
+			&FaultsSpec{Loss: math.NaN()}, "faults.loss",
+		},
+		"crash proc range": {
+			&FaultsSpec{Crashes: []CrashSpec{{Proc: 0, At: 1}, {Proc: 9, At: 1}}}, "faults.crashes[1].proc = 9",
+		},
+		"crash at NaN": {
+			&FaultsSpec{Crashes: []CrashSpec{{Proc: 1, At: math.NaN()}}}, "faults.crashes[0].at",
+		},
+		"partition endpoint range": {
+			&FaultsSpec{Partitions: []PartitionSpec{{P: 0, Q: 17}}}, "faults.partitions[0] = (0, 17)",
+		},
+		"partition self": {
+			&FaultsSpec{Partitions: []PartitionSpec{{P: 2, Q: 2}}}, "faults.partitions[0] = (2, 2)",
+		},
+		"byzantine strategy": {
+			&FaultsSpec{Byzantine: []ByzantineSpec{{Proc: &two, Strategy: "nope"}}}, `faults.byzantine[0].strategy = "nope"`,
+		},
+		"byzantine magnitude": {
+			&FaultsSpec{Byzantine: []ByzantineSpec{{Proc: &two, Strategy: "inflate", Magnitude: -2}}}, "faults.byzantine[0].magnitude = -2",
+		},
+		"byzantine neither": {
+			&FaultsSpec{Byzantine: []ByzantineSpec{{Strategy: "inflate"}}}, "faults.byzantine[0]",
+		},
+		"byzantine fraction selects nobody": {
+			&FaultsSpec{Byzantine: []ByzantineSpec{{Fraction: 0.1, Strategy: "inflate"}}}, "faults.byzantine[0]",
+		},
+	} {
+		s := validScenario()
+		s.Faults = tt.faults
+		_, err := s.Build()
+		if err == nil {
+			t.Errorf("%s: accepted %+v", name, tt.faults)
+			continue
+		}
+		if !strings.Contains(err.Error(), tt.wantPath) {
+			t.Errorf("%s: error %q does not name %q", name, err, tt.wantPath)
+		}
+	}
+}
+
+// TestFaultValidationErrorsRoundTrip: the same malformed entries, pushed
+// through JSON encode/parse first — the errors must be identical, so a
+// reproducer file diagnoses exactly like the in-memory scenario.
+func TestFaultValidationErrorsRoundTrip(t *testing.T) {
+	s := validScenario()
+	s.Faults = &FaultsSpec{Byzantine: []ByzantineSpec{{Fraction: 0.1, Strategy: "inflate"}}}
+	_, direct := s.Build()
+	if direct == nil {
+		t.Fatal("empty-selection byzantine entry accepted")
+	}
+	data, err := s.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, roundTripped := back.Build()
+	if roundTripped == nil {
+		t.Fatal("empty-selection byzantine entry accepted after round trip")
+	}
+	if direct.Error() != roundTripped.Error() {
+		t.Errorf("error drifted across JSON round trip:\n direct: %v\n parsed: %v", direct, roundTripped)
+	}
+}
+
+// TestCommentRoundTrip: the provenance comment survives encode/parse and
+// has no effect on Build.
+func TestCommentRoundTrip(t *testing.T) {
+	s := validScenario()
+	s.Comment = "promoted genfuzz golden: generator seed 42"
+	data, err := s.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Comment != s.Comment {
+		t.Errorf("comment round-tripped to %q", back.Comment)
+	}
+	if _, err := back.Build(); err != nil {
+		t.Errorf("comment affected Build: %v", err)
+	}
+	plain := validScenario()
+	pb, err := plain.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := back.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pb.RunCfg.Seed != cb.RunCfg.Seed {
+		t.Error("comment perturbed the derived run seed")
 	}
 }
