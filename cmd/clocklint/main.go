@@ -1,14 +1,20 @@
 // Command clocklint runs the clocksync static-analysis suite
-// (internal/analysis): five analyzers that enforce the repo's
-// determinism, aliasing, and float-safety invariants. See
-// docs/static-analysis.md.
+// (internal/analysis): eight analyzers that enforce the repo's
+// determinism, aliasing, float-safety, time-domain, and concurrency
+// invariants. See docs/static-analysis.md.
 //
 // Standalone mode loads package patterns through the go command:
 //
 //	go run ./cmd/clocklint ./...
 //	go run ./cmd/clocklint -run wallclock,floateq ./internal/...
+//	go run ./cmd/clocklint -fix ./...              # apply suggested fixes
+//	go run ./cmd/clocklint -json ./...             # machine-readable findings
+//	go run ./cmd/clocklint -baseline lint.baseline ./...
 //
 // It exits 0 when clean, 1 with diagnostics, 2 on operational errors.
+// With -baseline, findings recorded in the baseline file are suppressed
+// and only new ones fail the run; -write-baseline freezes the current
+// findings into the file (the ratchet: it should only ever shrink).
 //
 // The binary also speaks enough of the vet driver protocol to run as
 //
@@ -19,8 +25,10 @@ package main
 
 import (
 	"crypto/sha256"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"go/token"
 	"io"
 	"os"
 	"strings"
@@ -53,10 +61,14 @@ func main() {
 func run(args []string) int {
 	fs := flag.NewFlagSet("clocklint", flag.ContinueOnError)
 	var (
-		runList  = fs.String("run", "", "comma-separated analyzer subset (default: all)")
-		list     = fs.Bool("list", false, "list the analyzers and exit")
-		version  = fs.String("V", "", "version protocol for the go vet driver")
-		vetFlags = fs.Bool("flags", false, "print the tool's flags as JSON for the go vet driver")
+		runList   = fs.String("run", "", "comma-separated analyzer subset (default: all)")
+		list      = fs.Bool("list", false, "list the analyzers and exit")
+		version   = fs.String("V", "", "version protocol for the go vet driver")
+		vetFlags  = fs.Bool("flags", false, "print the tool's flags as JSON for the go vet driver")
+		applyFix  = fs.Bool("fix", false, "apply suggested fixes to the source files")
+		jsonOut   = fs.Bool("json", false, "print findings as a JSON FindingSet instead of text")
+		baseline  = fs.String("baseline", "", "suppress findings recorded in this baseline file; fail only on new ones")
+		writeBase = fs.String("write-baseline", "", "write the current findings to this baseline file and exit 0")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: clocklint [-run analyzers] [packages]\n\nAnalyzers:\n")
@@ -108,20 +120,95 @@ func run(args []string) int {
 		fmt.Fprintln(os.Stderr, "clocklint:", err)
 		return 2
 	}
-	found := 0
+	moduleRoot := analysis.ModuleRoot(".")
+
+	// Run every package; keep the raw diagnostics (for fixes) and the
+	// canonical finding set (for baseline/JSON output) side by side.
+	type pkgResult struct {
+		pkg   *analysis.Package
+		diags []analysis.Diagnostic
+	}
+	var results []pkgResult
+	all := analysis.FindingSet{Version: analysis.FindingSchemaVersion, Findings: []analysis.Finding{}}
 	for _, pkg := range pkgs {
 		diags, err := analysis.RunPackage(pkg, analyzers)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "clocklint: %s: %v\n", pkg.Path, err)
 			return 2
 		}
-		for _, d := range diags {
-			found++
-			fmt.Printf("%s: %s (%s)\n", pkg.Fset.Position(d.Pos), d.Message, d.Analyzer)
+		results = append(results, pkgResult{pkg, diags})
+		all.Merge(analysis.NewFindingSet(pkg.Fset, moduleRoot, pkg.Path, diags))
+	}
+	all.Sort()
+
+	if *writeBase != "" {
+		if err := all.WriteFile(*writeBase); err != nil {
+			fmt.Fprintln(os.Stderr, "clocklint:", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "clocklint: wrote %d finding(s) to %s\n", len(all.Findings), *writeBase)
+		return 0
+	}
+
+	if *applyFix {
+		var fixable []analysis.Diagnostic
+		var fset *token.FileSet
+		for _, r := range results {
+			fset = r.pkg.Fset // Load shares one FileSet across packages
+			fixable = append(fixable, r.diags...)
+		}
+		if fset != nil {
+			fixed, applied, skipped, err := analysis.ApplyFixes(fset, fixable, nil)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "clocklint:", err)
+				return 2
+			}
+			for file, content := range fixed {
+				if err := os.WriteFile(file, content, 0o644); err != nil {
+					fmt.Fprintln(os.Stderr, "clocklint:", err)
+					return 2
+				}
+			}
+			if applied > 0 || skipped > 0 {
+				fmt.Fprintf(os.Stderr, "clocklint: applied %d fix(es), skipped %d overlapping\n", applied, skipped)
+			}
 		}
 	}
-	if found > 0 {
-		fmt.Fprintf(os.Stderr, "clocklint: %d finding(s)\n", found)
+
+	// Baseline filtering: report only findings not frozen in the file.
+	report := all.Findings
+	if *baseline != "" {
+		base, err := analysis.ReadBaseline(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "clocklint:", err)
+			return 2
+		}
+		fresh, stale := analysis.Diff(all, base)
+		for _, f := range stale {
+			fmt.Fprintf(os.Stderr, "clocklint: baseline entry no longer occurs (ratchet it out): %s %s: %s\n",
+				f.File, f.Analyzer, f.Message)
+		}
+		report = fresh
+	}
+
+	if *jsonOut {
+		out := analysis.FindingSet{Version: analysis.FindingSchemaVersion, Findings: report}
+		if out.Findings == nil {
+			out.Findings = []analysis.Finding{}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "clocklint:", err)
+			return 2
+		}
+	} else {
+		for _, f := range report {
+			fmt.Printf("%s:%d: %s (%s)\n", f.File, f.Line, f.Message, f.Analyzer)
+		}
+	}
+	if len(report) > 0 {
+		fmt.Fprintf(os.Stderr, "clocklint: %d finding(s)\n", len(report))
 		return 1
 	}
 	return 0

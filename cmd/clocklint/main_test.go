@@ -2,10 +2,14 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"clocksync/internal/analysis"
 )
 
 // capture runs fn with os.Stdout redirected and returns what it printed.
@@ -33,7 +37,10 @@ func TestListPrintsAllAnalyzers(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("run(-list) = %d, want 0", code)
 	}
-	for _, name := range []string{"wallclock", "floateq", "scratchretain", "globalrand", "baregoroutine"} {
+	for _, name := range []string{
+		"wallclock", "floateq", "scratchretain", "globalrand",
+		"baregoroutine", "timedomain", "lockheld", "ctxleak",
+	} {
 		if !strings.Contains(out, name) {
 			t.Errorf("-list output missing analyzer %q:\n%s", name, out)
 		}
@@ -85,5 +92,42 @@ func TestStandaloneSubset(t *testing.T) {
 	}
 	if code := run([]string{"-run", "wallclock,globalrand", "clocksync/internal/sim"}); code != 0 {
 		t.Fatalf("run(-run wallclock,globalrand clocksync/internal/sim) = %d, want 0", code)
+	}
+}
+
+// TestJSONOutput checks the machine-readable schema on a clean package.
+func TestJSONOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list")
+	}
+	var code int
+	out := capture(t, func() { code = run([]string{"-json", "clocksync/internal/delay"}) })
+	if code != 0 {
+		t.Fatalf("run(-json) = %d, want 0; output:\n%s", code, out)
+	}
+	var set analysis.FindingSet
+	if err := json.Unmarshal([]byte(out), &set); err != nil {
+		t.Fatalf("-json output is not a FindingSet: %v\n%s", err, out)
+	}
+	if set.Version != analysis.FindingSchemaVersion {
+		t.Fatalf("FindingSet.Version = %d, want %d", set.Version, analysis.FindingSchemaVersion)
+	}
+	if set.Findings == nil || len(set.Findings) != 0 {
+		t.Fatalf("clean package produced findings: %+v", set.Findings)
+	}
+}
+
+// TestBaselineRoundTrip freezes a package's findings and replays them:
+// a run against its own freshly written baseline must pass.
+func TestBaselineRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list")
+	}
+	path := filepath.Join(t.TempDir(), "lint.baseline")
+	if code := run([]string{"-write-baseline", path, "clocksync/internal/delay"}); code != 0 {
+		t.Fatalf("run(-write-baseline) = %d, want 0", code)
+	}
+	if code := run([]string{"-baseline", path, "clocksync/internal/delay"}); code != 0 {
+		t.Fatalf("run(-baseline) = %d, want 0", code)
 	}
 }

@@ -108,12 +108,14 @@ func doFuzz(oracle *genfuzz.Oracle, seed int64, count int, budget time.Duration,
 	cfg := genfuzz.DefaultConfig()
 	deadline := time.Time{}
 	if budget > 0 {
-		deadline = time.Now().Add(budget)
+		// The -budget flag bounds wall time spent fuzzing; scenarios
+		// themselves stay seeded and replayable.
+		deadline = time.Now().Add(budget) //clocklint:allow wallclock wall-time fuzz budget, not simulation time
 	}
 	checked, failures := 0, 0
 	for s := seed; ; s++ {
 		if budget > 0 {
-			if time.Now().After(deadline) {
+			if time.Now().After(deadline) { //clocklint:allow wallclock wall-time fuzz budget, not simulation time
 				break
 			}
 		} else if checked >= count {

@@ -52,11 +52,28 @@ type Pass struct {
 }
 
 // Diagnostic is one finding: a position, the analyzer that produced it,
-// and a human-readable message.
+// a human-readable message, and zero or more machine-applicable fixes.
 type Diagnostic struct {
 	Pos      token.Pos
 	Analyzer string
 	Message  string
+	Fixes    []SuggestedFix
+}
+
+// TextEdit replaces the source range [Pos, End) with New. Pos == End is
+// a pure insertion.
+type TextEdit struct {
+	Pos token.Pos
+	End token.Pos
+	New string
+}
+
+// SuggestedFix is one self-contained repair for a diagnostic: a message
+// and a set of non-overlapping edits. `clocklint -fix` applies fixes;
+// fixes whose edits overlap another already-applied fix are skipped.
+type SuggestedFix struct {
+	Message string
+	Edits   []TextEdit
 }
 
 // Reportf records a diagnostic at pos.
@@ -68,9 +85,19 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// Report records a fully-formed diagnostic (used by analyzers that attach
+// suggested fixes).
+func (p *Pass) Report(d Diagnostic) {
+	d.Analyzer = p.Analyzer.Name
+	*p.diags = append(*p.diags, d)
+}
+
 // Analyzers returns the full clocklint suite in stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{WallClock, FloatEq, ScratchRetain, GlobalRand, BareGoroutine}
+	return []*Analyzer{
+		WallClock, FloatEq, ScratchRetain, GlobalRand, BareGoroutine,
+		TimeDomain, LockHeld, CtxLeak,
+	}
 }
 
 // ByName resolves a comma-separated analyzer selection against the suite.

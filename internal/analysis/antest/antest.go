@@ -46,6 +46,78 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPath string) {
 	check(t, pkg, diags)
 }
 
+// RunWithFixes runs Run, then applies the analyzer's suggested fixes and
+// asserts two properties: the fixed sources match the committed
+// `<name>.go.golden` files (one per fixed source file), and re-running
+// the analyzer on the fixed sources yields no diagnostics with fixes —
+// i.e. applying fixes is idempotent.
+func RunWithFixes(t *testing.T, dir string, a *analysis.Analyzer, pkgPath string) {
+	t.Helper()
+	pkg, err := loadDir(dir, pkgPath)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	diags, err := analysis.RunPackage(pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+	check(t, pkg, diags)
+
+	fixed, _, _, err := analysis.ApplyFixes(pkg.Fset, diags, nil)
+	if err != nil {
+		t.Fatalf("applying fixes in %s: %v", dir, err)
+	}
+	if len(fixed) == 0 {
+		t.Fatalf("RunWithFixes on %s: no fixes applied; use Run for fixless analyzers", dir)
+	}
+	for file, content := range fixed {
+		golden := file + ".golden"
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			t.Errorf("fixed %s but cannot read golden: %v", file, err)
+			continue
+		}
+		if string(content) != string(want) {
+			t.Errorf("fixed %s does not match %s:\n--- got ---\n%s\n--- want ---\n%s",
+				file, golden, content, want)
+		}
+	}
+
+	// Idempotence: the fixed sources must analyze clean of fixable
+	// diagnostics (a second -fix pass would change nothing).
+	var filenames []string
+	for _, f := range pkg.Files {
+		filenames = append(filenames, pkg.Fset.Position(f.Pos()).Filename)
+	}
+	sort.Strings(filenames)
+	imports, err := collectImportsSrc(filenames, fixed)
+	if err != nil {
+		t.Fatalf("collecting imports of fixed sources: %v", err)
+	}
+	root, err := moduleRoot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exports, err := analysis.ExportMap(root, imports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refixed, err := analysis.CheckFilesSrc(token.NewFileSet(), pkgPath, filenames, fixed, exports)
+	if err != nil {
+		t.Fatalf("re-checking fixed sources: %v", err)
+	}
+	rediags, err := analysis.RunPackage(refixed, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("re-running %s on fixed sources: %v", a.Name, err)
+	}
+	for _, d := range rediags {
+		if len(d.Fixes) > 0 {
+			t.Errorf("fix not idempotent: fixed source still yields fixable %s at %s",
+				d.Message, refixed.Fset.Position(d.Pos))
+		}
+	}
+}
+
 // loadDir parses and type-checks one testdata directory, resolving its
 // imports through `go list -export` run at the module root.
 func loadDir(dir, pkgPath string) (*analysis.Package, error) {
@@ -81,11 +153,20 @@ func loadDir(dir, pkgPath string) (*analysis.Package, error) {
 
 // collectImports parses just the import clauses of the files.
 func collectImports(filenames []string) ([]string, error) {
+	return collectImportsSrc(filenames, nil)
+}
+
+// collectImportsSrc is collectImports with an in-memory overlay.
+func collectImportsSrc(filenames []string, overlay map[string][]byte) ([]string, error) {
 	fset := token.NewFileSet()
 	seen := map[string]bool{}
 	var out []string
 	for _, fn := range filenames {
-		f, err := parser.ParseFile(fset, fn, nil, parser.ImportsOnly)
+		var src any
+		if b, ok := overlay[fn]; ok {
+			src = b
+		}
+		f, err := parser.ParseFile(fset, fn, src, parser.ImportsOnly)
 		if err != nil {
 			return nil, err
 		}

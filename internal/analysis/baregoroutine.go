@@ -12,6 +12,8 @@ var baregoroutinePkgs = []string{
 	"internal/netsync",
 	"internal/dist",
 	"distributed",
+	"internal/genfuzz",
+	"cmd/genfuzz",
 }
 
 // BareGoroutine flags go statements whose function cannot be shown to

@@ -1,0 +1,138 @@
+package analysis
+
+// The ratchet baseline and the -json output share one schema: a
+// FindingSet is the canonical, machine-readable form of a clocklint run.
+// Findings are keyed by (file, analyzer, message) — deliberately not by
+// line, so unrelated edits that shift a frozen finding do not break the
+// ratchet. CI compares a run against the committed baseline and fails
+// only on findings not present in it; a finding in the baseline that no
+// longer occurs is reported as stale so the baseline only shrinks.
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// FindingSchemaVersion identifies the JSON schema of FindingSet.
+const FindingSchemaVersion = 1
+
+// Finding is one diagnostic in canonical form. File is module-relative
+// with forward slashes, so baselines are portable across checkouts.
+type Finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Package  string `json:"package"`
+}
+
+// FindingSet is the stable container written by -json and
+// -write-baseline and read by -baseline.
+type FindingSet struct {
+	Version  int       `json:"version"`
+	Findings []Finding `json:"findings"`
+}
+
+// key identifies a finding for baseline matching (line-insensitive).
+func (f Finding) key() string {
+	return f.File + "\x00" + f.Analyzer + "\x00" + f.Message
+}
+
+// NewFindingSet converts diagnostics to canonical findings. moduleRoot
+// anchors the relative file paths; pkgPath labels the package the
+// diagnostics came from.
+func NewFindingSet(fset *token.FileSet, moduleRoot, pkgPath string, diags []Diagnostic) FindingSet {
+	out := FindingSet{Version: FindingSchemaVersion, Findings: []Finding{}}
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		file := p.Filename
+		if moduleRoot != "" {
+			if rel, err := filepath.Rel(moduleRoot, file); err == nil && !strings.HasPrefix(rel, "..") {
+				file = rel
+			}
+		}
+		out.Findings = append(out.Findings, Finding{
+			File:     filepath.ToSlash(file),
+			Line:     p.Line,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+			Package:  pkgPath,
+		})
+	}
+	return out
+}
+
+// Merge appends other's findings.
+func (s *FindingSet) Merge(other FindingSet) {
+	s.Findings = append(s.Findings, other.Findings...)
+}
+
+// Sort puts findings in canonical order: file, line, analyzer, message.
+func (s *FindingSet) Sort() {
+	sort.Slice(s.Findings, func(i, j int) bool {
+		a, b := s.Findings[i], s.Findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// WriteFile writes the set in canonical form (sorted, trailing newline).
+func (s *FindingSet) WriteFile(path string) error {
+	s.Sort()
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadBaseline loads a baseline file.
+func ReadBaseline(path string) (FindingSet, error) {
+	var s FindingSet
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(data, &s); err != nil {
+		return s, fmt.Errorf("parse baseline %s: %w", path, err)
+	}
+	if s.Version != FindingSchemaVersion {
+		return s, fmt.Errorf("baseline %s has schema version %d, want %d", path, s.Version, FindingSchemaVersion)
+	}
+	return s, nil
+}
+
+// Diff splits current findings against a baseline: new findings (not in
+// the baseline) and stale baseline entries (no longer occurring).
+func Diff(current, baseline FindingSet) (fresh []Finding, stale []Finding) {
+	inBase := map[string]bool{}
+	for _, f := range baseline.Findings {
+		inBase[f.key()] = true
+	}
+	seen := map[string]bool{}
+	for _, f := range current.Findings {
+		seen[f.key()] = true
+		if !inBase[f.key()] {
+			fresh = append(fresh, f)
+		}
+	}
+	for _, f := range baseline.Findings {
+		if !seen[f.key()] {
+			stale = append(stale, f)
+		}
+	}
+	return fresh, stale
+}

@@ -1,0 +1,54 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestBaselineDiffIsLineInsensitive(t *testing.T) {
+	base := FindingSet{Version: FindingSchemaVersion, Findings: []Finding{
+		{File: "a.go", Line: 10, Analyzer: "timedomain", Message: "adds two clock readings"},
+		{File: "b.go", Line: 3, Analyzer: "lockheld", Message: "gone"},
+	}}
+	cur := FindingSet{Version: FindingSchemaVersion, Findings: []Finding{
+		// Same finding, shifted by an unrelated edit: matches the baseline.
+		{File: "a.go", Line: 42, Analyzer: "timedomain", Message: "adds two clock readings"},
+		{File: "c.go", Line: 1, Analyzer: "ctxleak", Message: "new"},
+	}}
+	fresh, stale := Diff(cur, base)
+	if len(fresh) != 1 || fresh[0].File != "c.go" {
+		t.Fatalf("fresh = %+v; want only c.go", fresh)
+	}
+	if len(stale) != 1 || stale[0].File != "b.go" {
+		t.Fatalf("stale = %+v; want only b.go", stale)
+	}
+}
+
+func TestBaselineRoundTripFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "lint.baseline")
+	s := FindingSet{Version: FindingSchemaVersion, Findings: []Finding{
+		{File: "z.go", Line: 2, Analyzer: "wallclock", Message: "m"},
+		{File: "a.go", Line: 1, Analyzer: "wallclock", Message: "m"},
+	}}
+	if err := s.WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatalf("ReadBaseline: %v", err)
+	}
+	if len(got.Findings) != 2 || got.Findings[0].File != "a.go" {
+		t.Fatalf("round trip = %+v; want 2 sorted findings starting with a.go", got.Findings)
+	}
+}
+
+func TestReadBaselineRejectsWrongVersion(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "lint.baseline")
+	s := FindingSet{Version: FindingSchemaVersion + 1}
+	if err := s.WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if _, err := ReadBaseline(path); err == nil {
+		t.Fatal("ReadBaseline accepted a future schema version")
+	}
+}

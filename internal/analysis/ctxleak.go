@@ -1,0 +1,215 @@
+package analysis
+
+// ctxleak: goroutines and tickers that outlive their owner.
+//
+// The network and observability layers start background work whose
+// lifetime must be tied to a stop signal (a channel, a context, a
+// Close/Shutdown method). Three rules:
+//
+//  1. time.Tick: the returned channel's ticker can never be stopped —
+//     always a leak outside main. Use time.NewTicker and Stop it.
+//  2. time.NewTicker assigned to a variable that is never Stop()ped in
+//     the enclosing function (including defers and goroutine bodies).
+//     The suggested fix inserts `defer x.Stop()` after the assignment.
+//  3. a go statement whose body (or same-package callee) loops forever
+//     with no way out: an unconditional for with no return, no break,
+//     and no select/receive — nothing can stop the goroutine once its
+//     owner is gone.
+//
+// Scope: internal/netsync and internal/obs, the packages whose servers
+// own background goroutines.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+var ctxleakPkgs = []string{
+	"internal/netsync",
+	"internal/obs",
+}
+
+var CtxLeak = &Analyzer{
+	Name: "ctxleak",
+	Doc: "background lifetime hygiene: no unstoppable time.Tick, no ticker " +
+		"without Stop, no goroutine looping forever without a stop signal",
+	Run: runCtxLeak,
+}
+
+func runCtxLeak(pass *Pass) error {
+	if !pkgMatches(pass.Pkg.Path(), ctxleakPkgs) {
+		return nil
+	}
+	cl := &ctxleak{pass: pass, forever: map[*types.Func]bool{}}
+	// Summaries first: which local functions loop forever?
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					cl.forever[fn] = bodyLoopsForever(fd.Body)
+				}
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		cl.file(f)
+	}
+	return nil
+}
+
+type ctxleak struct {
+	pass    *Pass
+	forever map[*types.Func]bool
+}
+
+func (cl *ctxleak) file(f *ast.File) {
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if pkgSelector(cl.pass.TypesInfo, n.Fun, "time") == "Tick" {
+					cl.pass.Reportf(n.Pos(), "time.Tick's ticker can never be stopped and leaks; use time.NewTicker and defer its Stop")
+				}
+			case *ast.AssignStmt:
+				cl.checkTickerAssign(fd, n)
+			case *ast.GoStmt:
+				cl.checkGo(n)
+			}
+			return true
+		})
+	}
+}
+
+// checkTickerAssign flags `x := time.NewTicker(...)` when x.Stop() never
+// appears in the enclosing function.
+func (cl *ctxleak) checkTickerAssign(fd *ast.FuncDecl, s *ast.AssignStmt) {
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return
+	}
+	call, ok := s.Rhs[0].(*ast.CallExpr)
+	if !ok || pkgSelector(cl.pass.TypesInfo, call.Fun, "time") != "NewTicker" {
+		return
+	}
+	id, ok := s.Lhs[0].(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	obj := cl.pass.TypesInfo.Defs[id]
+	if obj == nil {
+		obj = cl.pass.TypesInfo.Uses[id]
+	}
+	if obj == nil || stopCalled(cl.pass.TypesInfo, fd.Body, obj) {
+		return
+	}
+	// Fix: insert `defer x.Stop()` on the next line, matching the
+	// assignment's indentation (the repo indents with tabs).
+	pos := cl.pass.Fset.Position(s.Pos())
+	indent := strings.Repeat("\t", pos.Column-1)
+	cl.pass.Report(Diagnostic{
+		Pos:     s.Pos(),
+		Message: fmt.Sprintf("ticker %q is never stopped; it fires (and retains its goroutine) forever", id.Name),
+		Fixes: []SuggestedFix{{
+			Message: "stop the ticker when the function returns",
+			Edits: []TextEdit{{
+				Pos: s.End(),
+				End: s.End(),
+				New: "\n" + indent + "defer " + id.Name + ".Stop()",
+			}},
+		}},
+	})
+}
+
+// stopCalled reports whether obj.Stop() is called anywhere in body.
+func stopCalled(info *types.Info, body *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Stop" {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// checkGo flags goroutines that can never be stopped.
+func (cl *ctxleak) checkGo(s *ast.GoStmt) {
+	switch fun := s.Call.Fun.(type) {
+	case *ast.FuncLit:
+		if bodyLoopsForever(fun.Body) {
+			cl.pass.Reportf(s.Pos(), "goroutine loops forever with no return, break, or channel receive; thread a stop channel or context")
+		}
+	default:
+		callee := calleeFunc(cl.pass.TypesInfo, s.Call.Fun)
+		if callee != nil && cl.forever[callee] {
+			cl.pass.Reportf(s.Pos(), "goroutine runs %s, which loops forever with no stop signal", callee.Name())
+		}
+	}
+}
+
+// bodyLoopsForever reports whether body contains an unconditional for
+// loop with no exit: no return, no break out of it, and no select or
+// channel receive (either would let a stop signal in).
+func bodyLoopsForever(body *ast.BlockStmt) bool {
+	forever := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		loop, ok := n.(*ast.ForStmt)
+		if !ok || loop.Cond != nil {
+			return true
+		}
+		if !loopHasExit(loop) {
+			forever = true
+		}
+		return true
+	})
+	return forever
+}
+
+// loopHasExit reports whether an unconditional for loop contains any
+// statement that can end it or receive a signal: return, break
+// (including labeled breaks out of inner statements — conservatively any
+// break), goto, select, channel receive, or panic.
+func loopHasExit(loop *ast.ForStmt) bool {
+	exit := false
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // a nested func's return is not an exit
+		case *ast.ReturnStmt, *ast.SelectStmt:
+			exit = true
+		case *ast.BranchStmt:
+			if n.Tok == token.BREAK || n.Tok == token.GOTO {
+				exit = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				exit = true // a channel receive can block on a stop signal
+			}
+		case *ast.RangeStmt:
+			// Ranging over a channel blocks and ends when it closes;
+			// other ranges terminate on their own.
+			exit = true
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				exit = true
+			}
+		}
+		return !exit
+	})
+	return exit
+}

@@ -1,0 +1,1001 @@
+package analysis
+
+// Intraprocedural dataflow engine: abstract interpretation of function
+// bodies over a small domain lattice, with per-function summaries for
+// repo-local calls. The engine is shared infrastructure; the timedomain
+// analyzer instantiates it with the paper's time-domain algebra
+// (docs/static-analysis.md).
+//
+// The interpretation is deliberately lightweight: statements are walked
+// in lexical order, assignments update a types.Object -> Domain
+// environment, and branches share one environment (no joins). That makes
+// the engine a linter, not a verifier — it under-approximates reachable
+// states but never needs a fixpoint per function, and every diagnostic it
+// emits corresponds to a concrete expression in the source.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Domain is one abstract time domain of the paper's formalism.
+type Domain uint8
+
+const (
+	// DomNone marks values the analysis knows nothing about.
+	DomNone Domain = iota
+	// DomRealTime is an absolute (simulated) real time t — the only
+	// point domain; everything else is a duration.
+	DomRealTime
+	// DomClock is a clock reading H_p(t) = t - S_p: a duration since the
+	// processor's start event (drift-free clocks, paper §2).
+	DomClock
+	// DomShift is a shift s / correction x_p (paper §4).
+	DomShift
+	// DomDelay is a message delay d(m), estimated delay d~(m), or a
+	// delay bound (paper §6).
+	DomDelay
+	// DomSimDur is a generic duration on the simulated real-time axis:
+	// the join of clock readings, shifts and delays. Differences of
+	// points land here when the algebra cannot refine further.
+	DomSimDur
+	// DomWallDur is a wall-clock duration in seconds — the only domain
+	// on the wall axis. Mixing it with any simulated-axis domain is a
+	// diagnostic.
+	DomWallDur
+)
+
+// domainTokens maps //clocklint:domain directive tokens to domains.
+var domainTokens = map[string]Domain{
+	"realtime": DomRealTime,
+	"clock":    DomClock,
+	"shift":    DomShift,
+	"delay":    DomDelay,
+	"simdur":   DomSimDur,
+	"walldur":  DomWallDur,
+}
+
+// DomainTokenList returns the valid //clocklint:domain tokens for
+// diagnostics, in a stable order.
+func DomainTokenList() string {
+	return "realtime, clock, shift, delay, simdur, walldur"
+}
+
+func (d Domain) String() string {
+	switch d {
+	case DomRealTime:
+		return "real time"
+	case DomClock:
+		return "clock reading"
+	case DomShift:
+		return "shift"
+	case DomDelay:
+		return "delay"
+	case DomSimDur:
+		return "sim duration"
+	case DomWallDur:
+		return "wall duration"
+	default:
+		return "unknown"
+	}
+}
+
+// isRealDur reports whether d is a duration on the simulated axis.
+func isRealDur(d Domain) bool {
+	return d == DomClock || d == DomShift || d == DomDelay || d == DomSimDur
+}
+
+// wallMix reports whether a and b sit on different clock axes.
+func wallMix(a, b Domain) bool {
+	return (a == DomWallDur && (isRealDur(b) || b == DomRealTime)) ||
+		(b == DomWallDur && (isRealDur(a) || a == DomRealTime))
+}
+
+// durJoin joins two duration domains: equal stays, mixed real-axis
+// durations generalize to DomSimDur.
+func durJoin(a, b Domain) Domain {
+	if a == b {
+		return a
+	}
+	if isRealDur(a) && isRealDur(b) {
+		return DomSimDur
+	}
+	return DomNone
+}
+
+// domAdd applies the algebra to a + b. A non-empty reason means the
+// addition is a diagnostic; otherwise the returned domain is the result.
+func domAdd(a, b Domain) (Domain, string) {
+	if a == DomNone || b == DomNone {
+		return DomNone, ""
+	}
+	if wallMix(a, b) {
+		return DomNone, fmt.Sprintf("mixes the simulated and wall clock axes (%s + %s)", a, b)
+	}
+	if a == DomRealTime && b == DomRealTime {
+		return DomNone, "adds two absolute real times; one operand should be a duration"
+	}
+	if a == DomRealTime || b == DomRealTime {
+		return DomRealTime, "" // point + duration = point
+	}
+	if a == DomClock && b == DomClock {
+		return DomNone, "adds two clock readings; a clock plus a duration yields a clock, two clocks yield nothing"
+	}
+	if (a == DomShift && b == DomDelay) || (a == DomDelay && b == DomShift) {
+		return DomNone, "adds a shift to a raw delay; shifts bound re-executions, delays bound messages (Lemma 6.2 relates them only through mls)"
+	}
+	return durJoin(a, b), ""
+}
+
+// domSub applies the algebra to a - b.
+func domSub(a, b Domain) (Domain, string) {
+	if a == DomNone || b == DomNone {
+		return DomNone, ""
+	}
+	if wallMix(a, b) {
+		return DomNone, fmt.Sprintf("mixes the simulated and wall clock axes (%s - %s)", a, b)
+	}
+	if a == DomRealTime && b == DomRealTime {
+		return DomSimDur, "" // elapsed simulated time
+	}
+	if a == DomRealTime {
+		return DomRealTime, "" // point - duration = point
+	}
+	if b == DomRealTime {
+		return DomNone, "subtracts an absolute real time from a duration"
+	}
+	if a == DomClock && b == DomClock {
+		return DomDelay, "" // d~(m) = recvClock - sendClock (Lemma 6.1)
+	}
+	if (a == DomShift && b == DomDelay) || (a == DomDelay && b == DomShift) {
+		return DomNone, "subtracts across the shift/delay boundary; relate them through mls (Lemma 6.2), not directly"
+	}
+	return durJoin(a, b), ""
+}
+
+// domCmp checks a comparison (or min/max) of a against b; a non-empty
+// reason is a diagnostic.
+func domCmp(a, b Domain) string {
+	if a == DomNone || b == DomNone || a == b {
+		return ""
+	}
+	if wallMix(a, b) {
+		return fmt.Sprintf("compares across the simulated/wall axis boundary (%s vs %s)", a, b)
+	}
+	if a == DomRealTime || b == DomRealTime {
+		return fmt.Sprintf("compares an absolute real time against a %s", pickDur(a, b))
+	}
+	if (a == DomShift && b == DomDelay) || (a == DomDelay && b == DomShift) {
+		return "compares a shift against a raw delay; only mls values (Lemma 6.2) bridge the two"
+	}
+	return "" // remaining real-axis duration mixes are tolerated
+}
+
+func pickDur(a, b Domain) Domain {
+	if a == DomRealTime {
+		return b
+	}
+	return a
+}
+
+// domAssignable reports whether a value of domain v may flow into a slot
+// declared (seeded or annotated) with domain d.
+func domAssignable(v, d Domain) bool {
+	if v == DomNone || d == DomNone || v == d {
+		return true
+	}
+	if v == DomSimDur && isRealDur(d) {
+		return true // generic duration narrows into any real-axis duration
+	}
+	if d == DomSimDur && isRealDur(v) {
+		return true // any real-axis duration widens into the generic one
+	}
+	return false
+}
+
+// dfSummary is the inferred signature of a repo-local function: the
+// domains of its parameters and results.
+type dfSummary struct {
+	params  map[*types.Var]Domain
+	results []Domain
+}
+
+// dfConfig instantiates the engine for one analyzer.
+type dfConfig struct {
+	// fieldDomains seeds struct fields: "pkgSuffix.Type.Field" -> domain.
+	fieldDomains map[string]Domain
+	// callDomains seeds known functions and methods:
+	// "pkgSuffix.Recv.Method" (or "pkgSuffix..Func" for package-level
+	// functions) -> results plus named-parameter domains.
+	callDomains map[string]dfCallSpec
+	// paramName seeds parameter domains of local functions by name.
+	paramName func(name string) Domain
+}
+
+type dfCallSpec struct {
+	results []Domain
+	params  map[string]Domain // by parameter name
+}
+
+// dfa is one dataflow run over one package.
+type dfa struct {
+	pass  *Pass
+	cfg   *dfConfig
+	seeds map[types.Object]Domain // directive-annotated objects
+	funcs map[*types.Func]*dfSummary
+	// curReturn receives return-expression domains during summary
+	// inference; nil while reporting.
+	curReturn *dfSummary
+	// annotated records functions whose result domains came from a
+	// //clocklint:domain directive; their returns are flow-checked.
+	annotated map[*types.Func][]Domain
+	// curCheck holds the annotated result domains of the function being
+	// reported on, if any; curAnnotated freezes an annotated summary
+	// against inference overwrites.
+	curCheck     []Domain
+	curAnnotated bool
+	report       bool
+}
+
+// newDFA builds the engine: collects //clocklint:domain seeds, then
+// infers local function summaries over two fixpoint rounds.
+func newDFA(pass *Pass, cfg *dfConfig) *dfa {
+	d := &dfa{
+		pass:      pass,
+		cfg:       cfg,
+		seeds:     map[types.Object]Domain{},
+		funcs:     map[*types.Func]*dfSummary{},
+		annotated: map[*types.Func][]Domain{},
+	}
+	d.collectDirectiveSeeds()
+	for round := 0; round < 2; round++ {
+		d.report = false
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+					d.inferSummary(fd)
+				}
+			}
+		}
+	}
+	return d
+}
+
+// Run walks every function with reporting enabled.
+func (d *dfa) Run() {
+	d.report = true
+	for _, f := range d.pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				env := d.paramEnv(fd)
+				d.curCheck = nil
+				if fn, ok := d.pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					d.curCheck = d.annotated[fn]
+				}
+				d.stmt(env, fd.Body, fd)
+			}
+		}
+	}
+}
+
+// collectDirectiveSeeds resolves //clocklint:domain directives to the
+// declarations they annotate: struct fields, var/const specs, parameters
+// and results (multi-line signatures), and whole functions (the directive
+// then declares the result domain). Malformed directives are reported by
+// the shared directive machinery (directives.go), not here.
+func (d *dfa) collectDirectiveSeeds() {
+	for _, f := range d.pass.Files {
+		lineDoms := domainDirectiveLines(d.pass.Fset, f)
+		if len(lineDoms) == 0 {
+			continue
+		}
+		line := func(n ast.Node) int { return d.pass.Fset.Position(n.Pos()).Line }
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Field: // struct fields, params, results
+				if dom, ok := lineDoms[line(n)]; ok {
+					for _, name := range n.Names {
+						if obj := d.pass.TypesInfo.Defs[name]; obj != nil {
+							d.seeds[obj] = dom
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				if dom, ok := lineDoms[line(n)]; ok {
+					for _, name := range n.Names {
+						if obj := d.pass.TypesInfo.Defs[name]; obj != nil {
+							d.seeds[obj] = dom
+						}
+					}
+				}
+			case *ast.FuncDecl:
+				if dom, ok := lineDoms[line(n)]; ok {
+					if fn, ok := d.pass.TypesInfo.Defs[n.Name].(*types.Func); ok {
+						sum := d.summaryFor(fn)
+						for i := range sum.results {
+							sum.results[i] = dom
+						}
+						if len(sum.results) == 0 {
+							sum.results = []Domain{dom}
+						}
+						d.annotated[fn] = append([]Domain(nil), sum.results...)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// summaryFor returns (allocating if needed) the summary of a local func.
+func (d *dfa) summaryFor(fn *types.Func) *dfSummary {
+	sum := d.funcs[fn]
+	if sum == nil {
+		n := 0
+		if sig, ok := fn.Type().(*types.Signature); ok {
+			n = sig.Results().Len()
+		}
+		sum = &dfSummary{params: map[*types.Var]Domain{}, results: make([]Domain, n)}
+		d.funcs[fn] = sum
+	}
+	return sum
+}
+
+// paramEnv builds the starting environment of a function from name-based
+// seeds, directive seeds, and the (inferred) summary.
+func (d *dfa) paramEnv(fd *ast.FuncDecl) map[types.Object]Domain {
+	env := map[types.Object]Domain{}
+	fields := []*ast.FieldList{fd.Recv, fd.Type.Params}
+	for _, fl := range fields {
+		if fl == nil {
+			continue
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				obj := d.pass.TypesInfo.Defs[name]
+				if obj == nil || !isFloatObj(obj) {
+					continue
+				}
+				if dom, ok := d.seeds[obj]; ok {
+					env[obj] = dom
+					continue
+				}
+				if d.cfg.paramName != nil {
+					if dom := d.cfg.paramName(name.Name); dom != DomNone {
+						env[obj] = dom
+					}
+				}
+			}
+		}
+	}
+	return env
+}
+
+// isFloatObj reports whether obj holds a floating-point value (or a slice
+// of them) — the only carriers of time domains in this codebase.
+func isFloatObj(obj types.Object) bool {
+	return isFloatCarrier(obj.Type())
+}
+
+func isFloatCarrier(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&types.IsFloat != 0
+	case *types.Slice:
+		return isFloatCarrier(u.Elem())
+	}
+	return false
+}
+
+// inferSummary runs the body without reporting and joins return domains
+// into the function's summary.
+func (d *dfa) inferSummary(fd *ast.FuncDecl) {
+	fn, ok := d.pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	sum := d.summaryFor(fn)
+	env := d.paramEnv(fd)
+	for obj, dom := range env {
+		if v, ok := obj.(*types.Var); ok {
+			sum.params[v] = dom
+		}
+	}
+	d.curReturn = sum
+	_, d.curAnnotated = d.annotated[fn]
+	d.stmt(env, fd.Body, fd)
+	d.curReturn = nil
+	d.curAnnotated = false
+}
+
+// stmt interprets one statement, updating env in place.
+func (d *dfa) stmt(env map[types.Object]Domain, s ast.Stmt, fd *ast.FuncDecl) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, inner := range s.List {
+			d.stmt(env, inner, fd)
+		}
+	case *ast.AssignStmt:
+		d.assign(env, s)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					obj := d.pass.TypesInfo.Defs[name]
+					if obj == nil {
+						continue
+					}
+					dom := DomNone
+					if i < len(vs.Values) {
+						dom = d.eval(env, vs.Values[i])
+					}
+					if seeded, ok := d.seeds[obj]; ok {
+						d.checkFlow(vs.Pos(), dom, seeded, "assigns", obj.Name())
+						dom = seeded
+					}
+					env[obj] = dom
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		d.eval(env, s.X)
+	case *ast.IncDecStmt:
+		d.eval(env, s.X)
+	case *ast.SendStmt:
+		d.eval(env, s.Chan)
+		d.eval(env, s.Value)
+	case *ast.ReturnStmt:
+		d.returnStmt(env, s)
+	case *ast.IfStmt:
+		d.stmt(env, s.Init, fd)
+		d.eval(env, s.Cond)
+		d.stmt(env, s.Body, fd)
+		d.stmt(env, s.Else, fd)
+	case *ast.ForStmt:
+		d.stmt(env, s.Init, fd)
+		if s.Cond != nil {
+			d.eval(env, s.Cond)
+		}
+		d.stmt(env, s.Post, fd)
+		d.stmt(env, s.Body, fd)
+	case *ast.RangeStmt:
+		elem := d.eval(env, s.X)
+		if id, ok := s.Value.(*ast.Ident); ok && elem != DomNone {
+			if obj := d.pass.TypesInfo.Defs[id]; obj != nil {
+				env[obj] = elem
+			}
+		}
+		d.stmt(env, s.Body, fd)
+	case *ast.SwitchStmt:
+		d.stmt(env, s.Init, fd)
+		if s.Tag != nil {
+			d.eval(env, s.Tag)
+		}
+		d.stmt(env, s.Body, fd)
+	case *ast.TypeSwitchStmt:
+		d.stmt(env, s.Init, fd)
+		d.stmt(env, s.Body, fd)
+	case *ast.CaseClause:
+		for _, e := range s.List {
+			d.eval(env, e)
+		}
+		for _, inner := range s.Body {
+			d.stmt(env, inner, fd)
+		}
+	case *ast.SelectStmt:
+		d.stmt(env, s.Body, fd)
+	case *ast.CommClause:
+		d.stmt(env, s.Comm, fd)
+		for _, inner := range s.Body {
+			d.stmt(env, inner, fd)
+		}
+	case *ast.DeferStmt:
+		d.eval(env, s.Call)
+	case *ast.GoStmt:
+		d.eval(env, s.Call)
+	case *ast.LabeledStmt:
+		d.stmt(env, s.Stmt, fd)
+	}
+}
+
+// assign interprets one assignment: RHS domains flow into identifiers;
+// seeded LHS slots (annotated vars, known fields) are flow-checked.
+func (d *dfa) assign(env map[types.Object]Domain, s *ast.AssignStmt) {
+	// Compound assignments (+=, -=) reuse the binary algebra.
+	switch s.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN:
+		l := d.eval(env, s.Lhs[0])
+		r := d.eval(env, s.Rhs[0])
+		var reason string
+		if s.Tok == token.ADD_ASSIGN {
+			_, reason = domAdd(l, r)
+		} else {
+			_, reason = domSub(l, r)
+		}
+		if reason != "" {
+			d.reportf(s.TokPos, "%s", reason)
+		}
+		return
+	case token.ASSIGN, token.DEFINE:
+	default:
+		for _, e := range s.Rhs {
+			d.eval(env, e)
+		}
+		return
+	}
+
+	var doms []Domain
+	if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+		doms = d.evalMulti(env, s.Rhs[0], len(s.Lhs))
+	} else {
+		for _, e := range s.Rhs {
+			doms = append(doms, d.eval(env, e))
+		}
+	}
+	for i, lhs := range s.Lhs {
+		dom := DomNone
+		if i < len(doms) {
+			dom = doms[i]
+		}
+		switch lhs := lhs.(type) {
+		case *ast.Ident:
+			obj := d.pass.TypesInfo.Defs[lhs]
+			if obj == nil {
+				obj = d.pass.TypesInfo.Uses[lhs]
+			}
+			if obj == nil {
+				continue
+			}
+			if seeded, ok := d.seeds[obj]; ok {
+				d.checkFlow(lhs.Pos(), dom, seeded, "assigns", obj.Name())
+				env[obj] = seeded
+				continue
+			}
+			env[obj] = dom
+		default:
+			if target := d.slotDomain(lhs); target != DomNone {
+				d.checkFlow(lhs.Pos(), dom, target, "assigns", exprLabel(lhs))
+			}
+			d.eval(env, lhs)
+		}
+	}
+}
+
+// returnStmt checks returned expressions against declared (annotated)
+// result domains and, during inference, joins them into the summary.
+func (d *dfa) returnStmt(env map[types.Object]Domain, s *ast.ReturnStmt) {
+	var doms []Domain
+	if len(s.Results) == 1 && d.curReturn != nil && len(d.curReturn.results) > 1 {
+		doms = d.evalMulti(env, s.Results[0], len(d.curReturn.results))
+	} else {
+		for _, e := range s.Results {
+			doms = append(doms, d.eval(env, e))
+		}
+	}
+	if d.curReturn != nil && !d.curAnnotated {
+		for i, dom := range doms {
+			if i >= len(d.curReturn.results) {
+				break
+			}
+			prev := d.curReturn.results[i]
+			if prev == DomNone {
+				d.curReturn.results[i] = dom
+			} else if dom != DomNone && dom != prev {
+				d.curReturn.results[i] = durJoin(prev, dom) // may be DomNone
+			}
+		}
+	}
+	if d.report && d.curCheck != nil {
+		for i, dom := range doms {
+			if i >= len(d.curCheck) {
+				break
+			}
+			if want := d.curCheck[i]; want != DomNone && !domAssignable(dom, want) {
+				d.reportf(s.Pos(), "returns a %s value from a function annotated as returning a %s", dom, want)
+			}
+		}
+	}
+}
+
+// evalMulti evaluates a single expression feeding n slots (a multi-value
+// call on the RHS).
+func (d *dfa) evalMulti(env map[types.Object]Domain, e ast.Expr, n int) []Domain {
+	if call, ok := e.(*ast.CallExpr); ok {
+		if res := d.callResults(env, call); res != nil {
+			out := make([]Domain, n)
+			copy(out, res)
+			return out
+		}
+	}
+	d.eval(env, e)
+	return make([]Domain, n)
+}
+
+// eval computes the abstract domain of e, reporting algebra violations.
+func (d *dfa) eval(env map[types.Object]Domain, e ast.Expr) Domain {
+	switch e := e.(type) {
+	case nil:
+		return DomNone
+	case *ast.Ident:
+		obj := d.pass.TypesInfo.Uses[e]
+		if obj == nil {
+			obj = d.pass.TypesInfo.Defs[e]
+		}
+		if obj == nil {
+			return DomNone
+		}
+		if dom, ok := env[obj]; ok {
+			return dom
+		}
+		if dom, ok := d.seeds[obj]; ok {
+			return dom
+		}
+		return DomNone
+	case *ast.ParenExpr:
+		return d.eval(env, e.X)
+	case *ast.UnaryExpr:
+		dom := d.eval(env, e.X)
+		if e.Op == token.SUB || e.Op == token.ADD {
+			return dom
+		}
+		return DomNone
+	case *ast.StarExpr:
+		return d.eval(env, e.X)
+	case *ast.IndexExpr:
+		d.eval(env, e.Index)
+		return d.eval(env, e.X) // element inherits the carrier's domain
+	case *ast.SelectorExpr:
+		return d.evalSelector(env, e)
+	case *ast.BinaryExpr:
+		return d.evalBinary(env, e)
+	case *ast.CallExpr:
+		if res := d.callResults(env, e); len(res) > 0 {
+			return res[0]
+		}
+		return DomNone
+	case *ast.CompositeLit:
+		d.compositeLit(env, e)
+		return DomNone
+	case *ast.FuncLit:
+		inner := map[types.Object]Domain{}
+		for k, v := range env {
+			inner[k] = v
+		}
+		d.stmt(inner, e.Body, nil)
+		return DomNone
+	case *ast.KeyValueExpr:
+		d.eval(env, e.Value)
+		return DomNone
+	case *ast.SliceExpr:
+		return d.eval(env, e.X)
+	case *ast.TypeAssertExpr:
+		d.eval(env, e.X)
+		return DomNone
+	default:
+		return DomNone
+	}
+}
+
+// evalSelector resolves x.f: seeded struct fields (curated table or
+// directive), package-level vars, or nothing.
+func (d *dfa) evalSelector(env map[types.Object]Domain, e *ast.SelectorExpr) Domain {
+	obj := d.pass.TypesInfo.Uses[e.Sel]
+	if obj == nil {
+		return DomNone
+	}
+	if dom, ok := env[obj]; ok {
+		return dom
+	}
+	if dom, ok := d.seeds[obj]; ok {
+		return dom
+	}
+	if v, ok := obj.(*types.Var); ok && v.IsField() {
+		if dom := d.fieldDomain(e, v); dom != DomNone {
+			return dom
+		}
+	}
+	d.eval(env, e.X)
+	return DomNone
+}
+
+// fieldDomain matches x.f against the curated field table by the named
+// type of x and the field name.
+func (d *dfa) fieldDomain(e *ast.SelectorExpr, field *types.Var) Domain {
+	tv, ok := d.pass.TypesInfo.Types[e.X]
+	if !ok || tv.Type == nil {
+		return DomNone
+	}
+	return d.lookupField(tv.Type, field.Name())
+}
+
+func (d *dfa) lookupField(t types.Type, fieldName string) Domain {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return DomNone
+	}
+	pkgPath := n.Obj().Pkg().Path()
+	for key, dom := range d.cfg.fieldDomains {
+		pkgSuffix, rest, ok := strings.Cut(key, ".")
+		if !ok {
+			continue
+		}
+		typeName, fname, ok := strings.Cut(rest, ".")
+		if !ok {
+			continue
+		}
+		if fname == fieldName && typeName == n.Obj().Name() && pkgMatches(pkgPath, []string{pkgSuffix}) {
+			return dom
+		}
+	}
+	return DomNone
+}
+
+// evalBinary applies the domain algebra to a binary expression.
+func (d *dfa) evalBinary(env map[types.Object]Domain, e *ast.BinaryExpr) Domain {
+	l := d.eval(env, e.X)
+	r := d.eval(env, e.Y)
+	switch e.Op {
+	case token.ADD:
+		dom, reason := domAdd(l, r)
+		if reason != "" {
+			d.reportf(e.OpPos, "%s", reason)
+		}
+		return dom
+	case token.SUB:
+		dom, reason := domSub(l, r)
+		if reason != "" {
+			d.reportf(e.OpPos, "%s", reason)
+		}
+		return dom
+	case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+		if reason := domCmp(l, r); reason != "" {
+			d.reportf(e.OpPos, "%s", reason)
+		}
+		return DomNone
+	case token.MUL:
+		// Scaling a domain by a dimensionless factor preserves it.
+		if l == DomNone {
+			return r
+		}
+		if r == DomNone {
+			return l
+		}
+		return DomNone
+	case token.QUO:
+		if r == DomNone {
+			return l // halving a duration etc.
+		}
+		return DomNone
+	default:
+		return DomNone
+	}
+}
+
+// callResults resolves a call's result domains, checking arguments
+// against known parameter domains on the way. Returns nil when the
+// callee is unknown.
+func (d *dfa) callResults(env map[types.Object]Domain, call *ast.CallExpr) []Domain {
+	// Conversions (float64(x)) pass the operand's domain through.
+	if tv, ok := d.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		return []Domain{d.eval(env, call.Args[0])}
+	}
+	fn := calleeFunc(d.pass.TypesInfo, call.Fun)
+	if fn == nil {
+		for _, a := range call.Args {
+			d.eval(env, a)
+		}
+		d.eval(env, call.Fun)
+		return nil
+	}
+	// math.Min/Max are comparisons; math.Abs preserves the domain.
+	if fn.Pkg() != nil && fn.Pkg().Path() == "math" && len(call.Args) == 2 &&
+		(fn.Name() == "Min" || fn.Name() == "Max") {
+		l := d.eval(env, call.Args[0])
+		r := d.eval(env, call.Args[1])
+		if reason := domCmp(l, r); reason != "" {
+			d.reportf(call.Pos(), "%s", reason)
+		}
+		return []Domain{durJoin(l, r)}
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "math" && fn.Name() == "Abs" && len(call.Args) == 1 {
+		return []Domain{d.eval(env, call.Args[0])}
+	}
+
+	// Repo-local callee: use the inferred summary.
+	if sum, ok := d.funcs[fn]; ok {
+		d.checkLocalArgs(env, call, fn, sum)
+		return sum.results
+	}
+	// Curated callee (cross-package seed).
+	if spec := d.callSpec(fn); spec != nil {
+		d.checkSpecArgs(env, call, fn, spec)
+		return spec.results
+	}
+	for _, a := range call.Args {
+		d.eval(env, a)
+	}
+	return nil
+}
+
+// checkLocalArgs flow-checks arguments against a local summary's
+// parameter domains.
+func (d *dfa) checkLocalArgs(env map[types.Object]Domain, call *ast.CallExpr, fn *types.Func, sum *dfSummary) {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		dom := d.eval(env, arg)
+		if i >= sig.Params().Len() {
+			break // variadic tail
+		}
+		p := sig.Params().At(i)
+		if want, ok := sum.params[p]; ok && want != DomNone {
+			d.checkFlow(arg.Pos(), dom, want, "passes", p.Name())
+		}
+	}
+}
+
+// checkSpecArgs flow-checks arguments against a curated call spec.
+func (d *dfa) checkSpecArgs(env map[types.Object]Domain, call *ast.CallExpr, fn *types.Func, spec *dfCallSpec) {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		dom := d.eval(env, arg)
+		if i >= sig.Params().Len() {
+			break
+		}
+		p := sig.Params().At(i)
+		if want, ok := spec.params[p.Name()]; ok && want != DomNone {
+			d.checkFlow(arg.Pos(), dom, want, "passes", p.Name())
+		}
+	}
+}
+
+// callSpec matches fn against the curated call table.
+func (d *dfa) callSpec(fn *types.Func) *dfCallSpec {
+	if fn.Pkg() == nil {
+		return nil
+	}
+	recvName := ""
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if n, ok := t.(*types.Named); ok {
+			recvName = n.Obj().Name()
+		}
+		if iface, ok := t.Underlying().(*types.Interface); ok && recvName == "" {
+			_ = iface // interface methods: recvName stays from Named above
+		}
+	}
+	pkgPath := fn.Pkg().Path()
+	for key, spec := range d.cfg.callDomains {
+		parts := strings.Split(key, ".")
+		if len(parts) != 3 {
+			continue
+		}
+		pkgSuffix, typeName, name := parts[0], parts[1], parts[2]
+		if name != fn.Name() || typeName != recvName {
+			continue
+		}
+		if pkgMatches(pkgPath, []string{pkgSuffix}) {
+			s := spec
+			return &s
+		}
+	}
+	return nil
+}
+
+// compositeLit flow-checks struct literal fields against seeded domains.
+func (d *dfa) compositeLit(env map[types.Object]Domain, e *ast.CompositeLit) {
+	tv, ok := d.pass.TypesInfo.Types[e]
+	for _, elt := range e.Elts {
+		kv, isKV := elt.(*ast.KeyValueExpr)
+		if !isKV {
+			d.eval(env, elt)
+			continue
+		}
+		dom := d.eval(env, kv.Value)
+		key, isIdent := kv.Key.(*ast.Ident)
+		if !isIdent || !ok || tv.Type == nil {
+			continue
+		}
+		if want := d.lookupField(tv.Type, key.Name); want != DomNone {
+			d.checkFlow(kv.Value.Pos(), dom, want, "assigns", key.Name)
+		}
+		// Directive-seeded fields.
+		if obj := d.pass.TypesInfo.Uses[key]; obj != nil {
+			if want, okSeed := d.seeds[obj]; okSeed {
+				d.checkFlow(kv.Value.Pos(), dom, want, "assigns", key.Name)
+			}
+		}
+	}
+}
+
+// slotDomain resolves the declared domain of an assignment target that is
+// not a plain identifier (x.f, x.f[i]).
+func (d *dfa) slotDomain(e ast.Expr) Domain {
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		if obj := d.pass.TypesInfo.Uses[e.Sel]; obj != nil {
+			if dom, ok := d.seeds[obj]; ok {
+				return dom
+			}
+			if v, ok := obj.(*types.Var); ok && v.IsField() {
+				return d.fieldDomain(e, v)
+			}
+		}
+	case *ast.IndexExpr:
+		return d.slotDomain(e.X)
+	case *ast.ParenExpr:
+		return d.slotDomain(e.X)
+	}
+	return DomNone
+}
+
+// checkFlow reports a value of domain v flowing into a slot of domain
+// want when the two are incompatible.
+func (d *dfa) checkFlow(pos token.Pos, v, want Domain, verb, slot string) {
+	if domAssignable(v, want) {
+		return
+	}
+	d.reportf(pos, "%s a %s value into %q, which holds a %s", verb, v, slot, want)
+}
+
+// reportf forwards to the pass only during the reporting phase.
+func (d *dfa) reportf(pos token.Pos, format string, args ...any) {
+	if d.report {
+		d.pass.Reportf(pos, format, args...)
+	}
+}
+
+// calleeFunc resolves the *types.Func a call expression invokes, when it
+// is a plain identifier or selector.
+func calleeFunc(info *types.Info, fun ast.Expr) *types.Func {
+	switch fun := fun.(type) {
+	case *ast.ParenExpr:
+		return calleeFunc(info, fun.X)
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// exprLabel renders a short label for an assignment target.
+func exprLabel(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	case *ast.IndexExpr:
+		return exprLabel(e.X)
+	case *ast.ParenExpr:
+		return exprLabel(e.X)
+	default:
+		return "value"
+	}
+}

@@ -22,10 +22,19 @@ import (
 //	//clocklint:allow wallclock benchmarks want real time
 //	mark = time.Now()
 //
-// Malformed directives — a verb other than "allow", a missing analyzer
-// name, or an unknown analyzer name — are themselves reported, so a typo
-// can never silently suppress nothing. Those diagnostics carry the
-// analyzer name "directive" and cannot be suppressed.
+// A second verb seeds the timedomain analyzer:
+//
+//	//clocklint:domain <name> [rationale...]
+//
+// where <name> is one of realtime, clock, shift, delay, simdur, walldur.
+// It attaches to the declaration on its line (struct field, var spec,
+// parameter, or function — on a function it declares the result domain),
+// or to the next line when it stands alone, like "allow".
+//
+// Malformed directives — a verb other than "allow"/"domain", a missing
+// analyzer or domain name, or an unknown one — are themselves reported,
+// so a typo can never silently suppress nothing. Those diagnostics carry
+// the analyzer name "directive" and cannot be suppressed.
 const directivePrefix = "//clocklint:"
 
 // DirectiveAnalyzerName labels malformed-directive diagnostics.
@@ -57,11 +66,33 @@ func applyDirectives(fset *token.FileSet, files []*ast.File, diags []Diagnostic)
 				}
 				pos := fset.Position(c.Slash)
 				verb, args, _ := strings.Cut(rest, " ")
+				if verb == "domain" {
+					// Domain seeds are consumed by the timedomain
+					// analyzer (dataflow.go); here we only validate.
+					name := ""
+					if fields := strings.Fields(args); len(fields) > 0 {
+						name = fields[0]
+					}
+					if name == "" {
+						malformed = append(malformed, Diagnostic{
+							Pos:      c.Slash,
+							Analyzer: DirectiveAnalyzerName,
+							Message:  "malformed clocklint directive: missing domain name after \"domain\"",
+						})
+					} else if _, ok := domainTokens[name]; !ok {
+						malformed = append(malformed, Diagnostic{
+							Pos:      c.Slash,
+							Analyzer: DirectiveAnalyzerName,
+							Message:  fmt.Sprintf("clocklint directive names unknown domain %q (have %s)", name, DomainTokenList()),
+						})
+					}
+					continue
+				}
 				if verb != "allow" {
 					malformed = append(malformed, Diagnostic{
 						Pos:      c.Slash,
 						Analyzer: DirectiveAnalyzerName,
-						Message:  fmt.Sprintf("malformed clocklint directive: unknown verb %q (want \"allow\")", verb),
+						Message:  fmt.Sprintf("malformed clocklint directive: unknown verb %q (want \"allow\" or \"domain\")", verb),
 					})
 					continue
 				}
@@ -103,6 +134,44 @@ func applyDirectives(fset *token.FileSet, files []*ast.File, diags []Diagnostic)
 		out = append(out, d)
 	}
 	return append(out, malformed...)
+}
+
+// domainDirectiveLines extracts well-formed //clocklint:domain
+// directives from f as a line -> domain map, where the line is the code
+// line the directive governs (its own, or the next when standalone).
+// Malformed directives are ignored here; applyDirectives reports them.
+func domainDirectiveLines(fset *token.FileSet, f *ast.File) map[int]Domain {
+	var out map[int]Domain
+	codeLines := codeLineSet(fset, f)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, directivePrefix)
+			if !ok {
+				continue
+			}
+			verb, args, _ := strings.Cut(rest, " ")
+			if verb != "domain" {
+				continue
+			}
+			fields := strings.Fields(args)
+			if len(fields) == 0 {
+				continue
+			}
+			dom, ok := domainTokens[fields[0]]
+			if !ok {
+				continue
+			}
+			line := fset.Position(c.Slash).Line
+			if !codeLines[line] {
+				line++
+			}
+			if out == nil {
+				out = make(map[int]Domain)
+			}
+			out[line] = dom
+		}
+	}
+	return out
 }
 
 // codeLineSet records which lines of f carry code tokens (as opposed to

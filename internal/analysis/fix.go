@@ -1,0 +1,122 @@
+package analysis
+
+// Applying suggested fixes: gather every fix carried by the diagnostics,
+// resolve its edits to byte offsets, drop fixes that overlap an already
+// accepted one (first diagnostic wins, in position order), and splice the
+// survivors into each file's content.
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"sort"
+)
+
+// fixEdit is one TextEdit resolved to byte offsets within a file.
+type fixEdit struct {
+	start, end int
+	new        string
+}
+
+// ApplyFixes applies the suggested fixes of diags to the files they
+// touch and returns the new content per filename, plus the number of
+// fixes applied and the number skipped because their edits overlapped an
+// earlier fix. readFile defaults to os.ReadFile; tests inject sources.
+func ApplyFixes(fset *token.FileSet, diags []Diagnostic, readFile func(string) ([]byte, error)) (map[string][]byte, int, int, error) {
+	if readFile == nil {
+		readFile = os.ReadFile
+	}
+	// Accept fixes in diagnostic position order; within a diagnostic,
+	// only the first fix is applied (alternatives would conflict).
+	type accepted struct {
+		file  string
+		edits []fixEdit
+	}
+	perFile := map[string][]fixEdit{}
+	applied, skipped := 0, 0
+	for _, d := range diags {
+		if len(d.Fixes) == 0 {
+			continue
+		}
+		fix := d.Fixes[0]
+		var batch []accepted
+		ok := true
+		for _, e := range fix.Edits {
+			if !e.Pos.IsValid() || e.End < e.Pos {
+				ok = false
+				break
+			}
+			pf := fset.File(e.Pos)
+			if pf == nil {
+				ok = false
+				break
+			}
+			fe := fixEdit{start: pf.Offset(e.Pos), end: pf.Offset(e.End), new: e.New}
+			if overlaps(perFile[pf.Name()], fe) {
+				ok = false
+				break
+			}
+			batch = append(batch, accepted{pf.Name(), []fixEdit{fe}})
+		}
+		if !ok {
+			skipped++
+			continue
+		}
+		for _, b := range batch {
+			perFile[b.file] = append(perFile[b.file], b.edits...)
+		}
+		applied++
+	}
+	out := map[string][]byte{}
+	for file, edits := range perFile {
+		src, err := readFile(file)
+		if err != nil {
+			return nil, 0, 0, fmt.Errorf("apply fixes: %w", err)
+		}
+		fixed, err := splice(src, edits)
+		if err != nil {
+			return nil, 0, 0, fmt.Errorf("apply fixes to %s: %w", file, err)
+		}
+		out[file] = fixed
+	}
+	return out, applied, skipped, nil
+}
+
+// overlaps reports whether e collides with any already-accepted edit.
+// Pure insertions at the same offset count as a collision too — their
+// order would be ambiguous.
+func overlaps(existing []fixEdit, e fixEdit) bool {
+	for _, x := range existing {
+		if e.start < x.end && x.start < e.end {
+			return true
+		}
+		if e.start == e.end && x.start == x.end && e.start == x.start {
+			return true
+		}
+		// An insertion inside (not at the boundary of) a replacement.
+		if e.start == e.end && e.start > x.start && e.start < x.end {
+			return true
+		}
+		if x.start == x.end && x.start > e.start && x.start < e.end {
+			return true
+		}
+	}
+	return false
+}
+
+// splice applies non-overlapping edits to src.
+func splice(src []byte, edits []fixEdit) ([]byte, error) {
+	sort.Slice(edits, func(i, j int) bool { return edits[i].start < edits[j].start })
+	var out []byte
+	last := 0
+	for _, e := range edits {
+		if e.start < last || e.end > len(src) {
+			return nil, fmt.Errorf("edit [%d,%d) out of bounds (len %d, last %d)", e.start, e.end, len(src), last)
+		}
+		out = append(out, src[last:e.start]...)
+		out = append(out, e.new...)
+		last = e.end
+	}
+	out = append(out, src[last:]...)
+	return out, nil
+}

@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"go/token"
+	"testing"
+)
+
+// fixtureFile registers a one-file FileSet over src and returns positions
+// for byte offsets within it.
+func fixtureFile(t *testing.T, src string) (*token.FileSet, func(off int) token.Pos) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f := fset.AddFile("fix.go", -1, len(src))
+	f.SetLinesForContent([]byte(src))
+	return fset, f.Pos
+}
+
+func TestApplyFixesSplices(t *testing.T) {
+	src := "abcdef"
+	fset, pos := fixtureFile(t, src)
+	diags := []Diagnostic{
+		{Analyzer: "x", Message: "m1", Pos: pos(0), Fixes: []SuggestedFix{{
+			Message: "replace bc",
+			Edits:   []TextEdit{{Pos: pos(1), End: pos(3), New: "BC"}},
+		}}},
+		{Analyzer: "x", Message: "m2", Pos: pos(4), Fixes: []SuggestedFix{{
+			Message: "insert at 4",
+			Edits:   []TextEdit{{Pos: pos(4), End: pos(4), New: "_"}},
+		}}},
+	}
+	read := func(string) ([]byte, error) { return []byte(src), nil }
+	out, applied, skipped, err := ApplyFixes(fset, diags, read)
+	if err != nil {
+		t.Fatalf("ApplyFixes: %v", err)
+	}
+	if applied != 2 || skipped != 0 {
+		t.Fatalf("applied %d, skipped %d; want 2, 0", applied, skipped)
+	}
+	if got := string(out["fix.go"]); got != "aBCd_ef" {
+		t.Fatalf("spliced content = %q, want %q", got, "aBCd_ef")
+	}
+}
+
+func TestApplyFixesSkipsOverlapping(t *testing.T) {
+	src := "abcdef"
+	fset, pos := fixtureFile(t, src)
+	diags := []Diagnostic{
+		{Analyzer: "x", Message: "m1", Pos: pos(0), Fixes: []SuggestedFix{{
+			Edits: []TextEdit{{Pos: pos(1), End: pos(4), New: "X"}},
+		}}},
+		// Overlaps [1,4): must be skipped, first diagnostic wins.
+		{Analyzer: "x", Message: "m2", Pos: pos(2), Fixes: []SuggestedFix{{
+			Edits: []TextEdit{{Pos: pos(3), End: pos(5), New: "Y"}},
+		}}},
+		// An insertion strictly inside the accepted replacement.
+		{Analyzer: "x", Message: "m3", Pos: pos(2), Fixes: []SuggestedFix{{
+			Edits: []TextEdit{{Pos: pos(2), End: pos(2), New: "Z"}},
+		}}},
+	}
+	read := func(string) ([]byte, error) { return []byte(src), nil }
+	out, applied, skipped, err := ApplyFixes(fset, diags, read)
+	if err != nil {
+		t.Fatalf("ApplyFixes: %v", err)
+	}
+	if applied != 1 || skipped != 2 {
+		t.Fatalf("applied %d, skipped %d; want 1, 2", applied, skipped)
+	}
+	if got := string(out["fix.go"]); got != "aXef" {
+		t.Fatalf("spliced content = %q, want %q", got, "aXef")
+	}
+}

@@ -13,6 +13,8 @@ var globalrandPkgs = []string{
 	"internal/experiments",
 	"internal/scenario",
 	"internal/verify",
+	"internal/genfuzz",
+	"cmd/genfuzz",
 }
 
 // globalrandAllowed are the constructors: building a local seeded

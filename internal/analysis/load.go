@@ -105,9 +105,21 @@ func exportImporter(fset *token.FileSet, exports map[string]string) types.Import
 // directives and position info needed by the analyzers survive because
 // comments are retained.
 func CheckFiles(fset *token.FileSet, path string, filenames []string, exports map[string]string) (*Package, error) {
+	return CheckFilesSrc(fset, path, filenames, nil, exports)
+}
+
+// CheckFilesSrc is CheckFiles with an in-memory overlay: when overlay
+// has an entry for a filename, its bytes are parsed instead of the file
+// on disk. The antest harness uses this to re-analyze sources after
+// applying suggested fixes without writing them out.
+func CheckFilesSrc(fset *token.FileSet, path string, filenames []string, overlay map[string][]byte, exports map[string]string) (*Package, error) {
 	var files []*ast.File
 	for _, fn := range filenames {
-		f, err := parser.ParseFile(fset, fn, nil, parser.ParseComments)
+		var src any
+		if b, ok := overlay[fn]; ok {
+			src = b
+		}
+		f, err := parser.ParseFile(fset, fn, src, parser.ParseComments)
 		if err != nil {
 			return nil, err
 		}
@@ -129,6 +141,26 @@ func CheckFiles(fset *token.FileSet, path string, filenames []string, exports ma
 		dir = filepath.Dir(filenames[0])
 	}
 	return &Package{Path: path, Dir: dir, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// ModuleRoot walks up from dir to the directory containing go.mod, or
+// returns "" when there is none. Baseline files store paths relative to
+// this root so they are portable across checkouts.
+func ModuleRoot(dir string) string {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return ""
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(abs, "go.mod")); err == nil {
+			return abs
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return ""
+		}
+		abs = parent
+	}
 }
 
 // Load lists patterns from dir, then parses and type-checks every matched

@@ -1,0 +1,484 @@
+package analysis
+
+// lockheld: mutex hygiene in the concurrent packages.
+//
+// Three rules, all intraprocedural with same-package summaries:
+//
+//  1. mutex copied by value: a value receiver or value parameter whose
+//     struct type (transitively) contains a sync.Mutex/RWMutex copies the
+//     lock, silently splitting it. The suggested fix pointerizes the
+//     declaration.
+//  2. double lock: Lock on a receiver path that is already held on the
+//     same lexical path (no intervening Unlock), including upgrades
+//     (Lock under RLock) — an instant deadlock.
+//  3. lock-order cycles: a directed graph over type-level lock keys
+//     ("pkg.Type.field" / "pkg.var") gains an edge a→b whenever b is
+//     acquired while a is held, including through same-package calls; a
+//     cycle means two goroutines can deadlock by acquiring in opposite
+//     orders, and a self-edge through a call means a recursive lock.
+//
+// Scope: the packages that own goroutines (netsync, dist, obs).
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+var lockheldPkgs = []string{
+	"internal/netsync",
+	"internal/dist",
+	"internal/obs",
+	"distributed",
+}
+
+var LockHeld = &Analyzer{
+	Name: "lockheld",
+	Doc: "mutex hygiene: no mutex-containing struct copied by value, no double " +
+		"lock on one receiver path, no lock-order cycles across the package",
+	Run: runLockHeld,
+}
+
+func runLockHeld(pass *Pass) error {
+	if !pkgMatches(pass.Pkg.Path(), lockheldPkgs) {
+		return nil
+	}
+	lh := &lockheld{
+		pass:      pass,
+		funcLocks: map[*types.Func]map[string]token.Pos{},
+		edges:     map[string]map[string]token.Pos{},
+	}
+	lh.checkCopies()
+	// Round 1: collect per-function locksets (type-level keys).
+	lh.collect = true
+	lh.walkAll()
+	// Round 2: report double locks and build the order graph using the
+	// summaries from round 1.
+	lh.collect = false
+	lh.walkAll()
+	lh.reportCycles()
+	return nil
+}
+
+type lockheld struct {
+	pass    *Pass
+	collect bool
+	// funcLocks summarises which type-level keys each local function
+	// acquires anywhere in its body.
+	funcLocks map[*types.Func]map[string]token.Pos
+	// edges is the lock-order graph: edges[a][b] = position where b was
+	// acquired while a was held.
+	edges map[string]map[string]token.Pos
+}
+
+// mutexHolder reports whether t transitively contains a sync.Mutex or
+// sync.RWMutex by value.
+func mutexHolder(t types.Type) bool {
+	return hasMutex(t, map[types.Type]bool{})
+}
+
+func hasMutex(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	if n, ok := t.(*types.Named); ok {
+		obj := n.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+			(obj.Name() == "Mutex" || obj.Name() == "RWMutex") {
+			return true
+		}
+		return hasMutex(n.Underlying(), seen)
+	}
+	st, ok := t.(*types.Struct)
+	if !ok {
+		st, ok = t.Underlying().(*types.Struct)
+	}
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		ft := st.Field(i).Type()
+		if _, isPtr := ft.(*types.Pointer); isPtr {
+			continue // a pointer shares the lock; copying it is fine
+		}
+		if hasMutex(ft, seen) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkCopies flags value receivers and value parameters of
+// mutex-holding struct types, with a pointerizing fix.
+func (lh *lockheld) checkCopies() {
+	for _, f := range lh.pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			lh.checkFieldList(fd.Recv, "receiver")
+			lh.checkFieldList(fd.Type.Params, "parameter")
+		}
+	}
+}
+
+func (lh *lockheld) checkFieldList(fl *ast.FieldList, kind string) {
+	if fl == nil {
+		return
+	}
+	for _, field := range fl.List {
+		if _, isStar := field.Type.(*ast.StarExpr); isStar {
+			continue
+		}
+		tv, ok := lh.pass.TypesInfo.Types[field.Type]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		if _, isPtr := tv.Type.(*types.Pointer); isPtr {
+			continue
+		}
+		if !mutexHolder(tv.Type) {
+			continue
+		}
+		name := "_"
+		if len(field.Names) > 0 {
+			name = field.Names[0].Name
+		}
+		lh.pass.Report(Diagnostic{
+			Pos: field.Pos(),
+			Message: fmt.Sprintf("%s %q copies a mutex-holding struct (%s) by value; the copy locks a different mutex",
+				kind, name, tv.Type.String()),
+			Fixes: []SuggestedFix{{
+				Message: "take the " + kind + " by pointer",
+				Edits:   []TextEdit{{Pos: field.Type.Pos(), End: field.Type.Pos(), New: "*"}},
+			}},
+		})
+	}
+}
+
+func (lh *lockheld) walkAll() {
+	for _, f := range lh.pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				lh.walkFunc(fd)
+			}
+		}
+	}
+}
+
+// heldLock tracks one held lock on the current lexical path.
+type heldLock struct {
+	instance string // receiver-path key, e.g. "n.mu"
+	typeKey  string // type-level key, e.g. "netsync.Node.mu"
+	read     bool   // held via RLock
+}
+
+func (lh *lockheld) walkFunc(fd *ast.FuncDecl) {
+	fn, _ := lh.pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if lh.collect && fn != nil && lh.funcLocks[fn] == nil {
+		lh.funcLocks[fn] = map[string]token.Pos{}
+	}
+	var held []heldLock
+	lh.walkStmts(fd.Body.List, &held, fn)
+}
+
+// walkStmts interprets a straight-line statement list; control-flow
+// bodies are walked with a snapshot of the held set, so a conditional
+// Lock never leaks into the fallthrough path (conservative: misses some
+// real bugs, raises no false alarms).
+func (lh *lockheld) walkStmts(list []ast.Stmt, held *[]heldLock, fn *types.Func) {
+	for _, s := range list {
+		lh.walkStmt(s, held, fn)
+	}
+}
+
+func (lh *lockheld) walkStmt(s ast.Stmt, held *[]heldLock, fn *types.Func) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.ExprStmt:
+		lh.expr(s.X, held, fn, false)
+	case *ast.DeferStmt:
+		lh.expr(s.Call, held, fn, true)
+	case *ast.GoStmt:
+		// The goroutine runs on its own stack: analyse its body with an
+		// empty held set.
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			var inner []heldLock
+			lh.walkStmts(lit.Body.List, &inner, fn)
+		}
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			lh.expr(e, held, fn, false)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			lh.expr(e, held, fn, false)
+		}
+	case *ast.BlockStmt:
+		lh.walkStmts(s.List, held, fn)
+	case *ast.IfStmt:
+		lh.walkBranch(s.Body, held, fn)
+		if s.Else != nil {
+			lh.walkBranch(s.Else, held, fn)
+		}
+	case *ast.ForStmt:
+		lh.walkBranch(s.Body, held, fn)
+	case *ast.RangeStmt:
+		lh.walkBranch(s.Body, held, fn)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		ast.Inspect(s, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CaseClause:
+				snap := append([]heldLock(nil), *held...)
+				lh.walkStmts(n.Body, &snap, fn)
+				return false
+			case *ast.CommClause:
+				snap := append([]heldLock(nil), *held...)
+				lh.walkStmts(n.Body, &snap, fn)
+				return false
+			}
+			return true
+		})
+	case *ast.LabeledStmt:
+		lh.walkStmt(s.Stmt, held, fn)
+	}
+}
+
+func (lh *lockheld) walkBranch(s ast.Stmt, held *[]heldLock, fn *types.Func) {
+	snap := append([]heldLock(nil), *held...)
+	lh.walkStmt(s, &snap, fn)
+}
+
+// expr looks for Lock/Unlock/RLock/RUnlock calls and same-package calls.
+func (lh *lockheld) expr(e ast.Expr, held *[]heldLock, fn *types.Func, deferred bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	for _, a := range call.Args {
+		lh.expr(a, held, fn, false)
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		if callee := calleeFunc(lh.pass.TypesInfo, call.Fun); callee != nil {
+			lh.callThrough(call.Pos(), callee, held)
+		}
+		return
+	}
+	method := sel.Sel.Name
+	switch method {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+		inst, typeKey := lh.lockKeys(sel.X)
+		if typeKey == "" {
+			return
+		}
+		read := method == "RLock" || method == "RUnlock"
+		if method == "Lock" || method == "RLock" {
+			lh.acquire(call.Pos(), held, heldLock{inst, typeKey, read}, fn)
+			return
+		}
+		if deferred {
+			return // deferred Unlock releases at return, not here
+		}
+		for i := len(*held) - 1; i >= 0; i-- {
+			if (*held)[i].instance == inst && (*held)[i].read == read {
+				*held = append((*held)[:i], (*held)[i+1:]...)
+				return
+			}
+		}
+	default:
+		if callee := calleeFunc(lh.pass.TypesInfo, sel.Sel); callee != nil {
+			lh.callThrough(call.Pos(), callee, held)
+		}
+	}
+}
+
+// acquire records an acquisition: double-lock checks against the held
+// set, summary collection, and order-graph edges.
+func (lh *lockheld) acquire(pos token.Pos, held *[]heldLock, l heldLock, fn *types.Func) {
+	if lh.collect {
+		if fn != nil {
+			if _, ok := lh.funcLocks[fn][l.typeKey]; !ok {
+				lh.funcLocks[fn][l.typeKey] = pos
+			}
+		}
+	} else {
+		for _, h := range *held {
+			if h.instance == l.instance {
+				switch {
+				case !l.read && !h.read:
+					lh.pass.Reportf(pos, "locks %s, which is already locked on this path: deadlock", l.instance)
+				case !l.read && h.read:
+					lh.pass.Reportf(pos, "locks %s for writing while holding its read lock: upgrade deadlock", l.instance)
+				case l.read && !h.read:
+					lh.pass.Reportf(pos, "read-locks %s while holding its write lock: deadlock", l.instance)
+				}
+			} else if h.typeKey != l.typeKey {
+				lh.addEdge(h.typeKey, l.typeKey, pos)
+			}
+		}
+	}
+	*held = append(*held, l)
+}
+
+// callThrough propagates locks acquired by a same-package callee into
+// the order graph, and flags a call that re-acquires a held lock type.
+func (lh *lockheld) callThrough(pos token.Pos, callee *types.Func, held *[]heldLock) {
+	if lh.collect || len(*held) == 0 {
+		return
+	}
+	locks, ok := lh.funcLocks[callee]
+	if !ok {
+		return
+	}
+	keys := make([]string, 0, len(locks))
+	for k := range locks {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, h := range *held {
+		for _, k := range keys {
+			if k == h.typeKey {
+				lh.pass.Reportf(pos, "calls %s while holding %s, which %s locks again: recursive lock",
+					callee.Name(), h.instance, callee.Name())
+				continue
+			}
+			lh.addEdge(h.typeKey, k, pos)
+		}
+	}
+}
+
+func (lh *lockheld) addEdge(from, to string, pos token.Pos) {
+	if lh.edges[from] == nil {
+		lh.edges[from] = map[string]token.Pos{}
+	}
+	if _, ok := lh.edges[from][to]; !ok {
+		lh.edges[from][to] = pos
+	}
+}
+
+// lockKeys renders the expression a Lock call selects on as an instance
+// path ("n.mu") and a type-level key ("netsync.Node.mu" or
+// "netsync.healthMu" for a package var).
+func (lh *lockheld) lockKeys(e ast.Expr) (instance, typeKey string) {
+	instance = pathString(e)
+	if instance == "" {
+		return "", ""
+	}
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		if obj, ok := lh.pass.TypesInfo.Uses[e.Sel].(*types.Var); ok && obj.IsField() {
+			if tv, ok := lh.pass.TypesInfo.Types[e.X]; ok && tv.Type != nil {
+				t := tv.Type
+				if p, ok := t.(*types.Pointer); ok {
+					t = p.Elem()
+				}
+				if n, ok := t.(*types.Named); ok {
+					return instance, pkgBase(n.Obj().Pkg()) + "." + n.Obj().Name() + "." + e.Sel.Name
+				}
+			}
+			return instance, instance
+		}
+		if obj := lh.pass.TypesInfo.Uses[e.Sel]; obj != nil && obj.Pkg() != nil {
+			return instance, pkgBase(obj.Pkg()) + "." + e.Sel.Name
+		}
+	case *ast.Ident:
+		if obj := lh.pass.TypesInfo.Uses[e]; obj != nil {
+			if v, ok := obj.(*types.Var); ok && v.Parent() == v.Pkg().Scope() {
+				return instance, pkgBase(v.Pkg()) + "." + e.Name
+			}
+		}
+	}
+	return instance, instance
+}
+
+func pkgBase(p *types.Package) string {
+	if p == nil {
+		return "?"
+	}
+	parts := strings.Split(p.Path(), "/")
+	return parts[len(parts)-1]
+}
+
+// pathString flattens a receiver chain of identifiers and selectors;
+// anything else (an index, a call) yields "" and is ignored.
+func pathString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := pathString(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return pathString(e.X)
+	case *ast.StarExpr:
+		return pathString(e.X)
+	}
+	return ""
+}
+
+// reportCycles finds cycles in the lock-order graph and reports each
+// once, anchored at the recorded acquisition position of its first edge.
+func (lh *lockheld) reportCycles() {
+	nodes := make([]string, 0, len(lh.edges))
+	for n := range lh.edges {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	reported := map[string]bool{}
+	for _, start := range nodes {
+		path := []string{start}
+		lh.dfsCycle(start, start, path, map[string]bool{start: true}, reported)
+	}
+}
+
+func (lh *lockheld) dfsCycle(start, cur string, path []string, onPath map[string]bool, reported map[string]bool) {
+	succs := make([]string, 0, len(lh.edges[cur]))
+	for s := range lh.edges[cur] {
+		succs = append(succs, s)
+	}
+	sort.Strings(succs)
+	for _, next := range succs {
+		if next == start && len(path) > 1 {
+			// Canonical form: rotate so the smallest key leads.
+			cyc := canonicalCycle(path)
+			if reported[cyc] {
+				continue
+			}
+			reported[cyc] = true
+			lh.pass.Reportf(lh.edges[cur][next],
+				"lock-order cycle: %s; two goroutines acquiring in different orders deadlock", cyc)
+			continue
+		}
+		if onPath[next] {
+			continue
+		}
+		// Only explore cycles from their smallest node, so each is found
+		// exactly once.
+		if next < start {
+			continue
+		}
+		onPath[next] = true
+		lh.dfsCycle(start, next, append(path, next), onPath, reported)
+		delete(onPath, next)
+	}
+}
+
+func canonicalCycle(path []string) string {
+	min := 0
+	for i := range path {
+		if path[i] < path[min] {
+			min = i
+		}
+	}
+	out := append(append([]string(nil), path[min:]...), path[:min]...)
+	return strings.Join(append(out, out[0]), " -> ")
+}

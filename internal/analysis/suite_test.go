@@ -44,10 +44,45 @@ func TestSuppressionDirectives(t *testing.T) {
 	antest.Run(t, filepath.Join("testdata", "directives"), analysis.WallClock, "clocksync/internal/sim")
 }
 
+func TestTimeDomain(t *testing.T) {
+	antest.Run(t, filepath.Join("testdata", "timedomain"), analysis.TimeDomain, "clocksync/internal/sim")
+}
+
+func TestTimeDomainUnrestrictedPackage(t *testing.T) {
+	// The same violation patterns outside the scoped packages stay silent.
+	antest.Run(t, filepath.Join("testdata", "timedomain_out"), analysis.TimeDomain, "clocksync/internal/obs")
+}
+
+func TestDomainDirectives(t *testing.T) {
+	// Malformed //clocklint:domain directives are diagnosed, not ignored.
+	antest.Run(t, filepath.Join("testdata", "domaindirective"), analysis.TimeDomain, "clocksync/internal/sim")
+}
+
+func TestLockHeld(t *testing.T) {
+	antest.Run(t, filepath.Join("testdata", "lockheld"), analysis.LockHeld, "clocksync/internal/netsync")
+}
+
+func TestCtxLeak(t *testing.T) {
+	antest.Run(t, filepath.Join("testdata", "ctxleak"), analysis.CtxLeak, "clocksync/internal/netsync")
+}
+
+func TestConcurrencyAnalyzersUnrestrictedPackage(t *testing.T) {
+	antest.Run(t, filepath.Join("testdata", "concurrency_out"), analysis.LockHeld, "clocksync/internal/model")
+	antest.Run(t, filepath.Join("testdata", "concurrency_out"), analysis.CtxLeak, "clocksync/internal/model")
+}
+
+func TestLockHeldFixes(t *testing.T) {
+	antest.RunWithFixes(t, filepath.Join("testdata", "lockheldfix"), analysis.LockHeld, "clocksync/internal/netsync")
+}
+
+func TestCtxLeakFixes(t *testing.T) {
+	antest.RunWithFixes(t, filepath.Join("testdata", "ctxleakfix"), analysis.CtxLeak, "clocksync/internal/netsync")
+}
+
 func TestByName(t *testing.T) {
 	all, err := analysis.ByName("")
-	if err != nil || len(all) != 5 {
-		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want the full suite of 5", len(all), err)
+	if err != nil || len(all) != 8 {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want the full suite of 8", len(all), err)
 	}
 	two, err := analysis.ByName("wallclock,floateq")
 	if err != nil || len(two) != 2 || two[0].Name != "wallclock" || two[1].Name != "floateq" {

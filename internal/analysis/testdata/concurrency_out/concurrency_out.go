@@ -1,0 +1,31 @@
+// Package model repeats lockheld and ctxleak violations in a package
+// outside both analyzers' scopes: they must stay silent here.
+package model
+
+import (
+	"sync"
+	"time"
+)
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c counter) copies() int { return c.n }
+
+func doubleLock(c *counter) {
+	c.mu.Lock()
+	c.mu.Lock()
+	c.mu.Unlock()
+	c.mu.Unlock()
+}
+
+func leak() {
+	t := time.NewTicker(time.Second)
+	go func() {
+		for {
+			<-t.C
+		}
+	}()
+}

@@ -1,0 +1,105 @@
+// Package netsync exercises the ctxleak analyzer: unstoppable
+// time.Tick, tickers without Stop, and goroutines that loop forever with
+// no stop signal. Loaded under clocksync/internal/netsync so the
+// analyzer is in scope.
+package netsync
+
+import "time"
+
+func work() {}
+
+// time.Tick's ticker can never be stopped.
+func usesTick(done chan struct{}) {
+	for {
+		select {
+		case <-time.Tick(time.Second): // want `time\.Tick's ticker can never be stopped`
+			work()
+		case <-done:
+			return
+		}
+	}
+}
+
+// A ticker stopped via defer is fine.
+func tickerStopped(stop chan struct{}) {
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			work()
+		case <-stop:
+			return
+		}
+	}
+}
+
+// A ticker stopped inside the goroutine it feeds is fine too.
+func tickerStoppedInGoroutine(stop chan struct{}) {
+	t := time.NewTicker(time.Second)
+	go func() {
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				work()
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+// A ticker that nothing stops leaks.
+func tickerLeaked(out chan<- int) { // (fix golden lives in testdata/ctxleakfix)
+	t := time.NewTicker(time.Second) // want `ticker "t" is never stopped`
+	go func() {
+		for range t.C {
+			out <- 1
+		}
+	}()
+}
+
+// A goroutine looping with no return, break, select, or receive can
+// never be told to stop.
+func foreverGoroutine() {
+	go func() { // want `goroutine loops forever with no return, break, or channel receive`
+		for {
+			work()
+		}
+	}()
+}
+
+// A select (or any channel receive) is a stop-signal path.
+func stoppable(stop chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// The same applies through a same-package callee.
+func pump() {
+	for {
+		work()
+	}
+}
+
+func launchPump() {
+	go pump() // want `goroutine runs pump, which loops forever`
+}
+
+// A loop that can end on its own is fine even inside a goroutine.
+func bounded(items []int, out chan<- int) {
+	go func() {
+		for _, v := range items {
+			out <- v
+		}
+	}()
+}

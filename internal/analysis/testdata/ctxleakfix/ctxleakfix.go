@@ -1,0 +1,17 @@
+// Package netsync is the suggested-fix golden test for ctxleak: the
+// leaked ticker gains a `defer t.Stop()` (see ctxleakfix.go.golden).
+package netsync
+
+import "time"
+
+func poll(stop chan struct{}, out chan<- int) {
+	t := time.NewTicker(time.Second) // want `ticker "t" is never stopped`
+	for {
+		select {
+		case <-t.C:
+			out <- 1
+		case <-stop:
+			return
+		}
+	}
+}

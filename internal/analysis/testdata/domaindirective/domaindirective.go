@@ -1,0 +1,29 @@
+// Package sim proves a malformed //clocklint:domain directive is
+// diagnosed, never silently ignored — mirroring the allow-directive
+// behavior. Loaded under clocksync/internal/sim with the timedomain
+// analyzer.
+package sim
+
+/* want `unknown domain "warp"` */ //clocklint:domain warp
+var x float64
+
+/* want `missing domain name` */ //clocklint:domain
+var y float64
+
+//clocklint:domain clock
+var c float64
+
+//clocklint:domain clock
+var d float64
+
+// A malformed directive seeds nothing: x and y stay unknown, so adding
+// them raises no timedomain finding — only the directive diagnostics
+// above fire.
+func use() float64 {
+	return x + y
+}
+
+// The well-formed directives above do seed.
+func seeded() float64 {
+	return c + d // want `adds two clock readings`
+}

@@ -1,0 +1,126 @@
+// Package netsync exercises the lockheld analyzer: mutex copies,
+// double locks, upgrades, recursive locks through calls, and lock-order
+// cycles. Loaded under clocksync/internal/netsync so the analyzer is in
+// scope.
+package netsync
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// A value receiver copies the mutex.
+func (c counter) bad() int { // want `receiver "c" copies a mutex-holding struct`
+	return c.n
+}
+
+// A pointer receiver shares it.
+func (c *counter) good() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// A value parameter copies it too.
+func sum(c counter, extra int) int { // want `parameter "c" copies a mutex-holding struct`
+	return c.n + extra
+}
+
+// A pointer-typed field inside the struct is fine to copy.
+type holder struct {
+	mu *sync.Mutex
+}
+
+func use(h holder) *sync.Mutex { return h.mu }
+
+func doubleLock(c *counter) {
+	c.mu.Lock()
+	c.mu.Lock() // want `already locked on this path: deadlock`
+	c.mu.Unlock()
+	c.mu.Unlock()
+}
+
+// Unlocking between acquisitions is legal, as is re-locking with a
+// deferred unlock.
+func lockUnlockLock(c *counter) {
+	c.mu.Lock()
+	c.mu.Unlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+}
+
+// Two different instances of one type are distinct locks.
+func twoInstances(x, y *counter) {
+	x.mu.Lock()
+	y.mu.Lock()
+	y.mu.Unlock()
+	x.mu.Unlock()
+}
+
+type rw struct {
+	mu sync.RWMutex
+	v  int
+}
+
+func upgrade(r *rw) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	r.mu.Lock() // want `upgrade deadlock`
+	defer r.mu.Unlock()
+	return r.v
+}
+
+// A lock held across a call into a function that locks it again is a
+// recursive lock.
+func outer(c *counter) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	inner(c) // want `recursive lock`
+}
+
+func inner(c *counter) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// A goroutine body starts with an empty lock set: launching work under a
+// lock is not a recursive lock.
+func launch(c *counter) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		inner(c)
+	}()
+}
+
+// Opposite acquisition orders across two functions form a cycle.
+type left struct{ mu sync.Mutex }
+
+type right struct{ mu sync.Mutex }
+
+func leftThenRight(l *left, r *right) {
+	l.mu.Lock()
+	r.mu.Lock()
+	r.mu.Unlock()
+	l.mu.Unlock()
+}
+
+func rightThenLeft(l *left, r *right) {
+	r.mu.Lock()
+	l.mu.Lock() // want `lock-order cycle: netsync\.left\.mu -> netsync\.right\.mu -> netsync\.left\.mu`
+	l.mu.Unlock()
+	r.mu.Unlock()
+}
+
+// A conditional lock never leaks into the fallthrough path.
+func conditional(c *counter, take bool) {
+	if take {
+		c.mu.Lock()
+		c.mu.Unlock()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+}

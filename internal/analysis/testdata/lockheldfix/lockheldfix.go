@@ -1,0 +1,14 @@
+// Package netsync is the suggested-fix golden test for lockheld: the
+// value receiver is pointerized (see lockheldfix.go.golden).
+package netsync
+
+import "sync"
+
+type gauge struct {
+	mu sync.Mutex
+	v  int
+}
+
+func (g gauge) read() int { // want `receiver "g" copies a mutex-holding struct`
+	return g.v
+}

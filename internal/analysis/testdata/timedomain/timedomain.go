@@ -1,0 +1,209 @@
+// Package sim exercises every rule of the timedomain algebra, positive
+// and negative. Seeds come from //clocklint:domain directives, parameter
+// names, and the curated time.Duration.Seconds entry. Loaded under
+// clocksync/internal/sim so the analyzer is in scope.
+package sim
+
+import (
+	"math"
+	"time"
+)
+
+// Package-level seeds, one per domain.
+
+//clocklint:domain realtime absolute event time
+var t1 float64
+
+//clocklint:domain realtime
+var t2 float64
+
+//clocklint:domain clock
+var c1 float64
+
+//clocklint:domain clock
+var c2 float64
+
+//clocklint:domain shift
+var s1 float64
+
+//clocklint:domain shift
+var s2 float64
+
+//clocklint:domain delay
+var d1 float64
+
+//clocklint:domain delay
+var d2 float64
+
+//clocklint:domain simdur
+var dur1 float64
+
+//clocklint:domain walldur
+var w1 float64
+
+//clocklint:domain walldur
+var w2 float64
+
+//clocklint:domain realtime
+var starts []float64
+
+// Rule: point - point = duration; point + duration = point; but two
+// points never add and a point never subtracts from a duration.
+func points() float64 {
+	elapsed := t1 - t2 // ok: elapsed simulated time
+	back := t1 + c1    // ok: point + duration = point
+	_ = back
+	bad := t1 + t2 // want `adds two absolute real times`
+	_ = bad
+	worse := c1 - t1 // want `subtracts an absolute real time from a duration`
+	_ = worse
+	return elapsed
+}
+
+// Rule (Lemma 6.1): clock - clock = delay; clock + clock is meaningless.
+func clocks() {
+	est := c2 - c1 // ok: d~(m) = recvClock - sendClock
+	d1 = est       // ok: a delay slot accepts it
+	bad := c1 + c2 // want `adds two clock readings`
+	_ = bad
+	c1 = c2 + dur1 // ok: clock advanced by a generic duration
+}
+
+// Rule: shifts and raw delays only relate through mls (Lemma 6.2).
+func shiftsAndDelays() {
+	total := s1 + s2 // ok: shifts compose
+	rtt := d1 + d2   // ok: round-trip bound (Lemma 6.4)
+	_, _ = total, rtt
+	bad1 := s1 + d1 // want `adds a shift to a raw delay`
+	bad2 := s1 - d1 // want `subtracts across the shift/delay boundary`
+	_, _ = bad1, bad2
+	if s1 < d1 { // want `compares a shift against a raw delay`
+		return
+	}
+	m := math.Min(d1, d2) // ok: min over delays
+	_ = m
+	_ = math.Min(s1, d1) // want `compares a shift against a raw delay`
+}
+
+// Rule: the simulated and wall axes never mix, in any operation.
+func axes() {
+	wsum := w1 + w2 // ok: wall durations compose
+	_ = wsum
+	bad := w1 + dur1 // want `mixes the simulated and wall clock axes`
+	_ = bad
+	bad2 := c1 - w1 // want `mixes the simulated and wall clock axes`
+	_ = bad2
+	if w1 < d1 { // want `compares across the simulated/wall axis boundary`
+		return
+	}
+	secs := 1500 * time.Millisecond
+	w1 = secs.Seconds()   // ok: Seconds() is a wall duration
+	dur1 = secs.Seconds() // want `assigns a wall duration value into "dur1"`
+}
+
+// Rule: points compare with points, never with durations.
+func comparePoints() {
+	if t1 < t2 { // ok
+		return
+	}
+	if t1 < c1 { // want `compares an absolute real time against a clock reading`
+		return
+	}
+}
+
+// Per-function summaries: estimate's result is inferred as a delay.
+func estimate() float64 {
+	return c2 - c1
+}
+
+// A //clocklint:domain directive on a function declares its result.
+//
+//clocklint:domain shift correction derived from mls
+func correction() float64 {
+	return s1 / 2 // ok: scaling a shift keeps it a shift
+}
+
+func useSummaries() {
+	d2 = estimate()   // ok: inferred delay into a delay slot
+	s1 = estimate()   // want `assigns a delay value into "s1"`
+	s2 = correction() // ok: annotated result
+}
+
+// An annotated result domain is checked against returns.
+//
+//clocklint:domain shift
+func badReturn() float64 {
+	return d1 // want `returns a delay value from a function annotated as returning a shift`
+}
+
+// Parameter names seed domains: *Clock suffix, est, mls.
+func paramSeeds(sendClock, recvClock, est float64) {
+	_ = sendClock + recvClock // want `adds two clock readings`
+	_ = math.Min(est, s1)     // want `compares a shift against a raw delay`
+}
+
+// A directive can annotate a parameter in a multi-line signature.
+func annotatedParam(
+	//clocklint:domain delay measured link delay
+	lag float64,
+) {
+	_ = math.Min(lag, s1) // want `compares a shift against a raw delay`
+}
+
+// Struct fields seed through directives; composite literals and field
+// writes are flow-checked.
+type span struct {
+	//clocklint:domain clock
+	start float64
+	//clocklint:domain simdur
+	length float64
+}
+
+func fields(sp *span) {
+	sp.length = sp.start - c1            // ok: clock - clock is a duration
+	sp.start = d1                        // want `assigns a delay value into "start"`
+	_ = span{start: c1, length: t1 - t2} // ok
+	_ = span{start: d1}                  // want `assigns a delay value into "start"`
+}
+
+// Slice elements and range values inherit the carrier's domain.
+func slices(i int) {
+	_ = starts[i] - t1 // ok: point - point
+	_ = starts[i] + t1 // want `adds two absolute real times`
+	for _, st := range starts {
+		_ = st + t1 // want `adds two absolute real times`
+	}
+}
+
+// Compound assignments reuse the binary algebra.
+func compound() {
+	c1 += dur1 // ok: clock advances
+	c1 += c2   // want `adds two clock readings`
+	w1 -= dur1 // want `mixes the simulated and wall clock axes`
+}
+
+// Multi-value results propagate positionally.
+func mlsPair() (float64, float64) {
+	return s1, s2
+}
+
+func multi() {
+	a, b := mlsPair()
+	_ = a + d1 // want `adds a shift to a raw delay`
+	_ = b + s1 // ok: shift + shift
+}
+
+// Inferred parameter domains are checked at local call sites.
+func applyShift(mls float64) float64 {
+	return c1 + mls
+}
+
+func callFlow() {
+	_ = applyShift(s1) // ok
+	_ = applyShift(d1) // want `passes a delay value into "mls"`
+}
+
+// An //clocklint:allow timedomain directive suppresses a finding.
+func allowed() {
+	_ = c1 + c2 //clocklint:allow timedomain intentional, exercising suppression
+}

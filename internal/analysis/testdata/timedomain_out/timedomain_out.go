@@ -1,0 +1,21 @@
+// Package obs repeats timedomain violations in a package outside the
+// analyzer's scope: it must stay silent here. The same sources loaded
+// under an in-scope path would produce findings (see
+// testdata/timedomain).
+package obs
+
+//clocklint:domain realtime
+var t1 float64
+
+//clocklint:domain realtime
+var t2 float64
+
+//clocklint:domain shift
+var s1 float64
+
+//clocklint:domain delay
+var d1 float64
+
+func mix() float64 {
+	return (t1 + t2) + (s1 + d1)
+}

@@ -14,6 +14,10 @@ var wallclockPkgs = []string{
 	"internal/graph",
 	"internal/delay",
 	"internal/model",
+	"internal/genfuzz",
+	"internal/trace",
+	"internal/drift",
+	"cmd/genfuzz",
 }
 
 // wallclockFuncs are the time functions that read or wait on the wall

@@ -335,9 +335,10 @@ type RunConfig struct {
 	// Faults optionally injects crashes, partitions and per-message loss.
 	// Nil injects nothing.
 	Faults *Faults
-	// Trace, when non-nil, records one "sim.run" span covering the whole
-	// simulated-time axis of the run (parented under obs.RootSpanID, so it
-	// nests into a protocol's round trace). Nil records nothing.
+	// Trace, when non-nil, records one "sim.run" span covering the
+	// simulated time from the first to the last processed event (parented
+	// under obs.RootSpanID, so it nests into a protocol's round trace).
+	// Nil records nothing.
 	Trace *obs.Trace
 }
 
@@ -376,7 +377,7 @@ func Run(net *Network, factory ProtocolFactory, cfg RunConfig) (*model.Execution
 		"horizon", cfg.Horizon, "faults", cfg.Faults != nil)
 
 	processed := 0
-	lastEvent := 0.0
+	firstEvent, lastEvent := 0.0, 0.0
 	for en.queue.Len() > 0 {
 		ev, ok := heap.Pop(&en.queue).(event)
 		if !ok {
@@ -391,6 +392,9 @@ func Run(net *Network, factory ProtocolFactory, cfg RunConfig) (*model.Execution
 		}
 		processed++
 		mEvents.Inc()
+		if processed == 1 || ev.time < firstEvent {
+			firstEvent = ev.time
+		}
 		if ev.time > lastEvent {
 			lastEvent = ev.time
 		}
@@ -420,7 +424,11 @@ func Run(net *Network, factory ProtocolFactory, cfg RunConfig) (*model.Execution
 		}
 	}
 	simLog.Debug("run finished", "events", processed, "sent", en.sent)
-	cfg.Trace.AddSimChild("sim.run", -1, 0, 0, lastEvent, obs.RootSpanID)
+	// Span from the first to the last processed event. Proc -1 is the
+	// global axis, which has no start offset, so the span's clock
+	// coordinate coincides with the absolute event time.
+	//clocklint:allow timedomain global axis: clock == real time for proc -1
+	cfg.Trace.AddSimChild("sim.run", -1, 0, firstEvent, lastEvent-firstEvent, obs.RootSpanID)
 	for _, tr := range en.timers {
 		if err := en.builder.AddTimer(model.ProcID(tr.proc), tr.setAt, tr.fireAt, tr.fired); err != nil {
 			return nil, err

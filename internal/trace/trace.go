@@ -206,6 +206,7 @@ func CollectActual(e *model.Execution, keepRaw bool) (*Table, error) {
 		d := m.Delay(e)
 		// Encode the actual delay as a sample with SendClock 0 so that
 		// EstimatedDelay() returns d.
+		//clocklint:allow timedomain deliberate encoding: with SendClock 0, d~ degenerates to the actual delay d
 		if err := t.Add(Sample{From: m.From, To: m.To, SendClock: 0, RecvClock: d}); err != nil {
 			return nil, err
 		}
